@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Ablation study (our addition; supports the paper's Section-4 design
+ * discussion).  Four experiments on the 16-tile Raw machine and the
+ * 4-cluster VLIW:
+ *
+ *  1. drop-one-pass: remove each pass from the Table-1 sequence and
+ *     report the geomean speedup, showing what each heuristic buys;
+ *  2. noise amplitude sweep (VLIW): symmetry breaking matters, but
+ *     too much noise destroys structure;
+ *  3. LEVEL granularity sweep (Raw): the distance g at which
+ *     neighbours are kept together;
+ *  4. PATHPROP confidence threshold sweep (Raw): when propagation
+ *     stops, quiescence vs drag.
+ *
+ * Plus two extensions beyond the paper: REGPRESS (register-pressure
+ * balancing, the paper's future-work direction) appended to the Raw
+ * pipeline, and BUG (Ellis '86) as an additional VLIW baseline.
+ */
+
+#include <iostream>
+
+#include "baseline/bug.hh"
+#include "convergent/sequences.hh"
+#include "eval/experiment.hh"
+#include "eval/speedup.hh"
+#include "machine/clustered_vliw.hh"
+#include "machine/raw_machine.hh"
+#include "sched/register_pressure.hh"
+#include "support/stats.hh"
+#include "support/str.hh"
+#include "support/table.hh"
+#include "workloads/workloads.hh"
+
+using namespace csched;
+
+namespace {
+
+double
+geomeanSpeedup(const MachineModel &machine,
+               const std::vector<std::string> &suite,
+               const std::string &sequence, const PassParams &params)
+{
+    std::vector<double> values;
+    for (const auto &name : suite) {
+        const ConvergentAlgorithm conv(machine, sequence, params);
+        values.push_back(speedupOf(findWorkload(name), machine, conv));
+    }
+    return geomean(values);
+}
+
+/** Sequence with every instance of @p pass removed. */
+std::string
+without(const std::string &sequence, const std::string &pass)
+{
+    std::vector<std::string> kept;
+    for (const auto &part : split(sequence, ','))
+        if (part != pass)
+            kept.push_back(part);
+    return join(kept, ",");
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto raw = RawMachine::withTiles(16);
+    const ClusteredVliwMachine vliw(4);
+    const auto raw_suite = rawSuiteNames();
+    const auto vliw_suite = vliwSuiteNames();
+
+    std::cout << "Ablation 1: drop-one-pass (geomean speedup)\n\n";
+    {
+        TablePrinter table({"dropped pass", "raw16", "vliw4"});
+        const double raw_full = geomeanSpeedup(
+            raw, raw_suite, rawPassSequence(), rawPassParams());
+        const double vliw_full = geomeanSpeedup(
+            vliw, vliw_suite, vliwPassSequence(), vliwPassParams());
+        table.addRow({"(none: full sequence)",
+                      formatDouble(raw_full, 2),
+                      formatDouble(vliw_full, 2)});
+        for (const char *pass :
+             {"NOISE", "FIRST", "PATH", "COMM", "PLACE", "PLACEPROP",
+              "LOAD", "LEVEL", "PATHPROP"}) {
+            const auto raw_seq = without(rawPassSequence(), pass);
+            const auto vliw_seq = without(vliwPassSequence(), pass);
+            const double r =
+                raw_seq == rawPassSequence()
+                    ? raw_full
+                    : geomeanSpeedup(raw, raw_suite, raw_seq,
+                                     rawPassParams());
+            const double v =
+                vliw_seq == vliwPassSequence()
+                    ? vliw_full
+                    : geomeanSpeedup(vliw, vliw_suite, vliw_seq,
+                                     vliwPassParams());
+            table.addRow({pass, formatDouble(r, 2),
+                          formatDouble(v, 2)});
+        }
+        table.print(std::cout);
+    }
+
+    std::cout << "\nAblation 2: NOISE amplitude (vliw4 geomean)\n\n";
+    {
+        TablePrinter table({"amplitude", "vliw4"});
+        for (double amplitude : {0.0, 0.1, 0.3, 1.0, 3.0}) {
+            PassParams params = vliwPassParams();
+            params.noiseAmplitude = amplitude;
+            table.addRow({formatDouble(amplitude, 1),
+                          formatDouble(
+                              geomeanSpeedup(vliw, vliw_suite,
+                                             vliwPassSequence(),
+                                             params),
+                              2)});
+        }
+        table.print(std::cout);
+    }
+
+    std::cout << "\nAblation 3: LEVEL granularity g (raw16 geomean)\n\n";
+    {
+        TablePrinter table({"granularity", "raw16"});
+        for (int g : {1, 2, 3, 4}) {
+            PassParams params = rawPassParams();
+            params.levelGranularity = g;
+            table.addRow({std::to_string(g),
+                          formatDouble(
+                              geomeanSpeedup(raw, raw_suite,
+                                             rawPassSequence(),
+                                             params),
+                              2)});
+        }
+        table.print(std::cout);
+    }
+
+    std::cout << "\nAblation 4: PATHPROP confidence threshold "
+              << "(raw16 geomean)\n\n";
+    {
+        TablePrinter table({"threshold", "raw16"});
+        for (double threshold : {1.1, 1.2, 1.5, 2.0, 4.0}) {
+            PassParams params = rawPassParams();
+            params.pathPropConfidence = threshold;
+            table.addRow({formatDouble(threshold, 1),
+                          formatDouble(
+                              geomeanSpeedup(raw, raw_suite,
+                                             rawPassSequence(),
+                                             params),
+                              2)});
+        }
+        table.print(std::cout);
+    }
+
+    std::cout << "\nExtension 1: REGPRESS appended to Table 1 "
+              << "(geomean speedup + register budget violations on raw16)\n\n";
+    {
+        TablePrinter table({"pipeline", "raw16",
+                            "tiles over 32-reg budget"});
+        for (const bool with_regpress : {false, true}) {
+            const std::string sequence =
+                with_regpress ? rawPassSequence() + ",REGPRESS,COMM"
+                              : rawPassSequence();
+            int over_budget = 0;
+            std::vector<double> values;
+            for (const auto &name : raw_suite) {
+                const auto &spec = findWorkload(name);
+                const ConvergentAlgorithm conv(raw, sequence,
+                                               rawPassParams());
+                values.push_back(speedupOf(spec, raw, conv));
+                const auto graph = spec.build(16, 16);
+                over_budget +=
+                    analyzePressure(graph, conv.run(graph))
+                        .clustersOverBudget(
+                            raw.registersPerCluster());
+            }
+            table.addRow({with_regpress ? "Table 1 + REGPRESS"
+                                        : "Table 1",
+                          formatDouble(geomean(values), 2),
+                          std::to_string(over_budget)});
+        }
+        table.print(std::cout);
+    }
+
+    std::cout << "\nExtension 2: BUG (Ellis '86) as an extra VLIW "
+              << "baseline\n\n";
+    {
+        TablePrinter table({"scheduler", "vliw4 geomean"});
+        std::vector<double> values;
+        for (const auto &name : vliw_suite) {
+            const BugScheduler bug(vliw);
+            values.push_back(speedupOf(findWorkload(name), vliw, bug));
+        }
+        table.addRow({"BUG", formatDouble(geomean(values), 2)});
+        table.addRow(
+            {"Convergent (fig8)",
+             formatDouble(geomeanSpeedup(vliw, vliw_suite,
+                                         vliwPassSequence(),
+                                         vliwPassParams()),
+                          2)});
+        table.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Figure 10: compile-time scalability of PCC, UAS, and convergent
+ * scheduling vs input size on the clustered VLIW.
+ *
+ * The paper's claim: UAS and convergent scheduling take about the same
+ * time and scale considerably better than PCC, whose iterative descent
+ * re-estimates the schedule for every candidate component move.  Run
+ * under google-benchmark; each benchmark is one (algorithm, size)
+ * point on the paper's log-log plot.  Instruction counts sweep the
+ * same range as the figure (up to ~2000).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "eval/experiment.hh"
+#include "machine/clustered_vliw.hh"
+#include "workloads/random_dag.hh"
+
+using namespace csched;
+
+namespace {
+
+/** Shared input graphs, one per size, built once. */
+const DependenceGraph &
+graphOfSize(int size)
+{
+    static std::map<int, DependenceGraph> cache;
+    auto it = cache.find(size);
+    if (it == cache.end()) {
+        RandomDagOptions options;
+        options.numInstructions = size;
+        options.width = std::max(4, size / 24);
+        options.memFraction = 0.3;
+        options.banks = 4;
+        options.preplaceClusters = 4;
+        options.seed = 1234;
+        it = cache.emplace(size, makeRandomDag(options)).first;
+    }
+    return it->second;
+}
+
+void
+runAlgorithm(benchmark::State &state, AlgorithmKind kind)
+{
+    const ClusteredVliwMachine vliw(4);
+    const auto &graph = graphOfSize(static_cast<int>(state.range(0)));
+    const auto algorithm = makeAlgorithm(kind, vliw);
+    int makespan = 0;
+    for (auto _ : state) {
+        makespan = algorithm->run(graph).makespan();
+        benchmark::DoNotOptimize(makespan);
+    }
+    state.counters["instructions"] =
+        static_cast<double>(graph.numInstructions());
+    state.counters["makespan"] = static_cast<double>(makespan);
+}
+
+void
+BM_Convergent(benchmark::State &state)
+{
+    runAlgorithm(state, AlgorithmKind::Convergent);
+}
+
+void
+BM_Uas(benchmark::State &state)
+{
+    runAlgorithm(state, AlgorithmKind::Uas);
+}
+
+void
+BM_Pcc(benchmark::State &state)
+{
+    runAlgorithm(state, AlgorithmKind::Pcc);
+}
+
+} // namespace
+
+BENCHMARK(BM_Convergent)->Arg(125)->Arg(250)->Arg(500)->Arg(1000)
+    ->Arg(2000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Uas)->Arg(125)->Arg(250)->Arg(500)->Arg(1000)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Pcc)->Arg(125)->Arg(250)->Arg(500)->Arg(1000)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 8: PCC vs UAS vs convergent scheduling on the four-cluster
+ * VLIW, speedups relative to a single-cluster machine, with the
+ * paper's approximate bar heights alongside.
+ */
+
+#include <iostream>
+
+#include "eval/experiment.hh"
+#include "eval/speedup.hh"
+#include "machine/clustered_vliw.hh"
+#include "support/stats.hh"
+#include "support/str.hh"
+#include "support/table.hh"
+#include "workloads/workloads.hh"
+
+using namespace csched;
+
+int
+main()
+{
+    const ClusteredVliwMachine vliw(4);
+
+    std::cout << "Figure 8: speedup over one cluster on a "
+              << "four-cluster VLIW\n\n";
+    TablePrinter table(
+        {"benchmark", "PCC", "UAS", "Convergent", "conv/UAS",
+         "conv/PCC"});
+
+    std::vector<double> pcc_v, uas_v, conv_v;
+    for (const auto &name : vliwSuiteNames()) {
+        const auto &spec = findWorkload(name);
+        const auto pcc = makeAlgorithm(AlgorithmKind::Pcc, vliw);
+        const auto uas = makeAlgorithm(AlgorithmKind::Uas, vliw);
+        const auto conv =
+            makeAlgorithm(AlgorithmKind::Convergent, vliw);
+        const double p = speedupOf(spec, vliw, *pcc);
+        const double u = speedupOf(spec, vliw, *uas);
+        const double c = speedupOf(spec, vliw, *conv);
+        pcc_v.push_back(p);
+        uas_v.push_back(u);
+        conv_v.push_back(c);
+        table.addRow({name, formatDouble(p, 2), formatDouble(u, 2),
+                      formatDouble(c, 2), formatDouble(c / u, 2),
+                      formatDouble(c / p, 2)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\ngeomeans: PCC=" << formatDouble(geomean(pcc_v), 2)
+              << " UAS=" << formatDouble(geomean(uas_v), 2)
+              << " Convergent=" << formatDouble(geomean(conv_v), 2)
+              << "\nconvergent vs UAS: "
+              << formatDouble(
+                     100.0 * (geomean(conv_v) / geomean(uas_v) - 1.0),
+                     1)
+              << "% (paper: +14%); vs PCC: "
+              << formatDouble(
+                     100.0 * (geomean(conv_v) / geomean(pcc_v) - 1.0),
+                     1)
+              << "% (paper: +28%)\n";
+    return 0;
+}

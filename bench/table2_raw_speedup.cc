@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Table 2 + Figure 6: Rawcc-baseline vs convergent speedups on Raw.
+ *
+ * For every benchmark of the Raw suite and every tile count in
+ * {2, 4, 8, 16}, prints the speedup (relative to the same kernel on a
+ * single tile) of the Rawcc-style baseline partitioner ("Base") and of
+ * convergent scheduling, exactly mirroring the paper's Table 2.  The
+ * 16-tile columns are then re-printed as the Figure-6 series, with the
+ * paper's reference numbers alongside.
+ */
+
+#include <iostream>
+
+#include "eval/experiment.hh"
+#include "eval/speedup.hh"
+#include "machine/raw_machine.hh"
+#include "support/stats.hh"
+#include "support/str.hh"
+#include "support/table.hh"
+#include "workloads/workloads.hh"
+
+using namespace csched;
+
+namespace {
+
+/** Paper's Table 2 values at 16 tiles (Base, Convergent). */
+struct PaperRow
+{
+    const char *name;
+    double base16;
+    double conv16;
+};
+
+const PaperRow kPaper[] = {
+    {"cholesky", 4.33, 7.06}, {"tomcatv", 3.94, 5.15},
+    {"vpenta", 8.03, 9.71},   {"mxm", 7.09, 7.77},
+    {"fpppp-kernel", 6.76, 5.39}, {"sha", 2.29, 1.45},
+    {"swim", 6.23, 8.30},     {"jacobi", 6.39, 9.30},
+    {"life", 8.48, 11.97},
+};
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<int> tile_counts{2, 4, 8, 16};
+
+    std::cout << "Table 2: speedup over one tile on Raw "
+              << "(Base = Rawcc-style partitioner)\n\n";
+    std::vector<std::string> headers{"benchmark"};
+    for (int tiles : tile_counts)
+        headers.push_back("base/" + std::to_string(tiles));
+    for (int tiles : tile_counts)
+        headers.push_back("conv/" + std::to_string(tiles));
+    TablePrinter table(headers);
+
+    std::vector<double> base16;
+    std::vector<double> conv16;
+    for (const auto &name : rawSuiteNames()) {
+        const auto &spec = findWorkload(name);
+        std::vector<std::string> row{name};
+        std::vector<double> base_cols;
+        std::vector<double> conv_cols;
+        for (int tiles : tile_counts) {
+            const auto raw = RawMachine::withTiles(tiles);
+            const auto algo = makeAlgorithm(AlgorithmKind::Rawcc, raw);
+            base_cols.push_back(speedupOf(spec, raw, *algo));
+        }
+        for (int tiles : tile_counts) {
+            const auto raw = RawMachine::withTiles(tiles);
+            const auto algo =
+                makeAlgorithm(AlgorithmKind::Convergent, raw);
+            conv_cols.push_back(speedupOf(spec, raw, *algo));
+        }
+        for (double v : base_cols)
+            row.push_back(formatDouble(v, 2));
+        for (double v : conv_cols)
+            row.push_back(formatDouble(v, 2));
+        table.addRow(row);
+        base16.push_back(base_cols.back());
+        conv16.push_back(conv_cols.back());
+    }
+    table.print(std::cout);
+
+    std::cout << "\nFigure 6: 16-tile speedups vs the paper's values\n\n";
+    TablePrinter fig6({"benchmark", "base (ours)", "conv (ours)",
+                       "conv/base", "base (paper)", "conv (paper)",
+                       "conv/base (paper)"});
+    for (size_t k = 0; k < rawSuiteNames().size(); ++k) {
+        const auto &paper = kPaper[k];
+        fig6.addRow({paper.name, formatDouble(base16[k], 2),
+                     formatDouble(conv16[k], 2),
+                     formatDouble(conv16[k] / base16[k], 2),
+                     formatDouble(paper.base16, 2),
+                     formatDouble(paper.conv16, 2),
+                     formatDouble(paper.conv16 / paper.base16, 2)});
+    }
+    fig6.print(std::cout);
+
+    std::cout << "\n16-tile geomean: base=" << formatDouble(
+                     geomean(base16), 2)
+              << "  convergent=" << formatDouble(geomean(conv16), 2)
+              << "  improvement="
+              << formatDouble(
+                     100.0 * (geomean(conv16) / geomean(base16) - 1.0),
+                     1)
+              << "% (paper: +21%)\n";
+    return 0;
+}

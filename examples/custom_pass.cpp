@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Writing a new convergent-scheduling heuristic.
+ *
+ * Section 2 of the paper argues that the weight-based interface makes
+ * it easy to address peculiarities of an architecture: "if an
+ * architecture is able to exploit auto-increment on memory accesses,
+ * one pass could try to keep together memory accesses and increments,
+ * so that the scheduler will find them together".  This example
+ * implements exactly that pass in ~30 lines, splices it into the
+ * standard VLIW pipeline, and shows that it changes the schedule the
+ * intended way: address increments land on the cluster of the memory
+ * access they feed.
+ */
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "convergent/convergent_scheduler.hh"
+#include "convergent/pass.hh"
+#include "convergent/pass_registry.hh"
+#include "convergent/sequences.hh"
+#include "ir/graph_algorithms.hh"
+#include "ir/graph_builder.hh"
+#include "machine/clustered_vliw.hh"
+#include "sched/list_scheduler.hh"
+#include "sched/priorities.hh"
+#include "support/rng.hh"
+
+using namespace csched;
+
+namespace {
+
+/**
+ * AUTOINC: pull every integer add that feeds a memory access onto the
+ * access's preferred cluster, so a post-increment addressing mode
+ * could fuse them.  The pass needs nothing but the shared preference
+ * matrix -- no other pass has to know it exists.
+ */
+class AutoIncrementPass : public Pass
+{
+  public:
+    std::string name() const override { return "AUTOINC"; }
+
+    void
+    run(PassContext &ctx) override
+    {
+        const auto &graph = ctx.graph;
+        auto &weights = ctx.weights;
+        for (InstrId i = 0; i < graph.numInstructions(); ++i) {
+            if (graph.instr(i).op != Opcode::IAdd)
+                continue;
+            for (InstrId succ : graph.succs(i)) {
+                if (!isMemory(graph.instr(succ).op))
+                    continue;
+                // Pull the increment towards the access's cluster.
+                weights.scaleCluster(
+                    i, weights.preferredCluster(succ), 4.0);
+                weights.normalize(i);
+            }
+        }
+    }
+};
+
+/** A loop body with explicit pointer increments feeding the loads. */
+DependenceGraph
+pointerChasingKernel(int banks)
+{
+    GraphBuilder builder;
+    // The pointer and the loop index are live-ins on cluster 0.
+    const InstrId base = builder.op(Opcode::Const, {}, "p");
+    builder.preplace(base, 0);
+    const InstrId index = builder.op(Opcode::Const, {}, "i");
+    builder.preplace(index, 0);
+    InstrId acc = kNoInstr;
+    for (int k = 0; k < 2 * banks; ++k) {
+        // p_k = p + k*stride; v = *p_k; acc += v.  The increment is
+        // torn between the live-ins on cluster 0 and the load's bank.
+        const InstrId pointer =
+            builder.op(Opcode::IAdd, {base, index}, "p+k*s");
+        const InstrId value =
+            builder.load(k % banks, {pointer}, "*p");
+        acc = acc == kNoInstr
+                  ? value
+                  : builder.op(Opcode::FAdd, {acc, value}, "acc");
+    }
+    builder.store(0, acc, {}, "sum");
+    preplaceMemoryByBank(builder.graph(), banks);
+    return builder.build();
+}
+
+/** Count increments co-located with the memory access they feed. */
+int
+countFusible(const DependenceGraph &graph,
+             const std::vector<int> &assignment)
+{
+    int fusible = 0;
+    for (InstrId i = 0; i < graph.numInstructions(); ++i) {
+        if (graph.instr(i).op != Opcode::IAdd)
+            continue;
+        for (InstrId succ : graph.succs(i))
+            if (isMemory(graph.instr(succ).op) &&
+                assignment[i] == assignment[succ])
+                ++fusible;
+    }
+    return fusible;
+}
+
+} // namespace
+
+int
+main()
+{
+    const ClusteredVliwMachine machine(4);
+    const auto graph = pointerChasingKernel(4);
+
+    // Pipeline A: the standard Table-1(b) sequence.
+    const ConvergentScheduler standard(machine, vliwPassSequence(),
+                                       vliwPassParams());
+
+    // How much preference mass the increments put on their access's
+    // preferred cluster (1.0 = fully committed).
+    auto affinity = [&](const PreferenceMatrix &weights) {
+        double total = 0.0;
+        int count = 0;
+        for (InstrId i = 0; i < graph.numInstructions(); ++i) {
+            if (graph.instr(i).op != Opcode::IAdd)
+                continue;
+            for (InstrId succ : graph.succs(i)) {
+                if (!isMemory(graph.instr(succ).op))
+                    continue;
+                total += weights.spaceMarginal(
+                    i, weights.preferredCluster(succ));
+                ++count;
+            }
+        }
+        return count > 0 ? total / count : 0.0;
+    };
+
+    // Pipeline B: the same sequence with AUTOINC appended.  Passes
+    // are independent, so splicing one in requires no changes
+    // anywhere else -- we just run the pipeline by hand.
+    const PassParams params = vliwPassParams();
+    PreferenceMatrix weights(graph.numInstructions(),
+                             graph.criticalPathLength(),
+                             machine.numClusters());
+    Rng rng(params.noiseSeed);
+    PassContext ctx{graph, machine, weights, params, rng};
+    for (const auto &name : {"INITTIME", "NOISE", "FIRST", "PATH",
+                             "COMM", "PLACE", "PLACEPROP", "COMM"})
+        makePassByName(name)->run(ctx);
+    const double before = affinity(weights);
+    AutoIncrementPass autoinc;
+    autoinc.run(ctx);
+    const double after = affinity(weights);
+    makePassByName("EMPHCP")->run(ctx);
+
+    std::vector<int> augmented(graph.numInstructions());
+    for (InstrId i = 0; i < graph.numInstructions(); ++i) {
+        const auto &instr = graph.instr(i);
+        augmented[i] = instr.preplaced()
+                           ? instr.homeCluster
+                           : weights.preferredCluster(i);
+    }
+
+    const auto plain = standard.schedule(graph).assignment;
+    const int pairs = 2 * machine.numClusters();
+
+    std::cout << "increment/access affinity mass before AUTOINC: "
+              << before << "\n"
+              << "increment/access affinity mass after  AUTOINC: "
+              << after << "\n\n"
+              << "auto-increment co-location (increment on the same "
+              << "cluster as its access):\n"
+              << "  standard pipeline:  " << countFusible(graph, plain)
+              << " / " << pairs << "\n"
+              << "  with AUTOINC pass:  "
+              << countFusible(graph, augmented) << " / " << pairs
+              << "\n\n"
+              << "The new heuristic needed only the preference-map "
+              << "interface:\nno existing pass was modified.\n";
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Compare all three clustered-VLIW schedulers -- PCC, UAS, and
+ * convergent scheduling -- on one workload, reporting makespans,
+ * communication counts, per-cluster loads, and register pressure.
+ * Pass a benchmark name (default "tomcatv") and a cluster count
+ * (default 4):
+ *
+ *   ./build/examples/vliw_compare mxm 8
+ */
+
+#include <iostream>
+#include <string>
+
+#include "eval/experiment.hh"
+#include "eval/speedup.hh"
+#include "machine/clustered_vliw.hh"
+#include "sched/register_pressure.hh"
+#include "support/str.hh"
+#include "support/table.hh"
+#include "workloads/workloads.hh"
+
+using namespace csched;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "tomcatv";
+    const int clusters = argc > 2 ? std::stoi(argv[2]) : 4;
+
+    const ClusteredVliwMachine machine(clusters);
+    const auto &spec = findWorkload(name);
+    const auto graph =
+        spec.build(machine.numClusters(), machine.numClusters());
+
+    std::cout << name << " on " << machine.name() << ": "
+              << graph.numInstructions() << " instructions, CPL "
+              << graph.criticalPathLength() << ", "
+              << graph.numPreplaced() << " preplaced\n"
+              << spec.description << "\n\n";
+
+    TablePrinter table({"scheduler", "makespan", "speedup", "comms",
+                        "max load", "peak regs", "time (ms)"});
+    for (const auto kind :
+         {AlgorithmKind::Pcc, AlgorithmKind::Uas,
+          AlgorithmKind::Convergent}) {
+        const auto algorithm = makeAlgorithm(kind, machine);
+        const auto run = runAndCheck(*algorithm, graph, machine);
+        const auto schedule = algorithm->run(graph);
+        const auto pressure = analyzePressure(graph, schedule);
+        int max_load = 0;
+        for (int c = 0; c < clusters; ++c)
+            max_load = std::max(max_load, schedule.clusterLoad(c));
+        table.addRow({algorithm->name(),
+                      std::to_string(run.makespan),
+                      formatDouble(speedupOf(spec, machine, *algorithm),
+                                   2),
+                      std::to_string(schedule.comms().size()),
+                      std::to_string(max_load),
+                      std::to_string(pressure.peak()),
+                      formatDouble(run.seconds * 1e3, 2)});
+    }
+    table.print(std::cout);
+    return 0;
+}

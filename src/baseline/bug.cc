@@ -1,0 +1,95 @@
+#include "baseline/bug.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "sched/list_scheduler.hh"
+#include "sched/priorities.hh"
+#include "support/logging.hh"
+
+namespace csched {
+
+BugScheduler::BugScheduler(const MachineModel &machine)
+    : machine_(machine)
+{
+}
+
+std::vector<int>
+BugScheduler::assign(const DependenceGraph &graph) const
+{
+    const int n = graph.numInstructions();
+    const int num_clusters = machine_.numClusters();
+
+    // ---- Pass 1 (bottom-up): preplacement affinity.  affinity[i][c]
+    // counts downstream preplaced instructions homed on c, attenuated
+    // by distance, so ties in the greedy pass break towards where the
+    // results must eventually live.
+    std::vector<std::vector<double>> affinity(
+        n, std::vector<double>(num_clusters, 0.0));
+    const auto &topo = graph.topoOrder();
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+        const InstrId id = *it;
+        const int home = graph.instr(id).homeCluster;
+        if (home != kNoCluster)
+            affinity[id][home] += 1.0;
+        for (InstrId succ : graph.succs(id))
+            for (int c = 0; c < num_clusters; ++c)
+                affinity[id][c] += 0.5 * affinity[succ][c];
+    }
+
+    // ---- Pass 2 (top-down): greedy earliest-completion assignment
+    // with an idealised timing model (one op per cluster per cycle,
+    // operands arrive commLatency() after the producer's estimated
+    // finish when remote).
+    std::vector<int> assignment(n, -1);
+    std::vector<int> finish(n, 0);
+    std::vector<int> cluster_free(num_clusters, 0);
+
+    for (InstrId id : topo) {
+        const auto &instr = graph.instr(id);
+        int best_cluster = -1;
+        int best_finish = 0;
+        double best_affinity = 0.0;
+        for (int c = 0; c < num_clusters; ++c) {
+            if (!machine_.canExecute(c, instr.op))
+                continue;
+            if (instr.preplaced() && c != instr.homeCluster)
+                continue;
+            int ready = cluster_free[c];
+            for (InstrId pred : graph.preds(id)) {
+                const int arrival =
+                    finish[pred] +
+                    machine_.commLatency(assignment[pred], c);
+                ready = std::max(ready, arrival);
+            }
+            int done = ready + graph.latency(id);
+            if (isMemory(instr.op))
+                done += machine_.memoryPenalty(instr.memBank, c);
+            if (best_cluster == -1 || done < best_finish ||
+                (done == best_finish &&
+                 affinity[id][c] > best_affinity)) {
+                best_cluster = c;
+                best_finish = done;
+                best_affinity = affinity[id][c];
+            }
+        }
+        CSCHED_ASSERT(best_cluster != -1, "no cluster can execute ",
+                      opcodeName(instr.op));
+        assignment[id] = best_cluster;
+        finish[id] = best_finish;
+        cluster_free[best_cluster] =
+            std::max(cluster_free[best_cluster],
+                     best_finish - graph.latency(id) + 1);
+    }
+    return assignment;
+}
+
+Schedule
+BugScheduler::run(const DependenceGraph &graph) const
+{
+    const ListScheduler scheduler(machine_);
+    return scheduler.run(graph, assign(graph),
+                         criticalPathPriority(graph));
+}
+
+} // namespace csched

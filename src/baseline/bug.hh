@@ -1,0 +1,49 @@
+/**
+ * @file
+ * BUG -- Bottom-Up Greedy cluster assignment (Ellis, "Bulldog: A
+ * Compiler for VLIW Architectures", 1986).
+ *
+ * The pioneering assignment algorithm of the paper's related-work
+ * section, and (with Rawcc) one of only two prior approaches that
+ * directly support preplaced instructions.  BUG runs two traversals of
+ * the dependence graph:
+ *
+ *  1. bottom-up, propagating preplacement information: every
+ *     instruction learns which clusters its downstream preplaced
+ *     consumers live on;
+ *  2. top-down, greedily assigning each instruction to the candidate
+ *     cluster that can execute it *earliest*, estimating completion
+ *     times from operand locations and communication latency.
+ *
+ * Decisions are final -- like UAS, BUG cannot recover from a bad early
+ * choice, which is the property convergent scheduling removes.
+ * Included as an additional baseline beyond the paper's evaluated set.
+ */
+
+#ifndef CSCHED_BASELINE_BUG_HH
+#define CSCHED_BASELINE_BUG_HH
+
+#include "machine/machine.hh"
+#include "sched/algorithm.hh"
+
+namespace csched {
+
+/** Bottom-up-greedy assignment + critical-path list scheduling. */
+class BugScheduler : public SchedulingAlgorithm
+{
+  public:
+    explicit BugScheduler(const MachineModel &machine);
+
+    std::string name() const override { return "BUG"; }
+    Schedule run(const DependenceGraph &graph) const override;
+
+    /** The assignment BUG's two traversals produce (for tests). */
+    std::vector<int> assign(const DependenceGraph &graph) const;
+
+  private:
+    const MachineModel &machine_;
+};
+
+} // namespace csched
+
+#endif // CSCHED_BASELINE_BUG_HH

@@ -1,0 +1,270 @@
+#include "baseline/pcc.hh"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+#include "sched/list_scheduler.hh"
+#include "sched/priorities.hh"
+#include "support/logging.hh"
+
+namespace csched {
+
+int
+PccScheduler::estimate(const DependenceGraph &graph,
+                       const std::vector<int> &assignment) const
+{
+    const int n = graph.numInstructions();
+    const int num_clusters = machine_.numClusters();
+    const int comm_cost =
+        num_clusters > 1 ? machine_.commLatency(0, 1) : 1;
+
+    // Issue width per cluster: total FU slots, ignoring typing.
+    std::vector<int> width(num_clusters);
+    for (int c = 0; c < num_clusters; ++c)
+        width[c] = static_cast<int>(machine_.clusterFus(c).size());
+
+    // Cycle-bucketed issue counts grow on demand.
+    std::vector<std::vector<int>> issued(num_clusters);
+    auto issue_slot = [&](int cluster, int from) {
+        auto &slots = issued[cluster];
+        int cycle = from;
+        while (true) {
+            if (cycle >= static_cast<int>(slots.size()))
+                slots.resize(cycle + 1, 0);
+            if (slots[cycle] < width[cluster]) {
+                ++slots[cycle];
+                return cycle;
+            }
+            ++cycle;
+        }
+    };
+
+    std::vector<int> unplaced_preds(n);
+    std::vector<int> data_ready(n, 0);
+    using Entry = std::tuple<int, int, InstrId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    for (InstrId id = 0; id < n; ++id) {
+        unplaced_preds[id] = static_cast<int>(graph.preds(id).size());
+        if (unplaced_preds[id] == 0)
+            heap.emplace(0, -graph.latestFinishSlack(id), id);
+    }
+
+    int makespan = 0;
+    while (!heap.empty()) {
+        const auto [ready, neg_slack, id] = heap.top();
+        heap.pop();
+        const int cluster = assignment[id];
+        const int start = issue_slot(cluster, ready);
+        int finish = start + graph.latency(id);
+        const auto &instr = graph.instr(id);
+        if (isMemory(instr.op))
+            finish += machine_.memoryPenalty(instr.memBank, cluster);
+        makespan = std::max(makespan, finish);
+        for (InstrId succ : graph.succs(id)) {
+            const int arrival =
+                finish + (assignment[succ] == cluster ? 0 : comm_cost);
+            data_ready[succ] = std::max(data_ready[succ], arrival);
+            if (--unplaced_preds[succ] == 0) {
+                heap.emplace(data_ready[succ],
+                             -graph.latestFinishSlack(succ), succ);
+            }
+        }
+    }
+    return makespan;
+}
+
+int
+PccScheduler::effectiveCap(int n) const
+{
+    if (options_.componentCap > 0)
+        return options_.componentCap;
+    return std::max(4, n / (4 * machine_.numClusters()));
+}
+
+PccScheduler::PccScheduler(const MachineModel &machine)
+    : PccScheduler(machine, Options())
+{
+}
+
+PccScheduler::PccScheduler(const MachineModel &machine, Options options)
+    : machine_(machine), options_(options)
+{
+}
+
+std::vector<int>
+PccScheduler::buildComponents(const DependenceGraph &graph) const
+{
+    const int n = graph.numInstructions();
+    const int cap = effectiveCap(n);
+
+    std::vector<int> component(n, -1);
+    std::vector<int> comp_size;
+    std::vector<int> comp_home;
+
+    // Bottom-up: successors are processed before their producers, so
+    // walk the topological order in reverse.  This grows components
+    // from the leaves towards the roots, critical chains first
+    // (the most critical successor is preferred below).
+    const auto &topo = graph.topoOrder();
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+        const InstrId id = *it;
+        const int home = graph.instr(id).homeCluster;
+
+        // Candidate: the most critical joinable successor component.
+        int best_comp = -1;
+        int best_slack = -1;
+        for (InstrId succ : graph.succs(id)) {
+            const int comp = component[succ];
+            CSCHED_ASSERT(comp != -1, "successor not yet componentised");
+            if (comp_size[comp] >= cap)
+                continue;
+            if (home != kNoCluster && comp_home[comp] != kNoCluster &&
+                comp_home[comp] != home) {
+                continue;  // incompatible preplacement homes
+            }
+            if (graph.latestFinishSlack(succ) > best_slack) {
+                best_slack = graph.latestFinishSlack(succ);
+                best_comp = comp;
+            }
+        }
+
+        if (best_comp == -1) {
+            best_comp = static_cast<int>(comp_size.size());
+            comp_size.push_back(0);
+            comp_home.push_back(kNoCluster);
+        }
+        component[id] = best_comp;
+        comp_size[best_comp] += 1;
+        if (home != kNoCluster)
+            comp_home[best_comp] = home;
+    }
+    return component;
+}
+
+Schedule
+PccScheduler::run(const DependenceGraph &graph) const
+{
+    const int n = graph.numInstructions();
+    const int num_clusters = machine_.numClusters();
+    const auto component = buildComponents(graph);
+    int num_components = 0;
+    for (int comp : component)
+        num_components = std::max(num_components, comp + 1);
+
+    // Component metadata: members, load (total latency), home.
+    std::vector<std::vector<InstrId>> members(num_components);
+    std::vector<int> comp_load(num_components, 0);
+    std::vector<int> comp_home(num_components, kNoCluster);
+    for (InstrId id = 0; id < n; ++id) {
+        const int comp = component[id];
+        members[comp].push_back(id);
+        comp_load[comp] += graph.latency(id);
+        const int home = graph.instr(id).homeCluster;
+        if (home != kNoCluster) {
+            CSCHED_ASSERT(comp_home[comp] == kNoCluster ||
+                              comp_home[comp] == home,
+                          "component mixes preplacement homes");
+            comp_home[comp] = home;
+        }
+    }
+
+    // Inter-component communication volume (data edges).
+    std::vector<std::vector<std::pair<int, int>>> comp_edges(
+        num_components);  // (other component, count) accumulated below
+    {
+        std::vector<std::vector<int>> volume(
+            num_components, std::vector<int>(num_components, 0));
+        for (const auto &edge : graph.edges()) {
+            if (edge.kind != DepKind::Data)
+                continue;
+            const int a = component[edge.src];
+            const int b = component[edge.dst];
+            if (a != b) {
+                ++volume[a][b];
+                ++volume[b][a];
+            }
+        }
+        for (int a = 0; a < num_components; ++a)
+            for (int b = 0; b < num_components; ++b)
+                if (volume[a][b] > 0)
+                    comp_edges[a].emplace_back(b, volume[a][b]);
+    }
+
+    // ---- Initial assignment: big components first, to the cluster
+    // with the best load/affinity score; pinned components go home.
+    std::vector<int> comp_cluster(num_components, -1);
+    std::vector<int> cluster_load(num_clusters, 0);
+    std::vector<int> order(num_components);
+    for (int i = 0; i < num_components; ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return comp_load[a] > comp_load[b];
+    });
+    for (int comp : order) {
+        int chosen;
+        if (comp_home[comp] != kNoCluster) {
+            chosen = comp_home[comp];
+        } else {
+            chosen = 0;
+            double best_score = 0.0;
+            for (int c = 0; c < num_clusters; ++c) {
+                double affinity = 0.0;
+                for (const auto &[other, count] : comp_edges[comp])
+                    if (comp_cluster[other] == c)
+                        affinity += count;
+                const double score = cluster_load[c] - 2.0 * affinity;
+                if (c == 0 || score < best_score) {
+                    best_score = score;
+                    chosen = c;
+                }
+            }
+        }
+        comp_cluster[comp] = chosen;
+        cluster_load[chosen] += comp_load[comp];
+    }
+
+    // ---- Iterative descent: move one component at a time to the best
+    // improving cluster, guided by the schedule-length estimator.
+    const ListScheduler scheduler(machine_);
+    const auto priority = criticalPathPriority(graph);
+    std::vector<int> assignment(n);
+    auto materialize = [&]() {
+        for (InstrId id = 0; id < n; ++id)
+            assignment[id] = comp_cluster[component[id]];
+    };
+    auto evaluate = [&]() {
+        materialize();
+        return estimate(graph, assignment);
+    };
+
+    int best_makespan = evaluate();
+    for (int round = 0; round < options_.maxDescentRounds; ++round) {
+        bool improved = false;
+        for (int comp = 0; comp < num_components; ++comp) {
+            if (comp_home[comp] != kNoCluster)
+                continue;  // pinned by preplacement
+            const int original = comp_cluster[comp];
+            int best_cluster = original;
+            for (int c = 0; c < num_clusters; ++c) {
+                if (c == original)
+                    continue;
+                comp_cluster[comp] = c;
+                const int makespan = evaluate();
+                if (makespan < best_makespan) {
+                    best_makespan = makespan;
+                    best_cluster = c;
+                }
+            }
+            comp_cluster[comp] = best_cluster;
+            improved |= best_cluster != original;
+        }
+        if (!improved)
+            break;
+    }
+
+    materialize();
+    return scheduler.run(graph, assignment, priority);
+}
+
+} // namespace csched

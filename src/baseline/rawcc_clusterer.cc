@@ -1,0 +1,133 @@
+#include "baseline/rawcc_clusterer.hh"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+#include "support/logging.hh"
+
+namespace csched {
+
+int
+estimateClusteredMakespan(const DependenceGraph &graph,
+                          const std::vector<int> &cluster_of,
+                          int comm_cost)
+{
+    // Greedy list simulation: each virtual cluster is a single serial
+    // FU; communication between clusters costs comm_cost cycles.
+    const int n = graph.numInstructions();
+    int num_clusters = 0;
+    for (int c : cluster_of)
+        num_clusters = std::max(num_clusters, c + 1);
+
+    std::vector<int> cluster_free(num_clusters, 0);
+    std::vector<int> unplaced_preds(n);
+    std::vector<int> data_ready(n, 0);
+    std::vector<int> finish(n, 0);
+
+    // Ready heap ordered by (data_ready, -slack): earliest first, most
+    // critical first among equals.
+    using Entry = std::tuple<int, int, InstrId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+
+    for (InstrId id = 0; id < n; ++id) {
+        unplaced_preds[id] = static_cast<int>(graph.preds(id).size());
+        if (unplaced_preds[id] == 0)
+            heap.emplace(0, -graph.latestFinishSlack(id), id);
+    }
+
+    int makespan = 0;
+    while (!heap.empty()) {
+        const auto [ready, neg_slack, id] = heap.top();
+        heap.pop();
+        const int cluster = cluster_of[id];
+        const int start = std::max(ready, cluster_free[cluster]);
+        finish[id] = start + graph.latency(id);
+        cluster_free[cluster] = finish[id];
+        makespan = std::max(makespan, finish[id]);
+        for (InstrId succ : graph.succs(id)) {
+            const int arrival =
+                finish[id] +
+                (cluster_of[succ] == cluster ? 0 : comm_cost);
+            data_ready[succ] = std::max(data_ready[succ], arrival);
+            if (--unplaced_preds[succ] == 0) {
+                heap.emplace(data_ready[succ],
+                             -graph.latestFinishSlack(succ), succ);
+            }
+        }
+    }
+    return makespan;
+}
+
+ClusteringResult
+rawccCluster(const DependenceGraph &graph, int comm_cost)
+{
+    const int n = graph.numInstructions();
+    std::vector<int> cluster_of(n);
+    std::vector<int> home(n, kNoCluster);
+    for (InstrId id = 0; id < n; ++id) {
+        cluster_of[id] = id;
+        home[id] = graph.instr(id).homeCluster;
+    }
+
+    // Data edges by decreasing criticality: an edge is critical when
+    // it sits on a long latency-weighted path.
+    std::vector<const DepEdge *> edges;
+    for (const auto &edge : graph.edges())
+        if (edge.kind == DepKind::Data)
+            edges.push_back(&edge);
+    auto edge_weight = [&](const DepEdge *edge) {
+        return graph.earliestStart(edge->src) + graph.latency(edge->src) +
+               graph.latestFinishSlack(edge->dst);
+    };
+    std::stable_sort(edges.begin(), edges.end(),
+                     [&](const DepEdge *a, const DepEdge *b) {
+                         return edge_weight(a) > edge_weight(b);
+                     });
+
+    int current = estimateClusteredMakespan(graph, cluster_of, comm_cost);
+    for (const DepEdge *edge : edges) {
+        const int a = cluster_of[edge->src];
+        const int b = cluster_of[edge->dst];
+        if (a == b)
+            continue;
+        if (home[a] != kNoCluster && home[b] != kNoCluster &&
+            home[a] != home[b]) {
+            continue;  // would mix preplacement homes
+        }
+        // Tentatively merge b into a.
+        std::vector<InstrId> moved;
+        for (InstrId id = 0; id < n; ++id) {
+            if (cluster_of[id] == b) {
+                cluster_of[id] = a;
+                moved.push_back(id);
+            }
+        }
+        const int merged =
+            estimateClusteredMakespan(graph, cluster_of, comm_cost);
+        if (merged <= current) {
+            current = merged;
+            if (home[a] == kNoCluster)
+                home[a] = home[b];
+        } else {
+            for (InstrId id : moved)
+                cluster_of[id] = b;
+        }
+    }
+
+    // Compact cluster ids.
+    ClusteringResult result;
+    result.clusterOf.assign(n, -1);
+    std::vector<int> dense(n, -1);
+    for (InstrId id = 0; id < n; ++id) {
+        const int old = cluster_of[id];
+        if (dense[old] == -1) {
+            dense[old] = result.count++;
+            result.home.push_back(home[old]);
+        }
+        result.clusterOf[id] = dense[old];
+    }
+    return result;
+}
+
+} // namespace csched

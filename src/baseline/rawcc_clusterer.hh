@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Rawcc phase 1: clustering (Lee et al., ASPLOS '98).
+ *
+ * Groups together instructions that have little parallelism between
+ * them so that later phases never pay communication for serial chains.
+ * The implementation follows Sarkar-style internalisation: every
+ * instruction starts in its own virtual cluster; data edges are
+ * visited in order of decreasing criticality, and an edge's two
+ * clusters are merged when doing so does not increase the estimated
+ * parallel completion time on an idealised machine (one FU per
+ * cluster, unbounded clusters, fixed inter-cluster communication
+ * cost).  Clusters never mix two different preplacement homes.
+ */
+
+#ifndef CSCHED_BASELINE_RAWCC_CLUSTERER_HH
+#define CSCHED_BASELINE_RAWCC_CLUSTERER_HH
+
+#include <vector>
+
+#include "ir/graph.hh"
+
+namespace csched {
+
+/** Result of clustering: dense virtual-cluster ids per instruction. */
+struct ClusteringResult
+{
+    /** Virtual cluster id per instruction, dense in [0, count). */
+    std::vector<int> clusterOf;
+    int count = 0;
+    /** Home tile per virtual cluster (kNoCluster when unconstrained). */
+    std::vector<int> home;
+};
+
+/**
+ * Cluster @p graph with inter-cluster communication cost
+ * @p comm_cost (use the machine's neighbour latency).
+ */
+ClusteringResult rawccCluster(const DependenceGraph &graph, int comm_cost);
+
+/**
+ * Estimated makespan of @p clustering on the idealised machine: one
+ * FU per virtual cluster, unbounded clusters, @p comm_cost cycles for
+ * every cross-cluster data edge.  Exposed for tests.
+ */
+int estimateClusteredMakespan(const DependenceGraph &graph,
+                              const std::vector<int> &cluster_of,
+                              int comm_cost);
+
+} // namespace csched
+
+#endif // CSCHED_BASELINE_RAWCC_CLUSTERER_HH

@@ -1,0 +1,152 @@
+#include "baseline/rawcc_merger.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "support/logging.hh"
+
+namespace csched {
+
+namespace {
+
+/** Working view of clusters during merging. */
+struct MergeState
+{
+    std::vector<int> clusterOf;      // instruction -> cluster id
+    std::vector<int> home;           // cluster -> home (or kNoCluster)
+    std::vector<int> load;           // cluster -> total latency
+    std::vector<bool> alive;         // cluster -> still exists
+    std::vector<std::map<int, int>> affinity;  // cluster -> {other: vol}
+
+    int
+    aliveCount() const
+    {
+        int count = 0;
+        for (bool a : alive)
+            count += a ? 1 : 0;
+        return count;
+    }
+
+    /** Merge cluster @p b into cluster @p a. */
+    void
+    merge(int a, int b)
+    {
+        CSCHED_ASSERT(a != b && alive[a] && alive[b], "bad merge");
+        CSCHED_ASSERT(home[a] == kNoCluster || home[b] == kNoCluster ||
+                          home[a] == home[b],
+                      "merging incompatible homes");
+        for (auto &cluster : clusterOf)
+            if (cluster == b)
+                cluster = a;
+        if (home[a] == kNoCluster)
+            home[a] = home[b];
+        load[a] += load[b];
+        alive[b] = false;
+        for (const auto &[other, vol] : affinity[b]) {
+            if (other == a)
+                continue;
+            affinity[a][other] += vol;
+            affinity[other][a] += vol;
+            affinity[other].erase(b);
+        }
+        affinity[a].erase(b);
+        affinity[b].clear();
+    }
+};
+
+} // namespace
+
+ClusteringResult
+mergeClusters(const DependenceGraph &graph,
+              const ClusteringResult &clustering, int max_clusters)
+{
+    CSCHED_ASSERT(max_clusters >= 1, "need at least one cluster");
+    const int n = graph.numInstructions();
+
+    MergeState state;
+    state.clusterOf = clustering.clusterOf;
+    state.home = clustering.home;
+    state.load.assign(clustering.count, 0);
+    state.alive.assign(clustering.count, true);
+    state.affinity.resize(clustering.count);
+    for (InstrId id = 0; id < n; ++id)
+        state.load[state.clusterOf[id]] += graph.latency(id);
+    for (const auto &edge : graph.edges()) {
+        if (edge.kind != DepKind::Data)
+            continue;
+        const int a = state.clusterOf[edge.src];
+        const int b = state.clusterOf[edge.dst];
+        if (a != b) {
+            state.affinity[a][b] += 1;
+            state.affinity[b][a] += 1;
+        }
+    }
+
+    // Step 1: coalesce clusters sharing a preplacement home so that at
+    // most one cluster targets each home tile.
+    std::map<int, int> owner_of_home;
+    for (int c = 0; c < clustering.count; ++c) {
+        if (!state.alive[c] || state.home[c] == kNoCluster)
+            continue;
+        auto [it, inserted] = owner_of_home.emplace(state.home[c], c);
+        if (!inserted)
+            state.merge(it->second, c);
+    }
+
+    // Step 2: merge smallest-first until the budget is met.
+    while (state.aliveCount() > max_clusters) {
+        int smallest = -1;
+        for (int c = 0; c < clustering.count; ++c)
+            if (state.alive[c] &&
+                (smallest == -1 || state.load[c] < state.load[smallest]))
+                smallest = c;
+
+        // Best partner: compatible homes, highest affinity, then
+        // lowest resulting load.
+        int best = -1;
+        auto better = [&](int cand) {
+            if (best == -1)
+                return true;
+            const int aff_cand = state.affinity[smallest].count(cand)
+                                     ? state.affinity[smallest].at(cand)
+                                     : 0;
+            const int aff_best = state.affinity[smallest].count(best)
+                                     ? state.affinity[smallest].at(best)
+                                     : 0;
+            if (aff_cand != aff_best)
+                return aff_cand > aff_best;
+            return state.load[cand] < state.load[best];
+        };
+        for (int c = 0; c < clustering.count; ++c) {
+            if (c == smallest || !state.alive[c])
+                continue;
+            if (state.home[smallest] != kNoCluster &&
+                state.home[c] != kNoCluster &&
+                state.home[smallest] != state.home[c]) {
+                continue;
+            }
+            if (better(c))
+                best = c;
+        }
+        CSCHED_ASSERT(best != -1,
+                      "cannot merge below ", state.aliveCount(),
+                      " clusters: too many distinct homes");
+        state.merge(best, smallest);
+    }
+
+    // Compact ids.
+    ClusteringResult result;
+    result.clusterOf.assign(n, -1);
+    std::vector<int> dense(clustering.count, -1);
+    for (InstrId id = 0; id < n; ++id) {
+        const int old = state.clusterOf[id];
+        if (dense[old] == -1) {
+            dense[old] = result.count++;
+            result.home.push_back(state.home[old]);
+        }
+        result.clusterOf[id] = dense[old];
+    }
+    return result;
+}
+
+} // namespace csched

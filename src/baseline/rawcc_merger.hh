@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Rawcc phase 2: merging (Lee et al., ASPLOS '98).
+ *
+ * Reduces the number of virtual clusters produced by the clusterer to
+ * at most the machine's cluster count.  Clusters that share a
+ * preplacement home are coalesced first (at most one cluster may end
+ * up on any home tile); the remainder are merged smallest-first into
+ * the compatible cluster with the highest communication affinity,
+ * preferring merges that keep the load balanced.
+ */
+
+#ifndef CSCHED_BASELINE_RAWCC_MERGER_HH
+#define CSCHED_BASELINE_RAWCC_MERGER_HH
+
+#include "baseline/rawcc_clusterer.hh"
+
+namespace csched {
+
+/**
+ * Merge @p clustering down to at most @p max_clusters clusters.
+ * The result keeps the ClusteringResult invariants (dense ids, at
+ * most one home per cluster, at most one cluster per home).
+ */
+ClusteringResult mergeClusters(const DependenceGraph &graph,
+                               const ClusteringResult &clustering,
+                               int max_clusters);
+
+} // namespace csched
+
+#endif // CSCHED_BASELINE_RAWCC_MERGER_HH

@@ -1,0 +1,39 @@
+#include "baseline/rawcc_partitioner.hh"
+
+#include "baseline/rawcc_clusterer.hh"
+#include "baseline/rawcc_merger.hh"
+#include "baseline/rawcc_placer.hh"
+#include "sched/list_scheduler.hh"
+#include "sched/priorities.hh"
+
+namespace csched {
+
+RawccPartitioner::RawccPartitioner(const MachineModel &machine)
+    : machine_(machine)
+{
+}
+
+std::vector<int>
+RawccPartitioner::assign(const DependenceGraph &graph) const
+{
+    // The clusterer's communication cost is the machine's neighbour
+    // latency: the cheapest cross-cluster hop a value can take.
+    const int comm_cost = machine_.numClusters() > 1
+                              ? machine_.commLatency(0, 1)
+                              : 1;
+
+    const auto clustered = rawccCluster(graph, comm_cost);
+    const auto merged =
+        mergeClusters(graph, clustered, machine_.numClusters());
+    return placeClusters(graph, machine_, merged);
+}
+
+Schedule
+RawccPartitioner::run(const DependenceGraph &graph) const
+{
+    const ListScheduler scheduler(machine_);
+    return scheduler.run(graph, assign(graph),
+                         criticalPathPriority(graph));
+}
+
+} // namespace csched

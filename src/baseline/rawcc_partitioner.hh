@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The Rawcc space-time scheduler baseline (Lee et al., ASPLOS '98):
+ * clustering, merging, and placement composed into a full
+ * SchedulingAlgorithm, followed by critical-path list scheduling with
+ * communication insertion.  This is the "Base" configuration of the
+ * paper's Table 2.
+ */
+
+#ifndef CSCHED_BASELINE_RAWCC_PARTITIONER_HH
+#define CSCHED_BASELINE_RAWCC_PARTITIONER_HH
+
+#include "machine/machine.hh"
+#include "sched/algorithm.hh"
+
+namespace csched {
+
+/** Cluster/merge/place partitioner in the style of Rawcc. */
+class RawccPartitioner : public SchedulingAlgorithm
+{
+  public:
+    explicit RawccPartitioner(const MachineModel &machine);
+
+    std::string name() const override { return "Rawcc"; }
+    Schedule run(const DependenceGraph &graph) const override;
+
+    /** The assignment the three phases produce (exposed for tests). */
+    std::vector<int> assign(const DependenceGraph &graph) const;
+
+  private:
+    const MachineModel &machine_;
+};
+
+} // namespace csched
+
+#endif // CSCHED_BASELINE_RAWCC_PARTITIONER_HH

@@ -1,0 +1,128 @@
+#include "baseline/rawcc_placer.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace csched {
+
+std::vector<int>
+placeClusters(const DependenceGraph &graph, const MachineModel &machine,
+              const ClusteringResult &clustering)
+{
+    const int num_tiles = machine.numClusters();
+    const int num_vclusters = clustering.count;
+    CSCHED_ASSERT(num_vclusters <= num_tiles, "more virtual clusters (",
+                  num_vclusters, ") than tiles (", num_tiles, ")");
+
+    // Pairwise communication volume between virtual clusters.
+    std::vector<std::vector<int>> volume(
+        num_vclusters, std::vector<int>(num_vclusters, 0));
+    for (const auto &edge : graph.edges()) {
+        if (edge.kind != DepKind::Data)
+            continue;
+        const int a = clustering.clusterOf[edge.src];
+        const int b = clustering.clusterOf[edge.dst];
+        if (a != b) {
+            ++volume[a][b];
+            ++volume[b][a];
+        }
+    }
+
+    std::vector<int> tile_of(num_vclusters, -1);
+    std::vector<bool> tile_used(num_tiles, false);
+
+    // Pinned clusters first.
+    for (int v = 0; v < num_vclusters; ++v) {
+        if (clustering.home[v] == kNoCluster)
+            continue;
+        const int tile = clustering.home[v];
+        CSCHED_ASSERT(!tile_used[tile], "two clusters pinned to tile ",
+                      tile);
+        tile_of[v] = tile;
+        tile_used[tile] = true;
+    }
+
+    // Free clusters: largest total volume first, greedy best tile.
+    std::vector<int> free_clusters;
+    for (int v = 0; v < num_vclusters; ++v)
+        if (tile_of[v] == -1)
+            free_clusters.push_back(v);
+    auto total_volume = [&](int v) {
+        int total = 0;
+        for (int u = 0; u < num_vclusters; ++u)
+            total += volume[v][u];
+        return total;
+    };
+    std::stable_sort(free_clusters.begin(), free_clusters.end(),
+                     [&](int a, int b) {
+                         return total_volume(a) > total_volume(b);
+                     });
+
+    auto placement_cost = [&](int v, int tile) {
+        double cost = 0.0;
+        for (int u = 0; u < num_vclusters; ++u) {
+            if (u == v || tile_of[u] == -1 || volume[v][u] == 0)
+                continue;
+            cost += volume[v][u] *
+                    machine.commLatency(tile, tile_of[u]);
+        }
+        return cost;
+    };
+
+    for (int v : free_clusters) {
+        int best_tile = -1;
+        double best_cost = 0.0;
+        for (int tile = 0; tile < num_tiles; ++tile) {
+            if (tile_used[tile])
+                continue;
+            const double cost = placement_cost(v, tile);
+            if (best_tile == -1 || cost < best_cost) {
+                best_tile = tile;
+                best_cost = cost;
+            }
+        }
+        CSCHED_ASSERT(best_tile != -1, "ran out of tiles");
+        tile_of[v] = best_tile;
+        tile_used[best_tile] = true;
+    }
+
+    // Pairwise swap refinement among free clusters.
+    auto total_cost = [&]() {
+        double cost = 0.0;
+        for (int a = 0; a < num_vclusters; ++a)
+            for (int b = a + 1; b < num_vclusters; ++b)
+                if (volume[a][b] > 0)
+                    cost += volume[a][b] *
+                            machine.commLatency(tile_of[a], tile_of[b]);
+        return cost;
+    };
+    double current = total_cost();
+    bool improved = true;
+    int rounds = 0;
+    while (improved && rounds < 8) {
+        improved = false;
+        ++rounds;
+        for (size_t i = 0; i < free_clusters.size(); ++i) {
+            for (size_t j = i + 1; j < free_clusters.size(); ++j) {
+                const int a = free_clusters[i];
+                const int b = free_clusters[j];
+                std::swap(tile_of[a], tile_of[b]);
+                const double swapped = total_cost();
+                if (swapped + 1e-9 < current) {
+                    current = swapped;
+                    improved = true;
+                } else {
+                    std::swap(tile_of[a], tile_of[b]);
+                }
+            }
+        }
+    }
+
+    std::vector<int> assignment(graph.numInstructions());
+    for (InstrId id = 0; id < graph.numInstructions(); ++id)
+        assignment[id] = tile_of[clustering.clusterOf[id]];
+    return assignment;
+}
+
+} // namespace csched

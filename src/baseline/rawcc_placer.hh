@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Rawcc phase 3: placement (Lee et al., ASPLOS '98).
+ *
+ * Maps the merged virtual clusters onto physical clusters/tiles.
+ * Clusters pinned by preplacement go to their home tile; the rest are
+ * placed greedily (largest communication volume first) to minimise
+ * the sum over cross-cluster data edges of volume x communication
+ * latency, then improved with pairwise-swap refinement -- the step
+ * that matters on Raw, where latency grows with mesh distance.
+ */
+
+#ifndef CSCHED_BASELINE_RAWCC_PLACER_HH
+#define CSCHED_BASELINE_RAWCC_PLACER_HH
+
+#include "baseline/rawcc_clusterer.hh"
+#include "machine/machine.hh"
+
+namespace csched {
+
+/**
+ * Place @p clustering (at most machine.numClusters() clusters, one
+ * home per cluster, one cluster per home) onto the machine; returns
+ * the physical cluster per instruction.
+ */
+std::vector<int> placeClusters(const DependenceGraph &graph,
+                               const MachineModel &machine,
+                               const ClusteringResult &clustering);
+
+} // namespace csched
+
+#endif // CSCHED_BASELINE_RAWCC_PLACER_HH

@@ -1,0 +1,21 @@
+#include "baseline/single_cluster_scheduler.hh"
+
+#include "sched/list_scheduler.hh"
+#include "sched/priorities.hh"
+
+namespace csched {
+
+SingleClusterScheduler::SingleClusterScheduler(const MachineModel &machine)
+    : machine_(machine)
+{
+}
+
+Schedule
+SingleClusterScheduler::run(const DependenceGraph &graph) const
+{
+    const std::vector<int> assignment(graph.numInstructions(), 0);
+    const ListScheduler scheduler(machine_);
+    return scheduler.run(graph, assignment, criticalPathPriority(graph));
+}
+
+} // namespace csched

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Degenerate scheduler that places everything on cluster 0 with
+ * classic critical-path list scheduling.  Used on one-cluster machines
+ * to compute the paper's speedup-vs-one-cluster normalisation.
+ */
+
+#ifndef CSCHED_BASELINE_SINGLE_CLUSTER_SCHEDULER_HH
+#define CSCHED_BASELINE_SINGLE_CLUSTER_SCHEDULER_HH
+
+#include "machine/machine.hh"
+#include "sched/algorithm.hh"
+
+namespace csched {
+
+/** All-on-cluster-0 critical-path list scheduler. */
+class SingleClusterScheduler : public SchedulingAlgorithm
+{
+  public:
+    /**
+     * @pre every preplaced instruction in the graphs this scheduler
+     *      will see is homed on cluster 0 (true whenever preplacement
+     *      was derived for a one-cluster machine).
+     */
+    explicit SingleClusterScheduler(const MachineModel &machine);
+
+    std::string name() const override { return "single"; }
+    Schedule run(const DependenceGraph &graph) const override;
+
+  private:
+    const MachineModel &machine_;
+};
+
+} // namespace csched
+
+#endif // CSCHED_BASELINE_SINGLE_CLUSTER_SCHEDULER_HH

@@ -1,0 +1,279 @@
+#include "baseline/uas.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "machine/raw_machine.hh"
+#include "sched/priorities.hh"
+#include "sched/reservation.hh"
+#include "support/logging.hh"
+
+namespace csched {
+
+namespace {
+
+constexpr int kInfinity = std::numeric_limits<int>::max() / 4;
+
+/**
+ * All mutable state of one UAS run.
+ *
+ * UAS is strictly cycle-driven: the scheduler fills cycle t completely
+ * before moving to t+1, and never revisits earlier cycles.  A copy
+ * (or network inject) for a remote operand must therefore be issued in
+ * the *current* cycle, and its consumer can issue no earlier than the
+ * copy's arrival -- this forward-only behaviour is what the original
+ * paper describes, and it is the property that distinguishes UAS from
+ * the assignment-first schedulers, which reserve communication
+ * retroactively wherever it fits.
+ */
+struct UasState
+{
+    UasState(const MachineModel &machine, const DependenceGraph &graph)
+        : machine(machine),
+          graph(graph),
+          raw(machine.commStyle() == CommStyle::Network
+                  ? &dynamic_cast<const RawMachine &>(machine)
+                  : nullptr),
+          fus(machine),
+          links(raw ? raw->numLinks() : 0),
+          schedule(graph.numInstructions(), machine.numClusters()),
+          assignment(graph.numInstructions(), -1),
+          committedCluster(graph.numInstructions(), -1),
+          availAt(static_cast<size_t>(graph.numInstructions()) *
+                      machine.numClusters(),
+                  -1),
+          load(machine.numClusters(), 0),
+          predEdges(graph.numInstructions())
+    {
+        for (const auto &edge : graph.edges())
+            predEdges[edge.dst].emplace_back(
+                edge.src, edge.kind == DepKind::Data);
+    }
+
+    const MachineModel &machine;
+    const DependenceGraph &graph;
+    const RawMachine *raw;
+    FuReservation fus;
+    LinkReservation links;
+    Schedule schedule;
+    std::vector<int> assignment;
+    /** Cluster an unscheduled instruction is moving operands to. */
+    std::vector<int> committedCluster;
+    std::vector<int> availAt;  // [i * K + c]
+    std::vector<int> load;     // instructions per cluster
+    /** (pred, isData) pairs per instruction. */
+    std::vector<std::vector<std::pair<InstrId, bool>>> predEdges;
+
+    int &
+    avail(InstrId i, int c)
+    {
+        return availAt[static_cast<size_t>(i) * machine.numClusters() + c];
+    }
+
+    /** True when every operand of @p id is usable on @p cluster at
+     *  @p cycle (and ordering preds have issued earlier). */
+    bool
+    operandsReady(InstrId id, int cluster, int cycle)
+    {
+        for (const auto &[pred, is_data] : predEdges[id]) {
+            if (!is_data) {
+                if (schedule.at(pred).cycle >= cycle)
+                    return false;
+                continue;
+            }
+            const int have = avail(pred, cluster);
+            if (have == -1 || have > cycle)
+                return false;
+        }
+        return true;
+    }
+
+    /**
+     * Try to issue, at the current @p cycle, one communication step
+     * that moves @p producer's value towards @p cluster.  Returns
+     * true when a comm op was issued this cycle.
+     */
+    bool
+    tryIssueComm(InstrId producer, int cluster, int cycle)
+    {
+        const int from = assignment[producer];
+        if (schedule.at(producer).finish > cycle)
+            return false;  // value not produced yet
+        CommEvent event;
+        event.producer = producer;
+        event.fromCluster = from;
+        event.toCluster = cluster;
+        event.start = cycle;
+        event.arrive = cycle + machine.commLatency(from, cluster);
+        switch (machine.commStyle()) {
+          case CommStyle::TransferUnit: {
+            const int fu = fus.freeFuFor(from, Opcode::Copy, cycle);
+            if (fu == -1)
+                return false;
+            fus.take(from, fu, cycle);
+            event.fu = fu;
+            break;
+          }
+          case CommStyle::ReceiveOp: {
+            const int fu = fus.freeFuFor(cluster, Opcode::Recv, cycle);
+            if (fu == -1)
+                return false;
+            fus.take(cluster, fu, cycle);
+            event.fu = fu;
+            break;
+          }
+          case CommStyle::Network: {
+            const auto route = raw->route(from, cluster);
+            for (size_t hop = 0; hop < route.size(); ++hop)
+                if (!links.free(route[hop],
+                                cycle + static_cast<int>(hop)))
+                    return false;
+            links.takeRoute(route, cycle);
+            for (size_t hop = 0; hop < route.size(); ++hop)
+                event.linkSlots.emplace_back(
+                    route[hop], cycle + static_cast<int>(hop));
+            break;
+          }
+        }
+        schedule.addComm(event);
+        avail(producer, cluster) = event.arrive;
+        return true;
+    }
+
+    /** Issue @p id on @p cluster at @p cycle (operands must be ready). */
+    bool
+    issue(InstrId id, int cluster, int cycle)
+    {
+        const auto &instr = graph.instr(id);
+        const int fu = fus.freeFuFor(cluster, instr.op, cycle);
+        if (fu == -1)
+            return false;
+        fus.take(cluster, fu, cycle);
+        Placement placement;
+        placement.cluster = cluster;
+        placement.cycle = cycle;
+        placement.fu = fu;
+        placement.finish =
+            cycle + graph.latency(id) +
+            (isMemory(instr.op)
+                 ? machine.memoryPenalty(instr.memBank, cluster)
+                 : 0);
+        schedule.place(id, placement);
+        assignment[id] = cluster;
+        avail(id, cluster) = placement.finish;
+        ++load[cluster];
+        return true;
+    }
+};
+
+} // namespace
+
+UasScheduler::UasScheduler(const MachineModel &machine)
+    : machine_(machine)
+{
+}
+
+Schedule
+UasScheduler::run(const DependenceGraph &graph) const
+{
+    const int n = graph.numInstructions();
+    const int num_clusters = machine_.numClusters();
+    UasState state(machine_, graph);
+    const auto priority = criticalPathPriority(graph);
+
+    std::vector<int> unplaced_preds(n, 0);
+    std::vector<InstrId> ready;
+    for (InstrId id = 0; id < n; ++id) {
+        unplaced_preds[id] = static_cast<int>(graph.preds(id).size());
+        if (unplaced_preds[id] == 0)
+            ready.push_back(id);
+    }
+
+    int remaining = n;
+    int cycle = 0;
+    while (remaining > 0) {
+        std::vector<InstrId> candidates = ready;
+        std::stable_sort(candidates.begin(), candidates.end(),
+                         [&](InstrId a, InstrId b) {
+                             if (priority[a] != priority[b])
+                                 return priority[a] > priority[b];
+                             return a < b;
+                         });
+
+        for (InstrId id : candidates) {
+            const auto &instr = graph.instr(id);
+
+            // Cluster priority (CPSC with the paper's preplacement
+            // modification): preplaced instructions only consider
+            // their home; free instructions order clusters by memory
+            // penalty, then missing operands, then load.
+            std::vector<int> order;
+            if (instr.preplaced()) {
+                order.push_back(instr.homeCluster);
+            } else if (state.committedCluster[id] != -1) {
+                // Copies are already in flight towards a cluster;
+                // changing horses would strand them.
+                order.push_back(state.committedCluster[id]);
+            } else {
+                for (int c = 0; c < num_clusters; ++c)
+                    if (machine_.canExecute(c, instr.op))
+                        order.push_back(c);
+                auto key = [&](int c) {
+                    const int penalty =
+                        isMemory(instr.op)
+                            ? machine_.memoryPenalty(instr.memBank, c)
+                            : 0;
+                    int missing = 0;
+                    for (const auto &[pred, is_data] :
+                         state.predEdges[id]) {
+                        if (is_data && state.avail(pred, c) == -1)
+                            ++missing;
+                    }
+                    return std::make_tuple(penalty, missing,
+                                           state.load[c], c);
+                };
+                std::stable_sort(order.begin(), order.end(),
+                                 [&](int a, int b) {
+                                     return key(a) < key(b);
+                                 });
+            }
+
+            // First choice: a cluster where the instruction can issue
+            // right now.
+            bool issued = false;
+            for (int cluster : order) {
+                if (state.operandsReady(id, cluster, cycle) &&
+                    state.issue(id, cluster, cycle)) {
+                    issued = true;
+                    break;
+                }
+            }
+            if (issued) {
+                --remaining;
+                ready.erase(std::find(ready.begin(), ready.end(), id));
+                for (InstrId succ : graph.succs(id))
+                    if (--unplaced_preds[succ] == 0)
+                        ready.push_back(succ);
+                continue;
+            }
+
+            // Otherwise commit to the preferred cluster and issue as
+            // many of the missing copies as this cycle allows.
+            const int target = order.front();
+            for (const auto &[pred, is_data] : state.predEdges[id]) {
+                if (!is_data)
+                    continue;
+                if (state.avail(pred, target) != -1)
+                    continue;  // already there or already in flight
+                if (state.tryIssueComm(pred, target, cycle))
+                    state.committedCluster[id] = target;
+            }
+        }
+        ++cycle;
+        CSCHED_ASSERT(cycle < kInfinity, "UAS failed to make progress");
+    }
+
+    return state.schedule;
+}
+
+} // namespace csched

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * UAS -- Unified Assign and Schedule (Ozer, Banerjia, Conte,
+ * MICRO-31, 1998), one of the paper's two clustered-VLIW baselines.
+ *
+ * UAS integrates cluster assignment into a cycle-driven list
+ * scheduler: at every cycle, ready instructions are considered in
+ * critical-path priority order, and each is placed into the first
+ * cluster (in a cluster-priority order) that can issue it this cycle,
+ * including any inter-cluster copies its operands need.  Copies
+ * consume real resources (transfer-unit slots, receive slots, or
+ * network links) in earlier cycles; a cluster whose copies cannot be
+ * scheduled in time is infeasible this cycle.  Decisions are final --
+ * UAS never revisits an assignment, which is the property the paper
+ * contrasts convergent scheduling against.
+ *
+ * Cluster ordering follows the CPSC (completion-cycle) heuristic:
+ * feasible clusters are preferred by earliest completion of the
+ * candidate, breaking ties by fewer new copies, then lower load.  As
+ * in the paper's evaluation, the heuristic is augmented with
+ * preplacement: a preplaced instruction is only ever tried on its
+ * home cluster.
+ */
+
+#ifndef CSCHED_BASELINE_UAS_HH
+#define CSCHED_BASELINE_UAS_HH
+
+#include "machine/machine.hh"
+#include "sched/algorithm.hh"
+
+namespace csched {
+
+/** Unified assign-and-schedule baseline. */
+class UasScheduler : public SchedulingAlgorithm
+{
+  public:
+    explicit UasScheduler(const MachineModel &machine);
+
+    std::string name() const override { return "UAS"; }
+    Schedule run(const DependenceGraph &graph) const override;
+
+  private:
+    const MachineModel &machine_;
+};
+
+} // namespace csched
+
+#endif // CSCHED_BASELINE_UAS_HH

@@ -1,0 +1,108 @@
+#include "convergent/convergent_scheduler.hh"
+
+#include "convergent/pass_registry.hh"
+#include "convergent/sequences.hh"
+#include "sched/list_scheduler.hh"
+#include "sched/priorities.hh"
+#include "support/logging.hh"
+
+namespace csched {
+
+ConvergentScheduler::ConvergentScheduler(const MachineModel &machine,
+                                         const std::string &sequence,
+                                         PassParams params)
+    : machine_(machine),
+      passes_(parsePassSequence(sequence)),
+      params_(params)
+{
+}
+
+ConvergentScheduler
+ConvergentScheduler::forMachine(const MachineModel &machine)
+{
+    const bool is_raw = machine.commStyle() == CommStyle::Network;
+    return ConvergentScheduler(
+        machine, is_raw ? rawPassSequence() : vliwPassSequence(),
+        is_raw ? rawPassParams() : vliwPassParams());
+}
+
+std::vector<std::string>
+ConvergentScheduler::passNames() const
+{
+    std::vector<std::string> names;
+    for (const auto &pass : passes_)
+        names.push_back(pass->name());
+    return names;
+}
+
+ConvergentResult
+ConvergentScheduler::schedule(const DependenceGraph &graph) const
+{
+    CSCHED_ASSERT(graph.finalized(), "graph must be finalized");
+    const int n = graph.numInstructions();
+
+    PreferenceMatrix weights(n, graph.criticalPathLength(),
+                             machine_.numClusters());
+    Rng rng(params_.noiseSeed);
+    PassContext ctx{graph, machine_, weights, params_, rng};
+
+    ConvergentResult result{std::vector<int>(n), std::vector<int>(n),
+                            Schedule(n, machine_.numClusters()),
+                            {}};
+
+    std::vector<int> before = weights.preferredClusters();
+    for (const auto &pass : passes_) {
+        pass->run(ctx);
+        const std::vector<int> after = weights.preferredClusters();
+        int changed = 0;
+        for (InstrId i = 0; i < n; ++i)
+            if (after[i] != before[i])
+                ++changed;
+        result.trace.push_back(
+            {pass->name(), static_cast<double>(changed) / n,
+             pass->temporalOnly()});
+        before = after;
+    }
+
+    // Extract the assignment: preferred cluster, with preplaced
+    // instructions clamped to their homes (correctness requirement).
+    for (InstrId i = 0; i < n; ++i) {
+        const auto &instr = graph.instr(i);
+        int cluster = weights.preferredCluster(i);
+        if (instr.preplaced())
+            cluster = instr.homeCluster;
+        if (!machine_.canExecute(cluster, instr.op)) {
+            // Fall back to the best capable cluster.
+            int best = -1;
+            for (int c = 0; c < machine_.numClusters(); ++c) {
+                if (!machine_.canExecute(c, instr.op))
+                    continue;
+                if (best == -1 || weights.spaceMarginal(i, c) >
+                                      weights.spaceMarginal(i, best)) {
+                    best = c;
+                }
+            }
+            CSCHED_ASSERT(best != -1, "no cluster can execute ",
+                          opcodeName(instr.op));
+            cluster = best;
+        }
+        result.assignment[i] = cluster;
+        result.preferredTime[i] = weights.preferredTime(i);
+    }
+
+    // Integration with the host scheduler follows the paper's Section
+    // 5: Chorus (the clustered VLIW) uses the temporal assignments as
+    // list-scheduling priorities, while on Raw "the temporal
+    // assignments are computed independently by its own instruction
+    // scheduler" -- i.e. classic critical-path list scheduling over
+    // the convergent spatial assignment.
+    const ListScheduler scheduler(machine_);
+    const auto priority =
+        machine_.commStyle() == CommStyle::Network
+            ? criticalPathPriority(graph)
+            : preferredTimePriority(graph, result.preferredTime);
+    result.schedule = scheduler.run(graph, result.assignment, priority);
+    return result;
+}
+
+} // namespace csched

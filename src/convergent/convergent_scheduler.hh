@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The convergent scheduler driver (Sections 2 and 5).
+ *
+ * Runs a configured pass pipeline over a fresh uniform preference
+ * matrix, records the convergence of spatial preferences after every
+ * pass (the data behind Figures 7 and 9), then extracts the cluster
+ * assignment (each instruction's preferred cluster, with preplaced
+ * instructions clamped to their homes) and uses the preferred times as
+ * priorities for the cycle-driven list scheduler.
+ */
+
+#ifndef CSCHED_CONVERGENT_CONVERGENT_SCHEDULER_HH
+#define CSCHED_CONVERGENT_CONVERGENT_SCHEDULER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "convergent/pass.hh"
+#include "sched/schedule.hh"
+
+namespace csched {
+
+/** Spatial-convergence record of one pass application. */
+struct PassStep
+{
+    std::string pass;
+    /** Fraction of instructions whose preferred cluster changed. */
+    double fractionChanged = 0.0;
+    /** True when the pass only modifies temporal preferences. */
+    bool temporalOnly = false;
+};
+
+/** Everything a convergent-scheduling run produces. */
+struct ConvergentResult
+{
+    std::vector<int> assignment;
+    std::vector<int> preferredTime;
+    Schedule schedule;
+    std::vector<PassStep> trace;
+};
+
+/** A configured convergent scheduler bound to one machine. */
+class ConvergentScheduler
+{
+  public:
+    /**
+     * Create a scheduler from a comma-separated pass sequence (see
+     * pass_registry.hh and sequences.hh).
+     */
+    ConvergentScheduler(const MachineModel &machine,
+                        const std::string &sequence,
+                        PassParams params = PassParams());
+
+    /**
+     * Convenience: the Table-1 sequence and tuned heuristic weights
+     * matching the machine's family (see sequences.hh).
+     */
+    static ConvergentScheduler forMachine(const MachineModel &machine);
+
+    /** Run the pipeline and produce the final space-time schedule. */
+    ConvergentResult schedule(const DependenceGraph &graph) const;
+
+    /** Pass names in pipeline order. */
+    std::vector<std::string> passNames() const;
+
+    const PassParams &params() const { return params_; }
+
+  private:
+    const MachineModel &machine_;
+    std::vector<std::unique_ptr<Pass>> passes_;
+    PassParams params_;
+};
+
+} // namespace csched
+
+#endif // CSCHED_CONVERGENT_CONVERGENT_SCHEDULER_HH

@@ -1,0 +1,9 @@
+#include "convergent/pass.hh"
+
+// The pass interface is header-only; the individual heuristics live in
+// convergent/passes/.  This translation unit exists so the interface
+// has a home object file and stays self-contained.
+
+namespace csched {
+
+} // namespace csched

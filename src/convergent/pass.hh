@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The convergent-scheduling pass interface (Section 2/3 of the paper).
+ *
+ * A pass implements one heuristic.  Passes are independent: the only
+ * way they communicate is by reading and scaling the shared preference
+ * matrix.  A pass may be applied any number of times, in any order.
+ */
+
+#ifndef CSCHED_CONVERGENT_PASS_HH
+#define CSCHED_CONVERGENT_PASS_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "convergent/preference_matrix.hh"
+#include "ir/graph.hh"
+#include "machine/machine.hh"
+#include "support/rng.hh"
+
+namespace csched {
+
+/**
+ * Tunable constants of the heuristics.  Defaults follow the paper
+ * where it gives numbers (PLACE x100, FIRST x1.2, PATH x3, EMPHCP
+ * x1.2, LEVEL confidence 2.0, LEVEL every 4 levels on Raw); the rest
+ * were chosen by the same trial-and-error procedure the paper
+ * describes and are documented at each pass.
+ */
+struct PassParams
+{
+    /** NOISE: amplitude of the additive uniform noise. */
+    double noiseAmplitude = 1.0;
+
+    /** PLACE: multiplicative boost for a preplaced home cluster. */
+    double placeFactor = 100.0;
+
+    /** FIRST: boost for the VLIW's first cluster. */
+    double firstFactor = 1.2;
+
+    /** PATH: boost for the chosen cluster of a critical-path segment. */
+    double pathFactor = 3.0;
+
+    /**
+     * PATH: bias ratio above which a path segment follows its own
+     * cluster preference instead of the least-loaded cluster.
+     */
+    double pathBiasThreshold = 1.1;
+
+    /** COMM: boost applied to the preferred (time, cluster) slot. */
+    double commPreferredBoost = 2.0;
+
+    /** COMM: include grandparents/grandchildren at half weight. */
+    bool commSecondOrder = true;
+
+    /** PLACEPROP: cap on the BFS distance used as a divisor. */
+    int placePropMaxDistance = 64;
+
+    /**
+     * PLACEPROP: nodes with more than this many dependence neighbours
+     * are treated as broadcast values: they neither act as preplaced
+     * attractors nor transmit proximity, since co-location with a
+     * value that fans out everywhere saves almost no communication.
+     */
+    int placePropHubDegree = 10;
+
+    /** LEVEL: confidence above which an instruction seeds its bin. */
+    double levelConfidenceThreshold = 2.0;
+
+    /** LEVEL: number of graph levels grouped per application. */
+    int levelStride = 4;
+
+    /** LEVEL: minimum distance granularity g of the paper. */
+    int levelGranularity = 2;
+
+    /** LEVEL: boost for the chosen bin cluster. */
+    double levelBoost = 2.0;
+
+    /** PATHPROP: confidence threshold for selecting propagators. */
+    double pathPropConfidence = 1.5;
+
+    /** PATHPROP: blend weight kept by the visited instruction. */
+    double pathPropBlend = 0.5;
+
+    /** EMPHCP: boost for the infinite-resource issue slot. */
+    double emphCpFactor = 1.2;
+
+    /** Seed for the NOISE pass. */
+    uint64_t noiseSeed = 0x5eedULL;
+};
+
+/** Everything a pass may look at or mutate. */
+struct PassContext
+{
+    const DependenceGraph &graph;
+    const MachineModel &machine;
+    PreferenceMatrix &weights;
+    const PassParams &params;
+    Rng &rng;
+};
+
+/** One independent scheduling heuristic. */
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+
+    /** Upper-case pass name as used in Table 1, e.g. "PLACEPROP". */
+    virtual std::string name() const = 0;
+
+    /** Apply the heuristic by mutating ctx.weights. */
+    virtual void run(PassContext &ctx) = 0;
+
+    /**
+     * True when the pass only modifies temporal preferences; such
+     * passes are excluded from the spatial-convergence plots
+     * (Figures 7 and 9).
+     */
+    virtual bool temporalOnly() const { return false; }
+};
+
+/** Factory functions for every pass in Section 4. */
+std::unique_ptr<Pass> makeInitTimePass();
+std::unique_ptr<Pass> makeRegPressPass();  ///< extension, see its file
+std::unique_ptr<Pass> makeNoisePass();
+std::unique_ptr<Pass> makePlacePass();
+std::unique_ptr<Pass> makeFirstPass();
+std::unique_ptr<Pass> makePathPass();
+std::unique_ptr<Pass> makeCommPass();
+std::unique_ptr<Pass> makePlacePropPass();
+std::unique_ptr<Pass> makeLoadBalancePass();
+std::unique_ptr<Pass> makeLevelDistributePass();
+std::unique_ptr<Pass> makePathPropPass();
+std::unique_ptr<Pass> makeEmphCpPass();
+
+} // namespace csched
+
+#endif // CSCHED_CONVERGENT_PASS_HH

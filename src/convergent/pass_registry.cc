@@ -1,0 +1,67 @@
+#include "convergent/pass_registry.hh"
+
+#include "support/logging.hh"
+#include "support/str.hh"
+
+namespace csched {
+
+namespace {
+
+struct Entry
+{
+    const char *name;
+    std::unique_ptr<Pass> (*factory)();
+};
+
+const Entry kEntries[] = {
+    {"INITTIME", makeInitTimePass},
+    {"NOISE", makeNoisePass},
+    {"PLACE", makePlacePass},
+    {"FIRST", makeFirstPass},
+    {"PATH", makePathPass},
+    {"COMM", makeCommPass},
+    {"PLACEPROP", makePlacePropPass},
+    {"LOAD", makeLoadBalancePass},
+    {"LEVEL", makeLevelDistributePass},
+    {"PATHPROP", makePathPropPass},
+    {"EMPHCP", makeEmphCpPass},
+    // Extension beyond the paper's Table 1 (see reg_press.cc).
+    {"REGPRESS", makeRegPressPass},
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+makePassByName(const std::string &name)
+{
+    const std::string upper = toUpper(trim(name));
+    for (const auto &entry : kEntries)
+        if (upper == entry.name)
+            return entry.factory();
+    CSCHED_FATAL("unknown convergent pass '", name, "'");
+}
+
+std::vector<std::string>
+knownPassNames()
+{
+    std::vector<std::string> names;
+    for (const auto &entry : kEntries)
+        names.emplace_back(entry.name);
+    return names;
+}
+
+std::vector<std::unique_ptr<Pass>>
+parsePassSequence(const std::string &sequence)
+{
+    std::vector<std::unique_ptr<Pass>> passes;
+    for (const auto &part : split(sequence, ',')) {
+        const std::string token = trim(part);
+        if (token.empty())
+            continue;
+        passes.push_back(makePassByName(token));
+    }
+    CSCHED_ASSERT(!passes.empty(), "empty pass sequence '", sequence, "'");
+    return passes;
+}
+
+} // namespace csched

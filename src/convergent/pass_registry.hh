@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Name-based pass construction, used by the sequence parser so
+ * experiments can specify pass pipelines as strings such as
+ * "INITTIME,NOISE,FIRST,PATH,COMM".
+ */
+
+#ifndef CSCHED_CONVERGENT_PASS_REGISTRY_HH
+#define CSCHED_CONVERGENT_PASS_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "convergent/pass.hh"
+
+namespace csched {
+
+/** Construct the pass with the given Table-1 name; fatal if unknown. */
+std::unique_ptr<Pass> makePassByName(const std::string &name);
+
+/** All known pass names, in Section-4 order. */
+std::vector<std::string> knownPassNames();
+
+/**
+ * Parse a comma-separated pass list ("INITTIME, NOISE, PATH") into a
+ * pipeline; whitespace is ignored and names are case-insensitive.
+ */
+std::vector<std::unique_ptr<Pass>>
+parsePassSequence(const std::string &sequence);
+
+} // namespace csched
+
+#endif // CSCHED_CONVERGENT_PASS_REGISTRY_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * EMPHCP -- emphasise critical-path distance (Section 4).
+ *
+ * Helps the temporal preferences converge by boosting, for every
+ * instruction, the time slot at which the instruction could issue on a
+ * machine with infinite resources.  The paper calls this the
+ * instruction's "level"; the exact infinite-resource issue time is the
+ * latency-weighted earliest start, which is what we boost (node-depth
+ * levels underestimate issue times once multi-cycle latencies exist).
+ */
+
+#include "convergent/pass.hh"
+
+namespace csched {
+
+namespace {
+
+class EmphCpPass : public Pass
+{
+  public:
+    std::string name() const override { return "EMPHCP"; }
+    bool temporalOnly() const override { return true; }
+
+    void
+    run(PassContext &ctx) override
+    {
+        for (InstrId i = 0; i < ctx.graph.numInstructions(); ++i) {
+            const int slot = ctx.graph.earliestStart(i);
+            if (slot >= ctx.weights.numTimes())
+                continue;
+            ctx.weights.scaleTime(i, slot, ctx.params.emphCpFactor);
+            ctx.weights.normalize(i);
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+makeEmphCpPass()
+{
+    return std::make_unique<EmphCpPass>();
+}
+
+} // namespace csched

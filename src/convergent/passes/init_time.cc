@@ -1,0 +1,60 @@
+/**
+ * @file
+ * INITTIME -- initial time assignment (Section 4).
+ *
+ * An instruction cannot issue before its predecessor chain completes
+ * (lp) nor so late that its successor chain would overflow the
+ * critical-path length (CPL - ls, with ls including the instruction's
+ * own latency).  This pass squashes to zero all weights outside the
+ * feasible window, and, as the paper suggests, also squashes clusters
+ * that cannot execute the instruction's opcode.
+ */
+
+#include "convergent/pass.hh"
+
+namespace csched {
+
+namespace {
+
+class InitTimePass : public Pass
+{
+  public:
+    std::string name() const override { return "INITTIME"; }
+    bool temporalOnly() const override { return true; }
+
+    void
+    run(PassContext &ctx) override
+    {
+        const auto &graph = ctx.graph;
+        auto &weights = ctx.weights;
+        const int num_times = weights.numTimes();
+        const int num_clusters = weights.numClusters();
+        const int cpl = graph.criticalPathLength();
+
+        for (InstrId i = 0; i < graph.numInstructions(); ++i) {
+            const int lp = graph.earliestStart(i);
+            const int latest = cpl - graph.latestFinishSlack(i);
+            for (int t = 0; t < num_times; ++t) {
+                if (t >= lp && t <= latest)
+                    continue;
+                for (int c = 0; c < num_clusters; ++c)
+                    weights.set(i, t, c, 0.0);
+            }
+            for (int c = 0; c < num_clusters; ++c) {
+                if (!ctx.machine.canExecute(c, graph.instr(i).op))
+                    weights.scaleCluster(i, c, 0.0);
+            }
+            weights.normalize(i);
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+makeInitTimePass()
+{
+    return std::make_unique<InitTimePass>();
+}
+
+} // namespace csched

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * LEVEL -- level distribute (Section 4).
+ *
+ * Distributes the instructions of a band of graph levels across
+ * clusters, pursuing two goals: spread parallelism, but avoid
+ * needless communication.  Following the paper's pseudocode, each
+ * cluster's bin is seeded with the band's instructions that already
+ * prefer it with confidence above a threshold (2.0).  The remaining
+ * instructions are then placed: an instruction within the granularity
+ * distance g of some bin joins that (closest) bin -- keeping
+ * neighbours together -- while instructions far from every bin are
+ * dealt round-robin to bins, farthest-first, distributing independent
+ * work.  Chosen bins are reinforced in the weight matrix.
+ *
+ * The pass is applied to every band of `levelStride` consecutive
+ * levels (four on Raw: roughly the minimum granularity of parallelism
+ * Raw exploits profitably given its communication cost).
+ *
+ * Implementation note: instruction-to-bin distances are maintained
+ * incrementally.  Joining a bin triggers one depth-capped BFS from the
+ * new member that relaxes the bin's distance field, so each placement
+ * costs one small BFS instead of one BFS per (instruction, bin) query.
+ */
+
+#include <algorithm>
+#include <deque>
+
+#include "convergent/pass.hh"
+
+namespace csched {
+
+namespace {
+
+class LevelDistributePass : public Pass
+{
+  public:
+    std::string name() const override { return "LEVEL"; }
+
+    void
+    run(PassContext &ctx) override
+    {
+        const int stride = std::max(1, ctx.params.levelStride);
+        for (int base = 0; base <= ctx.graph.maxLevel(); base += stride)
+            distributeBand(ctx, base, base + stride - 1);
+    }
+
+  private:
+    /**
+     * Relax @p dist with capped-BFS distances from @p source over the
+     * undirected dependence graph.
+     */
+    static void
+    relaxFrom(const DependenceGraph &graph, InstrId source, int cap,
+              std::vector<int> &dist)
+    {
+        if (dist[source] == 0)
+            return;
+        dist[source] = 0;
+        std::deque<InstrId> frontier{source};
+        while (!frontier.empty()) {
+            const InstrId id = frontier.front();
+            frontier.pop_front();
+            if (dist[id] >= cap)
+                continue;
+            auto visit = [&](InstrId other) {
+                if (dist[id] + 1 < dist[other]) {
+                    dist[other] = dist[id] + 1;
+                    frontier.push_back(other);
+                }
+            };
+            for (InstrId pred : graph.preds(id))
+                visit(pred);
+            for (InstrId succ : graph.succs(id))
+                visit(succ);
+        }
+    }
+
+    void
+    distributeBand(PassContext &ctx, int lo, int hi)
+    {
+        const auto &graph = ctx.graph;
+        auto &weights = ctx.weights;
+        const int num_clusters = weights.numClusters();
+        const int n = graph.numInstructions();
+
+        std::vector<InstrId> band;
+        for (InstrId i = 0; i < n; ++i) {
+            const int lvl = graph.level(i);
+            if (lvl >= lo && lvl <= hi)
+                band.push_back(i);
+        }
+        if (band.empty())
+            return;
+
+        const int g = std::max(1, ctx.params.levelGranularity);
+        const int cap = 4 * g + 8;  // beyond this depth is "far"
+        const int far = cap + 1;
+
+        // Per-bin assignment and distance field ("far" everywhere).
+        std::vector<std::vector<InstrId>> bins(num_clusters);
+        std::vector<std::vector<int>> dist(
+            num_clusters, std::vector<int>(n, far));
+
+        auto join = [&](InstrId i, int c) {
+            bins[c].push_back(i);
+            relaxFrom(graph, i, cap, dist[c]);
+        };
+
+        std::vector<InstrId> rest;
+        for (InstrId i : band) {
+            if (weights.confidence(i) >
+                ctx.params.levelConfidenceThreshold) {
+                join(i, weights.preferredCluster(i));
+            } else {
+                rest.push_back(i);
+            }
+        }
+
+        int round_robin = 0;
+        while (!rest.empty()) {
+            // Near instructions join their closest bin first; among
+            // equally close bins the least-loaded wins (the pass's
+            // primary goal is to distribute parallelism).
+            int pick = -1;
+            int pick_bin = -1;
+            int pick_dist = far;
+            for (size_t k = 0; k < rest.size(); ++k) {
+                for (int c = 0; c < num_clusters; ++c) {
+                    if (bins[c].empty())
+                        continue;
+                    const int d = dist[c][rest[k]];
+                    if (d > g)
+                        continue;
+                    if (d < pick_dist ||
+                        (d == pick_dist &&
+                         bins[c].size() < bins[pick_bin].size())) {
+                        pick = static_cast<int>(k);
+                        pick_bin = c;
+                        pick_dist = d;
+                    }
+                }
+            }
+
+            if (pick == -1) {
+                // Everyone is far from every bin: deal to the least
+                // loaded bin (round-robin from a rotating start),
+                // farthest member first (paper's distribution of
+                // independent work).
+                pick_bin = round_robin;
+                for (int off = 0; off < num_clusters; ++off) {
+                    const int c = (round_robin + off) % num_clusters;
+                    if (bins[c].size() < bins[pick_bin].size())
+                        pick_bin = c;
+                }
+                round_robin = (round_robin + 1) % num_clusters;
+                int best_d = -1;
+                for (size_t k = 0; k < rest.size(); ++k) {
+                    const int d = bins[pick_bin].empty()
+                                      ? far
+                                      : dist[pick_bin][rest[k]];
+                    if (d > best_d) {
+                        best_d = d;
+                        pick = static_cast<int>(k);
+                    }
+                }
+            }
+
+            const InstrId chosen = rest[pick];
+            join(chosen, pick_bin);
+            rest.erase(rest.begin() + pick);
+        }
+
+        for (int c = 0; c < num_clusters; ++c) {
+            for (InstrId i : bins[c]) {
+                weights.scaleCluster(i, c, ctx.params.levelBoost);
+                weights.normalize(i);
+            }
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+makeLevelDistributePass()
+{
+    return std::make_unique<LevelDistributePass>();
+}
+
+} // namespace csched

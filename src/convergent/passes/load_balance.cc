@@ -1,0 +1,57 @@
+/**
+ * @file
+ * LOAD -- load balance (Section 4).
+ *
+ * Divides each weight by the total expected load of its cluster, where
+ * a cluster's load is the sum of all instructions' space marginals for
+ * it.  Overloaded clusters become less attractive; underloaded ones
+ * more so.  Loads are snapshotted before any mutation so the result is
+ * independent of iteration order.
+ */
+
+#include <algorithm>
+
+#include "convergent/pass.hh"
+
+namespace csched {
+
+namespace {
+
+class LoadBalancePass : public Pass
+{
+  public:
+    std::string name() const override { return "LOAD"; }
+
+    void
+    run(PassContext &ctx) override
+    {
+        auto &weights = ctx.weights;
+        const int n = weights.numInstructions();
+        const int num_clusters = weights.numClusters();
+
+        std::vector<double> load(num_clusters, 0.0);
+        for (InstrId i = 0; i < n; ++i)
+            for (int c = 0; c < num_clusters; ++c)
+                load[c] += weights.spaceMarginal(i, c);
+
+        // Guard against empty clusters; a tiny load would otherwise
+        // explode the division.
+        const double floor = 1e-3;
+        for (InstrId i = 0; i < n; ++i) {
+            for (int c = 0; c < num_clusters; ++c)
+                weights.scaleCluster(i, c,
+                                     1.0 / std::max(load[c], floor));
+            weights.normalize(i);
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+makeLoadBalancePass()
+{
+    return std::make_unique<LoadBalancePass>();
+}
+
+} // namespace csched

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * NOISE -- noise introduction (Section 4).
+ *
+ * Adds a small random value to every weight to break symmetry and
+ * spread instructions across clusters, which helps later passes
+ * schedule for parallelism.  The paper's formula adds rand()/RAND_MAX,
+ * i.e. a uniform draw in [0, 1), to each entry; the amplitude is a
+ * parameter here.  Weights that INITTIME squashed to zero stay zero so
+ * noise never makes an infeasible slot preferred.
+ */
+
+#include "convergent/pass.hh"
+
+namespace csched {
+
+namespace {
+
+class NoisePass : public Pass
+{
+  public:
+    std::string name() const override { return "NOISE"; }
+
+    void
+    run(PassContext &ctx) override
+    {
+        auto &weights = ctx.weights;
+        for (InstrId i = 0; i < weights.numInstructions(); ++i) {
+            for (int t = 0; t < weights.numTimes(); ++t) {
+                for (int c = 0; c < weights.numClusters(); ++c) {
+                    const double current = weights.at(i, t, c);
+                    if (current <= 0.0)
+                        continue;
+                    weights.set(i, t, c,
+                                current + ctx.rng.uniform() *
+                                              ctx.params.noiseAmplitude);
+                }
+            }
+            weights.normalize(i);
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+makeNoisePass()
+{
+    return std::make_unique<NoisePass>();
+}
+
+} // namespace csched

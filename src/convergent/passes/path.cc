@@ -1,0 +1,121 @@
+/**
+ * @file
+ * PATH -- critical path strengthening (Section 4).
+ *
+ * Keeps the instructions of a critical path together on one cluster.
+ * The path is first split into segments at points where its preplaced
+ * members change home cluster (a path touching two different memory
+ * banks cannot live on a single cluster).  Each segment then chooses a
+ * cluster: the home of its preplaced members if it has any; otherwise
+ * the cluster the segment is already biased towards, when that bias is
+ * decisive; otherwise the least-loaded cluster.  The chosen cluster's
+ * weights are boosted (x3).
+ */
+
+#include "convergent/pass.hh"
+
+namespace csched {
+
+namespace {
+
+class PathPass : public Pass
+{
+  public:
+    std::string name() const override { return "PATH"; }
+
+    void
+    run(PassContext &ctx) override
+    {
+        const auto &path = ctx.graph.criticalPath();
+        if (path.empty())
+            return;
+        const int num_clusters = ctx.weights.numClusters();
+
+        // Expected load per cluster, for the least-loaded fallback.
+        std::vector<double> load(num_clusters, 0.0);
+        for (InstrId i = 0; i < ctx.graph.numInstructions(); ++i)
+            for (int c = 0; c < num_clusters; ++c)
+                load[c] += ctx.weights.spaceMarginal(i, c);
+
+        // Split the path where the preplaced home changes.
+        size_t begin = 0;
+        while (begin < path.size()) {
+            size_t end = begin;
+            int segment_home = kNoCluster;
+            while (end < path.size()) {
+                const int home = ctx.graph.instr(path[end]).homeCluster;
+                if (home != kNoCluster) {
+                    if (segment_home == kNoCluster)
+                        segment_home = home;
+                    else if (home != segment_home)
+                        break;
+                }
+                ++end;
+            }
+            strengthenSegment(ctx, path, begin, end, segment_home, load);
+            begin = end;
+        }
+    }
+
+  private:
+    void
+    strengthenSegment(PassContext &ctx, const std::vector<InstrId> &path,
+                      size_t begin, size_t end, int segment_home,
+                      std::vector<double> &load)
+    {
+        const int num_clusters = ctx.weights.numClusters();
+        int chosen = segment_home;
+
+        if (chosen == kNoCluster) {
+            // Bias: the cluster with the largest summed marginal over
+            // the segment, if decisively ahead of the runner-up.
+            std::vector<double> bias(num_clusters, 0.0);
+            for (size_t k = begin; k < end; ++k)
+                for (int c = 0; c < num_clusters; ++c)
+                    bias[c] += ctx.weights.spaceMarginal(path[k], c);
+            int best = 0;
+            int second = num_clusters > 1 ? 1 : 0;
+            for (int c = 1; c < num_clusters; ++c) {
+                if (bias[c] > bias[best]) {
+                    second = best;
+                    best = c;
+                } else if (c != best && bias[c] > bias[second]) {
+                    second = c;
+                }
+            }
+            if (num_clusters == 1 ||
+                bias[best] >
+                    ctx.params.pathBiasThreshold * bias[second]) {
+                chosen = best;
+            } else {
+                // No decisive bias: take the least-loaded cluster.
+                chosen = 0;
+                for (int c = 1; c < num_clusters; ++c)
+                    if (load[c] < load[chosen])
+                        chosen = c;
+            }
+        }
+
+        for (size_t k = begin; k < end; ++k) {
+            const InstrId i = path[k];
+            // Account for the load shift before normalising away the
+            // old marginals.
+            for (int c = 0; c < num_clusters; ++c)
+                load[c] -= ctx.weights.spaceMarginal(i, c);
+            ctx.weights.scaleCluster(i, chosen, ctx.params.pathFactor);
+            ctx.weights.normalize(i);
+            for (int c = 0; c < num_clusters; ++c)
+                load[c] += ctx.weights.spaceMarginal(i, c);
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+makePathPass()
+{
+    return std::make_unique<PathPass>();
+}
+
+} // namespace csched

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * PLACE -- preplacement (Section 4).
+ *
+ * Boosts every preplaced instruction's weight on its home cluster by a
+ * large factor (x100): assignment to the home cluster is required for
+ * correctness, so the boost must dominate everything other passes do.
+ * (The convergent scheduler additionally clamps preplaced instructions
+ * to their homes when it extracts the final assignment.)
+ */
+
+#include "convergent/pass.hh"
+
+namespace csched {
+
+namespace {
+
+class PlacePass : public Pass
+{
+  public:
+    std::string name() const override { return "PLACE"; }
+
+    void
+    run(PassContext &ctx) override
+    {
+        for (InstrId i = 0; i < ctx.graph.numInstructions(); ++i) {
+            const auto &instr = ctx.graph.instr(i);
+            if (!instr.preplaced())
+                continue;
+            ctx.weights.scaleCluster(i, instr.homeCluster,
+                                     ctx.params.placeFactor);
+            ctx.weights.normalize(i);
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+makePlacePass()
+{
+    return std::make_unique<PlacePass>();
+}
+
+} // namespace csched

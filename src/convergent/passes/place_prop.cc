@@ -1,0 +1,108 @@
+/**
+ * @file
+ * PLACEPROP -- preplacement propagation (Section 4).
+ *
+ * Propagates preplacement information to the rest of the graph: for
+ * each non-preplaced instruction, the weight of each cluster is
+ * divided by the instruction's (undirected dependence-graph) distance
+ * to the closest preplaced instruction homed on that cluster.  Nearby
+ * banks therefore attract their dependence neighbourhoods, which is
+ * the mechanism behind the paper's "natural assignments" on dense
+ * matrix code.  Clusters with no preplaced instruction at all are
+ * treated as maximally distant; when the unit has no preplaced
+ * instructions the pass is a no-op.
+ *
+ * High-fanout preplaced values (live-in array bases, shared
+ * constants) are excluded both as attractors and as BFS waypoints:
+ * such values are broadcast to all their consumers regardless of
+ * placement, so adjacency to them carries no locality information,
+ * and letting them transmit proximity would make their home cluster a
+ * gravity well for the entire unit.
+ */
+
+#include <deque>
+
+#include "convergent/pass.hh"
+
+namespace csched {
+
+namespace {
+
+class PlacePropPass : public Pass
+{
+  public:
+    std::string name() const override { return "PLACEPROP"; }
+
+    void
+    run(PassContext &ctx) override
+    {
+        const auto &graph = ctx.graph;
+        if (graph.numPreplaced() == 0)
+            return;
+        auto &weights = ctx.weights;
+        const int n = graph.numInstructions();
+        const int num_clusters = weights.numClusters();
+        const int far = ctx.params.placePropMaxDistance;
+        const int hub = ctx.params.placePropHubDegree;
+
+        auto is_hub = [&](InstrId id) {
+            return static_cast<int>(graph.preds(id).size() +
+                                    graph.succs(id).size()) > hub;
+        };
+
+        // Multi-source BFS per cluster over the undirected dependence
+        // graph, skipping hub nodes entirely.
+        std::vector<std::vector<int>> dist(
+            num_clusters, std::vector<int>(n, -1));
+        for (int c = 0; c < num_clusters; ++c) {
+            std::deque<InstrId> frontier;
+            for (InstrId id = 0; id < n; ++id) {
+                if (graph.instr(id).homeCluster == c && !is_hub(id)) {
+                    dist[c][id] = 0;
+                    frontier.push_back(id);
+                }
+            }
+            auto &d = dist[c];
+            while (!frontier.empty()) {
+                const InstrId id = frontier.front();
+                frontier.pop_front();
+                if (d[id] >= far)
+                    continue;
+                auto visit = [&](InstrId other) {
+                    if (d[other] == -1 && !is_hub(other)) {
+                        d[other] = d[id] + 1;
+                        frontier.push_back(other);
+                    }
+                };
+                for (InstrId pred : graph.preds(id))
+                    visit(pred);
+                for (InstrId succ : graph.succs(id))
+                    visit(succ);
+            }
+        }
+
+        for (InstrId i = 0; i < n; ++i) {
+            if (graph.instr(i).preplaced())
+                continue;
+            for (int c = 0; c < num_clusters; ++c) {
+                int distance = dist[c][i];
+                if (distance < 0 || distance > far)
+                    distance = far;  // unreachable or absent: very far
+                if (distance < 1)
+                    distance = 1;
+                weights.scaleCluster(i, c, 1.0 / distance);
+            }
+            weights.normalize(i);
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+makePlacePropPass()
+{
+    return std::make_unique<PlacePropPass>();
+}
+
+} // namespace csched

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * REGPRESS -- register-pressure balancing (extension).
+ *
+ * Not one of the paper's eleven passes: Section 6 notes the framework
+ * "can perform all three tasks together (by adding preference maps
+ * for registers as well)" and leaves register pressure to future
+ * work.  This pass is the natural first step in that direction, and a
+ * demonstration that new constraints really do slot into the
+ * preference-map interface.
+ *
+ * For every value we estimate its live length on an ideal machine
+ * (from its definition's completion to its last consumer's issue);
+ * the expected register pressure of a cluster is the live-length-
+ * weighted sum of the space marginals of all values.  Clusters whose
+ * expected pressure exceeds the architected register count get their
+ * weights divided proportionally, steering long-lived values apart
+ * before the allocator would have to spill.
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include "convergent/pass.hh"
+
+namespace csched {
+
+namespace {
+
+class RegPressPass : public Pass
+{
+  public:
+    std::string name() const override { return "REGPRESS"; }
+
+    void
+    run(PassContext &ctx) override
+    {
+        const auto &graph = ctx.graph;
+        auto &weights = ctx.weights;
+        const int n = graph.numInstructions();
+        const int num_clusters = weights.numClusters();
+        const int cpl = graph.criticalPathLength();
+
+        // Live length of each value on an unbounded machine.
+        std::vector<double> live(n, 0.0);
+        for (InstrId i = 0; i < n; ++i) {
+            if (graph.instr(i).op == Opcode::Store)
+                continue;  // no register result
+            const int ready = graph.earliestStart(i) + graph.latency(i);
+            int last_use = ready;
+            for (InstrId succ : graph.succs(i))
+                last_use = std::max(last_use,
+                                    graph.earliestStart(succ));
+            live[i] = last_use - ready + 1;
+        }
+
+        // Expected simultaneous pressure: live mass spread over the
+        // schedule length.
+        std::vector<double> pressure(num_clusters, 0.0);
+        for (InstrId i = 0; i < n; ++i)
+            for (int c = 0; c < num_clusters; ++c)
+                pressure[c] +=
+                    live[i] * weights.spaceMarginal(i, c) / cpl;
+
+        const double budget = ctx.machine.registersPerCluster();
+        bool any_over = false;
+        std::vector<double> penalty(num_clusters, 1.0);
+        for (int c = 0; c < num_clusters; ++c) {
+            if (pressure[c] > budget) {
+                penalty[c] = pressure[c] / budget;
+                any_over = true;
+            }
+        }
+        if (!any_over)
+            return;
+
+        for (InstrId i = 0; i < n; ++i) {
+            for (int c = 0; c < num_clusters; ++c)
+                if (penalty[c] > 1.0)
+                    weights.scaleCluster(i, c, 1.0 / penalty[c]);
+            weights.normalize(i);
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+makeRegPressPass()
+{
+    return std::make_unique<RegPressPass>();
+}
+
+} // namespace csched

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The convergent-scheduling preference matrix (Section 3 of the paper).
+ *
+ * Preferences are stored as a three-dimensional weight matrix
+ * W[i][t][c] over instructions, time slots, and clusters, with as many
+ * time slots as the critical-path length.  The class maintains the
+ * paper's invariants
+ *
+ *     0 <= W[i][t][c] <= 1      and      sum_{t,c} W[i][t][c] = 1
+ *
+ * (restored by normalize()), exposes the derived quantities every pass
+ * consumes -- space/time marginals, preferred cluster and time,
+ * runner-up cluster, and confidence (the ratio of the top two cluster
+ * marginals) -- and provides the basic operations of Section 3:
+ * scaling individual weights, rows, and columns, linear combination of
+ * two instructions' matrices, and normalization.  Marginals are cached
+ * and recomputed lazily after mutations, mirroring the paper's
+ * incrementally-maintained sums.
+ */
+
+#ifndef CSCHED_CONVERGENT_PREFERENCE_MATRIX_HH
+#define CSCHED_CONVERGENT_PREFERENCE_MATRIX_HH
+
+#include <vector>
+
+#include "ir/instruction.hh"
+
+namespace csched {
+
+/** Dense per-instruction (time x cluster) weight matrix. */
+class PreferenceMatrix
+{
+  public:
+    /**
+     * Create a matrix with uniform weights: every (t, c) slot of every
+     * instruction gets 1 / (num_times * num_clusters).
+     */
+    PreferenceMatrix(int num_instrs, int num_times, int num_clusters);
+
+    int numInstructions() const { return numInstrs_; }
+    int numTimes() const { return numTimes_; }
+    int numClusters() const { return numClusters_; }
+
+    /** Weight of instruction @p i at time @p t on cluster @p c. */
+    double at(InstrId i, int t, int c) const;
+
+    /** Overwrite one weight (must be >= 0). */
+    void set(InstrId i, int t, int c, double value);
+
+    /** Multiply one weight by @p factor (>= 0). */
+    void scale(InstrId i, int t, int c, double factor);
+
+    /** Multiply the whole cluster column (all t) by @p factor. */
+    void scaleCluster(InstrId i, int c, double factor);
+
+    /** Multiply the whole time row (all c) by @p factor. */
+    void scaleTime(InstrId i, int t, double factor);
+
+    /**
+     * Linear combination of Section 3 with n = 2 and i1 = j:
+     * W[i] <- w * W[i] + (1 - w) * W[other], elementwise.
+     */
+    void blend(InstrId i, InstrId other, double w);
+
+    /**
+     * Restore the sum-to-one invariant for instruction @p i.  If every
+     * weight was squashed to zero the row is reset to uniform (no pass
+     * is allowed to make an instruction unschedulable).
+     */
+    void normalize(InstrId i);
+
+    /** normalize() every instruction. */
+    void normalizeAll();
+
+    /** Sum over time of W[i][.][c]. */
+    double spaceMarginal(InstrId i, int c) const;
+
+    /** Sum over clusters of W[i][t][.]. */
+    double timeMarginal(InstrId i, int t) const;
+
+    /** argmax_c of the space marginal (lowest index wins ties). */
+    int preferredCluster(InstrId i) const;
+
+    /** argmax_t of the time marginal (lowest index wins ties). */
+    int preferredTime(InstrId i) const;
+
+    /**
+     * Expectation of the time marginal, rounded to a slot.  A more
+     * noise-robust summary of the temporal preference than the argmax
+     * when several slots carry similar weight.
+     */
+    int expectedTime(InstrId i) const;
+
+    /**
+     * Second-best cluster by space marginal; for single-cluster
+     * machines this equals the preferred cluster.
+     */
+    int runnerUpCluster(InstrId i) const;
+
+    /**
+     * Confidence of the current spatial assignment: the ratio of the
+     * preferred cluster's marginal to the runner-up's (Section 3).
+     * Returns a large finite value when the runner-up marginal is 0.
+     */
+    double confidence(InstrId i) const;
+
+    /** Preferred cluster of every instruction. */
+    std::vector<int> preferredClusters() const;
+
+    /** Preferred time of every instruction. */
+    std::vector<int> preferredTimes() const;
+
+  private:
+    void checkIndex(InstrId i, int t, int c) const;
+    void touch(InstrId i);
+    void refresh(InstrId i) const;
+
+    double *row(InstrId i) { return &data_[static_cast<size_t>(i) * rowSize_]; }
+    const double *
+    row(InstrId i) const
+    {
+        return &data_[static_cast<size_t>(i) * rowSize_];
+    }
+
+    int numInstrs_;
+    int numTimes_;
+    int numClusters_;
+    size_t rowSize_;
+    std::vector<double> data_;
+
+    // Lazily-maintained marginal caches.
+    mutable std::vector<double> spaceSum_;   // [i * C + c]
+    mutable std::vector<double> timeSum_;    // [i * T + t]
+    mutable std::vector<bool> dirty_;
+};
+
+} // namespace csched
+
+#endif // CSCHED_CONVERGENT_PREFERENCE_MATRIX_HH

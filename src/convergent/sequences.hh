@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The pass sequences of the paper's Table 1.
+ */
+
+#ifndef CSCHED_CONVERGENT_SEQUENCES_HH
+#define CSCHED_CONVERGENT_SEQUENCES_HH
+
+#include <string>
+
+#include "convergent/pass.hh"
+
+namespace csched {
+
+/**
+ * Table 1(a): the sequence used for the Raw machine --
+ * INITTIME, PLACEPROP, LOAD, PLACE, PATH, PATHPROP, LEVEL, PATHPROP,
+ * COMM, PATHPROP, EMPHCP.
+ */
+std::string rawPassSequence();
+
+/**
+ * Table 1(b): the sequence used for the clustered VLIW --
+ * INITTIME, NOISE, FIRST, PATH, COMM, PLACE, PLACEPROP, COMM, EMPHCP.
+ */
+std::string vliwPassSequence();
+
+/**
+ * Heuristic weights tuned for the Raw sequence.  The paper selects
+ * these constants "by trial-and-error" per system (Section 4); the
+ * values here were tuned the same way against this repository's
+ * workloads and machine models.
+ */
+PassParams rawPassParams();
+
+/** Heuristic weights tuned for the clustered-VLIW sequence. */
+PassParams vliwPassParams();
+
+} // namespace csched
+
+#endif // CSCHED_CONVERGENT_SEQUENCES_HH

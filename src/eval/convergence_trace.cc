@@ -1,0 +1,24 @@
+#include "eval/convergence_trace.hh"
+
+namespace csched {
+
+std::vector<PassStep>
+spatialSteps(const std::vector<PassStep> &trace)
+{
+    std::vector<PassStep> out;
+    for (const auto &step : trace)
+        if (!step.temporalOnly)
+            out.push_back(step);
+    return out;
+}
+
+std::vector<std::string>
+stepLabels(const std::vector<PassStep> &steps)
+{
+    std::vector<std::string> out;
+    for (const auto &step : steps)
+        out.push_back(step.pass);
+    return out;
+}
+
+} // namespace csched

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Helpers for the convergence figures (7 and 9): extract the spatial
+ * passes from a convergent run's trace and format the per-pass
+ * fraction-changed series.
+ */
+
+#ifndef CSCHED_EVAL_CONVERGENCE_TRACE_HH
+#define CSCHED_EVAL_CONVERGENCE_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "convergent/convergent_scheduler.hh"
+
+namespace csched {
+
+/**
+ * Keep only the passes that can modify spatial preferences, as the
+ * paper's Figures 7 and 9 do ("they exclude passes that only modify
+ * temporal preferences").
+ */
+std::vector<PassStep> spatialSteps(const std::vector<PassStep> &trace);
+
+/** Pass labels of @p steps, in order. */
+std::vector<std::string> stepLabels(const std::vector<PassStep> &steps);
+
+} // namespace csched
+
+#endif // CSCHED_EVAL_CONVERGENCE_TRACE_HH

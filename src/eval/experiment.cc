@@ -1,0 +1,79 @@
+#include "eval/experiment.hh"
+
+#include <chrono>
+
+#include "baseline/pcc.hh"
+#include "baseline/rawcc_partitioner.hh"
+#include "baseline/single_cluster_scheduler.hh"
+#include "baseline/uas.hh"
+#include "sched/schedule_checker.hh"
+#include "support/logging.hh"
+
+namespace csched {
+
+ConvergentAlgorithm::ConvergentAlgorithm(const MachineModel &machine)
+    : scheduler_(ConvergentScheduler::forMachine(machine))
+{
+}
+
+ConvergentAlgorithm::ConvergentAlgorithm(const MachineModel &machine,
+                                         const std::string &sequence,
+                                         PassParams params)
+    : scheduler_(machine, sequence, params)
+{
+}
+
+Schedule
+ConvergentAlgorithm::run(const DependenceGraph &graph) const
+{
+    return scheduler_.schedule(graph).schedule;
+}
+
+ConvergentResult
+ConvergentAlgorithm::runFull(const DependenceGraph &graph) const
+{
+    return scheduler_.schedule(graph);
+}
+
+std::unique_ptr<SchedulingAlgorithm>
+makeAlgorithm(AlgorithmKind kind, const MachineModel &machine)
+{
+    switch (kind) {
+      case AlgorithmKind::Convergent:
+        return std::make_unique<ConvergentAlgorithm>(machine);
+      case AlgorithmKind::Uas:
+        return std::make_unique<UasScheduler>(machine);
+      case AlgorithmKind::Pcc:
+        return std::make_unique<PccScheduler>(machine);
+      case AlgorithmKind::Rawcc:
+        return std::make_unique<RawccPartitioner>(machine);
+      case AlgorithmKind::Single:
+        return std::make_unique<SingleClusterScheduler>(machine);
+    }
+    CSCHED_PANIC("unknown algorithm kind ", static_cast<int>(kind));
+}
+
+RunResult
+runAndCheck(const SchedulingAlgorithm &algorithm,
+            const DependenceGraph &graph, const MachineModel &machine)
+{
+    const auto begin = std::chrono::steady_clock::now();
+    const Schedule schedule = algorithm.run(graph);
+    const auto end = std::chrono::steady_clock::now();
+
+    const auto check = checkSchedule(graph, machine, schedule);
+    if (!check.ok()) {
+        CSCHED_FATAL(algorithm.name(), " produced an illegal schedule: ",
+                     check.message());
+    }
+
+    RunResult result;
+    result.algorithm = algorithm.name();
+    result.instructions = graph.numInstructions();
+    result.makespan = schedule.makespan();
+    result.seconds =
+        std::chrono::duration<double>(end - begin).count();
+    return result;
+}
+
+} // namespace csched

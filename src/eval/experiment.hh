@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Experiment driver: constructs algorithms by name, runs them on
+ * workloads, verifies every produced schedule with the checker, and
+ * reports makespans and wall-clock scheduling times.
+ */
+
+#ifndef CSCHED_EVAL_EXPERIMENT_HH
+#define CSCHED_EVAL_EXPERIMENT_HH
+
+#include <memory>
+#include <string>
+
+#include "convergent/convergent_scheduler.hh"
+#include "machine/machine.hh"
+#include "sched/algorithm.hh"
+
+namespace csched {
+
+/** Adapter exposing the convergent scheduler as a SchedulingAlgorithm. */
+class ConvergentAlgorithm : public SchedulingAlgorithm
+{
+  public:
+    /** Use the Table-1 sequence matching the machine family. */
+    explicit ConvergentAlgorithm(const MachineModel &machine);
+
+    /** Use an explicit pass sequence. */
+    ConvergentAlgorithm(const MachineModel &machine,
+                        const std::string &sequence,
+                        PassParams params = PassParams());
+
+    std::string name() const override { return "Convergent"; }
+    Schedule run(const DependenceGraph &graph) const override;
+
+    /** Full result including the convergence trace. */
+    ConvergentResult runFull(const DependenceGraph &graph) const;
+
+  private:
+    ConvergentScheduler scheduler_;
+};
+
+/** The scheduling algorithms the experiments compare. */
+enum class AlgorithmKind { Convergent, Uas, Pcc, Rawcc, Single };
+
+/** Construct algorithm @p kind bound to @p machine. */
+std::unique_ptr<SchedulingAlgorithm>
+makeAlgorithm(AlgorithmKind kind, const MachineModel &machine);
+
+/** One algorithm-on-workload measurement. */
+struct RunResult
+{
+    std::string algorithm;
+    int instructions = 0;
+    int makespan = 0;
+    double seconds = 0.0;  ///< wall-clock scheduling time
+};
+
+/**
+ * Run @p algorithm on @p graph, verify the schedule (fatal on any
+ * checker violation: experiments must never report illegal
+ * schedules), and measure the scheduling time.
+ */
+RunResult runAndCheck(const SchedulingAlgorithm &algorithm,
+                      const DependenceGraph &graph,
+                      const MachineModel &machine);
+
+} // namespace csched
+
+#endif // CSCHED_EVAL_EXPERIMENT_HH

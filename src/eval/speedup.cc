@@ -1,0 +1,33 @@
+#include "eval/speedup.hh"
+
+#include "baseline/single_cluster_scheduler.hh"
+#include "eval/experiment.hh"
+#include "support/logging.hh"
+
+namespace csched {
+
+int
+singleClusterMakespan(const WorkloadSpec &spec,
+                      const MachineModel &target)
+{
+    const auto single = target.makeSingleCluster();
+    const DependenceGraph graph =
+        spec.build(target.numClusters(), /*preplace_clusters=*/1);
+    const SingleClusterScheduler scheduler(*single);
+    return runAndCheck(scheduler, graph, *single).makespan;
+}
+
+double
+speedupOf(const WorkloadSpec &spec, const MachineModel &machine,
+          const SchedulingAlgorithm &algorithm)
+{
+    const DependenceGraph graph =
+        spec.build(machine.numClusters(), machine.numClusters());
+    const int makespan =
+        runAndCheck(algorithm, graph, machine).makespan;
+    CSCHED_ASSERT(makespan > 0, "zero makespan");
+    return static_cast<double>(singleClusterMakespan(spec, machine)) /
+           static_cast<double>(makespan);
+}
+
+} // namespace csched

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Speedup computation as in the paper's Table 2 and Figure 8:
+ * "speedup is relative to performance on one tile / a single-cluster
+ * machine".  The same kernel (same unroll, i.e. the same bank count as
+ * the target machine) is scheduled on the one-cluster sibling of the
+ * target machine, and speedup = makespan(1 cluster) / makespan(N).
+ */
+
+#ifndef CSCHED_EVAL_SPEEDUP_HH
+#define CSCHED_EVAL_SPEEDUP_HH
+
+#include <string>
+
+#include "machine/machine.hh"
+#include "sched/algorithm.hh"
+#include "workloads/workloads.hh"
+
+namespace csched {
+
+/**
+ * Makespan of @p spec on the one-cluster sibling of @p target (the
+ * kernel is built with target's bank count but preplaced for one
+ * cluster).
+ */
+int singleClusterMakespan(const WorkloadSpec &spec,
+                          const MachineModel &target);
+
+/** Speedup of @p algorithm on @p spec over the one-cluster run. */
+double speedupOf(const WorkloadSpec &spec, const MachineModel &machine,
+                 const SchedulingAlgorithm &algorithm);
+
+} // namespace csched
+
+#endif // CSCHED_EVAL_SPEEDUP_HH

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Debug-printing helper for instructions.
+ */
+
+#ifndef CSCHED_IR_DESCRIBE_HH
+#define CSCHED_IR_DESCRIBE_HH
+
+#include <string>
+
+#include "ir/instruction.hh"
+
+namespace csched {
+
+/** One-line human-readable description, e.g. "i7:load(b[i]) bank=2". */
+std::string describe(const Instruction &instr);
+
+} // namespace csched
+
+#endif // CSCHED_IR_DESCRIBE_HH

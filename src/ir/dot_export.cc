@@ -1,0 +1,60 @@
+#include "ir/dot_export.hh"
+
+#include <iterator>
+
+#include "support/logging.hh"
+
+namespace csched {
+
+namespace {
+
+/** A small colour wheel; clusters beyond its size wrap around. */
+const char *kColors[] = {
+    "#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f", "#cab2d6", "#ffff99",
+    "#1f78b4", "#33a02c", "#e31a1c", "#ff7f00", "#6a3d9a", "#b15928",
+    "#8dd3c7", "#bebada", "#fccde5", "#d9d9d9",
+};
+
+constexpr int kNumColors = static_cast<int>(std::size(kColors));
+
+} // namespace
+
+void
+exportDot(std::ostream &os, const DependenceGraph &graph,
+          const std::vector<int> &assignment)
+{
+    const bool colored = !assignment.empty();
+    CSCHED_ASSERT(!colored || static_cast<int>(assignment.size()) ==
+                                  graph.numInstructions(),
+                  "assignment size mismatch");
+
+    os << "digraph schedule {\n"
+       << "  rankdir=TB;\n"
+       << "  node [style=filled, fontname=\"monospace\"];\n";
+    for (InstrId id = 0; id < graph.numInstructions(); ++id) {
+        const auto &instr = graph.instr(id);
+        os << "  n" << id << " [label=\"" << id << ":"
+           << opcodeName(instr.op);
+        if (instr.memBank != kNoCluster)
+            os << "\\nbank " << instr.memBank;
+        os << "\"";
+        if (instr.preplaced())
+            os << ", shape=triangle";
+        if (colored) {
+            os << ", fillcolor=\""
+               << kColors[assignment[id] % kNumColors] << "\"";
+        } else {
+            os << ", fillcolor=\"#eeeeee\"";
+        }
+        os << "];\n";
+    }
+    for (const auto &edge : graph.edges()) {
+        os << "  n" << edge.src << " -> n" << edge.dst;
+        if (edge.kind != DepKind::Data)
+            os << " [style=dashed]";
+        os << ";\n";
+    }
+    os << "}\n";
+}
+
+} // namespace csched

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Graphviz (DOT) export of dependence graphs, optionally coloured by
+ * a cluster assignment -- handy for inspecting what the scheduler did
+ * (the paper's Figure 4 visualises the same information).
+ */
+
+#ifndef CSCHED_IR_DOT_EXPORT_HH
+#define CSCHED_IR_DOT_EXPORT_HH
+
+#include <ostream>
+#include <vector>
+
+#include "ir/graph.hh"
+
+namespace csched {
+
+/**
+ * Write @p graph in DOT format.  When @p assignment is non-empty
+ * (one cluster per instruction), nodes are coloured by cluster;
+ * preplaced instructions render as triangles, as in the paper's
+ * figures.
+ */
+void exportDot(std::ostream &os, const DependenceGraph &graph,
+               const std::vector<int> &assignment = {});
+
+} // namespace csched
+
+#endif // CSCHED_IR_DOT_EXPORT_HH

@@ -1,0 +1,339 @@
+#include "ir/graph.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/logging.hh"
+
+namespace csched {
+
+DependenceGraph::DependenceGraph() : DependenceGraph(LatencyModel())
+{
+}
+
+DependenceGraph::DependenceGraph(LatencyModel latencies)
+    : latencies_(std::move(latencies))
+{
+}
+
+InstrId
+DependenceGraph::addInstruction(Instruction instr)
+{
+    CSCHED_ASSERT(!finalized_, "cannot add instructions after finalize()");
+    const InstrId id = static_cast<InstrId>(instrs_.size());
+    instr.id = id;
+    instrs_.push_back(std::move(instr));
+    preds_.emplace_back();
+    succs_.emplace_back();
+    return id;
+}
+
+void
+DependenceGraph::addEdge(InstrId src, InstrId dst, DepKind kind)
+{
+    CSCHED_ASSERT(!finalized_, "cannot add edges after finalize()");
+    checkId(src);
+    checkId(dst);
+    CSCHED_ASSERT(src != dst, "self edge on instruction ", src);
+    // Coalesce duplicates: a Data edge subsumes Anti/Output ordering.
+    for (auto &edge : edges_) {
+        if (edge.src == src && edge.dst == dst) {
+            if (kind == DepKind::Data)
+                edge.kind = DepKind::Data;
+            return;
+        }
+    }
+    edges_.push_back({src, dst, kind});
+    succs_[src].push_back(dst);
+    preds_[dst].push_back(src);
+}
+
+const Instruction &
+DependenceGraph::instr(InstrId id) const
+{
+    checkId(id);
+    return instrs_[id];
+}
+
+Instruction &
+DependenceGraph::instr(InstrId id)
+{
+    checkId(id);
+    return instrs_[id];
+}
+
+const std::vector<InstrId> &
+DependenceGraph::preds(InstrId id) const
+{
+    checkId(id);
+    return preds_[id];
+}
+
+const std::vector<InstrId> &
+DependenceGraph::succs(InstrId id) const
+{
+    checkId(id);
+    return succs_[id];
+}
+
+int
+DependenceGraph::latency(InstrId id) const
+{
+    checkId(id);
+    return latencies_.latency(instrs_[id].op);
+}
+
+void
+DependenceGraph::finalize()
+{
+    CSCHED_ASSERT(!finalized_, "finalize() called twice");
+    CSCHED_ASSERT(numInstructions() > 0, "cannot finalize an empty graph");
+    computeTopoOrder();
+    computeLevels();
+    computeCriticalPath();
+    computePreplacedDistances();
+    finalized_ = true;
+}
+
+void
+DependenceGraph::checkId(InstrId id) const
+{
+    CSCHED_ASSERT(id >= 0 && id < numInstructions(),
+                  "instruction id ", id, " out of range [0, ",
+                  numInstructions(), ")");
+}
+
+void
+DependenceGraph::computeTopoOrder()
+{
+    const int n = numInstructions();
+    std::vector<int> in_degree(n, 0);
+    for (InstrId id = 0; id < n; ++id)
+        in_degree[id] = static_cast<int>(preds_[id].size());
+
+    std::deque<InstrId> worklist;
+    for (InstrId id = 0; id < n; ++id)
+        if (in_degree[id] == 0)
+            worklist.push_back(id);
+
+    topo_.clear();
+    topo_.reserve(n);
+    while (!worklist.empty()) {
+        const InstrId id = worklist.front();
+        worklist.pop_front();
+        topo_.push_back(id);
+        for (InstrId succ : succs_[id])
+            if (--in_degree[succ] == 0)
+                worklist.push_back(succ);
+    }
+    CSCHED_ASSERT(static_cast<int>(topo_.size()) == n,
+                  "dependence graph has a cycle: only ", topo_.size(),
+                  " of ", n, " instructions are orderable");
+}
+
+void
+DependenceGraph::computeLevels()
+{
+    const int n = numInstructions();
+    earliest_.assign(n, 0);
+    slack_.assign(n, 0);
+    level_.assign(n, 0);
+    maxLevel_ = 0;
+    cpl_ = 0;
+
+    for (InstrId id : topo_) {
+        int start = 0;
+        int lvl = 0;
+        for (InstrId pred : preds_[id]) {
+            start = std::max(start, earliest_[pred] + latency(pred));
+            lvl = std::max(lvl, level_[pred] + 1);
+        }
+        earliest_[id] = start;
+        level_[id] = lvl;
+        maxLevel_ = std::max(maxLevel_, lvl);
+        cpl_ = std::max(cpl_, start + latency(id));
+    }
+
+    for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+        const InstrId id = *it;
+        int through = 0;
+        for (InstrId succ : succs_[id])
+            through = std::max(through, slack_[succ]);
+        slack_[id] = latency(id) + through;
+    }
+}
+
+void
+DependenceGraph::computeCriticalPath()
+{
+    // Walk from the root with the longest downstream chain, always
+    // following a successor that stays on a longest path.
+    const int n = numInstructions();
+    onCp_.assign(n, false);
+    criticalPath_.clear();
+
+    InstrId current = kNoInstr;
+    for (InstrId id = 0; id < n; ++id) {
+        if (!preds_[id].empty())
+            continue;
+        if (current == kNoInstr || slack_[id] > slack_[current])
+            current = id;
+    }
+    CSCHED_ASSERT(current != kNoInstr, "graph has no roots");
+
+    while (current != kNoInstr) {
+        criticalPath_.push_back(current);
+        onCp_[current] = true;
+        InstrId next = kNoInstr;
+        for (InstrId succ : succs_[current]) {
+            // Stay on a longest path: the successor must account for
+            // the remaining slack below this node.
+            if (slack_[succ] == slack_[current] - latency(current) &&
+                slack_[succ] > 0) {
+                if (next == kNoInstr || slack_[succ] > slack_[next])
+                    next = succ;
+            }
+        }
+        current = next;
+    }
+}
+
+void
+DependenceGraph::computePreplacedDistances()
+{
+    maxHomeCluster_ = -1;
+    for (const auto &instr : instrs_)
+        maxHomeCluster_ = std::max(maxHomeCluster_, instr.homeCluster);
+    distToPreplaced_.assign(maxHomeCluster_ + 1, {});
+
+    const int n = numInstructions();
+    for (int cluster = 0; cluster <= maxHomeCluster_; ++cluster) {
+        auto &dist = distToPreplaced_[cluster];
+        dist.assign(n, -1);
+        // Multi-source BFS over the undirected dependence graph from
+        // every preplaced instruction homed on this cluster.
+        std::deque<InstrId> frontier;
+        for (const auto &instr : instrs_) {
+            if (instr.homeCluster == cluster) {
+                dist[instr.id] = 0;
+                frontier.push_back(instr.id);
+            }
+        }
+        while (!frontier.empty()) {
+            const InstrId id = frontier.front();
+            frontier.pop_front();
+            auto visit = [&](InstrId other) {
+                if (dist[other] == -1) {
+                    dist[other] = dist[id] + 1;
+                    frontier.push_back(other);
+                }
+            };
+            for (InstrId pred : preds_[id])
+                visit(pred);
+            for (InstrId succ : succs_[id])
+                visit(succ);
+        }
+    }
+}
+
+int
+DependenceGraph::earliestStart(InstrId id) const
+{
+    CSCHED_ASSERT(finalized_, "analysis query before finalize()");
+    checkId(id);
+    return earliest_[id];
+}
+
+int
+DependenceGraph::latestFinishSlack(InstrId id) const
+{
+    CSCHED_ASSERT(finalized_, "analysis query before finalize()");
+    checkId(id);
+    return slack_[id];
+}
+
+int
+DependenceGraph::criticalPathLength() const
+{
+    CSCHED_ASSERT(finalized_, "analysis query before finalize()");
+    return cpl_;
+}
+
+int
+DependenceGraph::level(InstrId id) const
+{
+    CSCHED_ASSERT(finalized_, "analysis query before finalize()");
+    checkId(id);
+    return level_[id];
+}
+
+int
+DependenceGraph::maxLevel() const
+{
+    CSCHED_ASSERT(finalized_, "analysis query before finalize()");
+    return maxLevel_;
+}
+
+const std::vector<InstrId> &
+DependenceGraph::topoOrder() const
+{
+    CSCHED_ASSERT(finalized_, "analysis query before finalize()");
+    return topo_;
+}
+
+const std::vector<InstrId> &
+DependenceGraph::criticalPath() const
+{
+    CSCHED_ASSERT(finalized_, "analysis query before finalize()");
+    return criticalPath_;
+}
+
+bool
+DependenceGraph::onCriticalPath(InstrId id) const
+{
+    CSCHED_ASSERT(finalized_, "analysis query before finalize()");
+    checkId(id);
+    return onCp_[id];
+}
+
+std::vector<InstrId>
+DependenceGraph::roots() const
+{
+    std::vector<InstrId> out;
+    for (InstrId id = 0; id < numInstructions(); ++id)
+        if (preds_[id].empty())
+            out.push_back(id);
+    return out;
+}
+
+std::vector<InstrId>
+DependenceGraph::leaves() const
+{
+    std::vector<InstrId> out;
+    for (InstrId id = 0; id < numInstructions(); ++id)
+        if (succs_[id].empty())
+            out.push_back(id);
+    return out;
+}
+
+int
+DependenceGraph::numPreplaced() const
+{
+    int count = 0;
+    for (const auto &instr : instrs_)
+        if (instr.preplaced())
+            ++count;
+    return count;
+}
+
+int
+DependenceGraph::distanceToPreplaced(InstrId id, int cluster) const
+{
+    CSCHED_ASSERT(finalized_, "analysis query before finalize()");
+    checkId(id);
+    if (cluster < 0 || cluster > maxHomeCluster_)
+        return -1;
+    return distToPreplaced_[cluster][id];
+}
+
+} // namespace csched

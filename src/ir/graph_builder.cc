@@ -1,0 +1,73 @@
+#include "ir/graph_builder.hh"
+
+#include "support/logging.hh"
+
+namespace csched {
+
+GraphBuilder::GraphBuilder() : GraphBuilder(LatencyModel())
+{
+}
+
+GraphBuilder::GraphBuilder(LatencyModel latencies)
+    : graph_(std::move(latencies))
+{
+}
+
+InstrId
+GraphBuilder::op(Opcode opcode, const std::vector<InstrId> &deps,
+                 std::string name)
+{
+    CSCHED_ASSERT(!built_, "builder reused after build()");
+    Instruction instr;
+    instr.op = opcode;
+    instr.name = std::move(name);
+    const InstrId id = graph_.addInstruction(std::move(instr));
+    for (InstrId dep : deps)
+        graph_.addEdge(dep, id, DepKind::Data);
+    return id;
+}
+
+InstrId
+GraphBuilder::load(int bank, const std::vector<InstrId> &deps,
+                   std::string name)
+{
+    const InstrId id = op(Opcode::Load, deps, std::move(name));
+    graph_.instr(id).memBank = bank;
+    return id;
+}
+
+InstrId
+GraphBuilder::store(int bank, InstrId value,
+                    const std::vector<InstrId> &deps, std::string name)
+{
+    std::vector<InstrId> all = deps;
+    all.push_back(value);
+    const InstrId id = op(Opcode::Store, all, std::move(name));
+    graph_.instr(id).memBank = bank;
+    return id;
+}
+
+void
+GraphBuilder::edge(InstrId src, InstrId dst, DepKind kind)
+{
+    CSCHED_ASSERT(!built_, "builder reused after build()");
+    graph_.addEdge(src, dst, kind);
+}
+
+void
+GraphBuilder::preplace(InstrId id, int cluster)
+{
+    CSCHED_ASSERT(cluster >= 0, "preplacement cluster must be >= 0");
+    graph_.instr(id).homeCluster = cluster;
+}
+
+DependenceGraph
+GraphBuilder::build()
+{
+    CSCHED_ASSERT(!built_, "build() called twice");
+    built_ = true;
+    graph_.finalize();
+    return std::move(graph_);
+}
+
+} // namespace csched

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fluent construction helper for dependence graphs.
+ *
+ * The workload generators and the tests build graphs through this
+ * class: each emitted operation names the operations it consumes, and
+ * the builder inserts the corresponding Data edges.  Memory operations
+ * take the bank they touch so that preplacement can later be derived
+ * from the machine's bank interleaving.
+ */
+
+#ifndef CSCHED_IR_GRAPH_BUILDER_HH
+#define CSCHED_IR_GRAPH_BUILDER_HH
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "ir/graph.hh"
+
+namespace csched {
+
+/** Builds a DependenceGraph one instruction at a time. */
+class GraphBuilder
+{
+  public:
+    /** Start an empty graph with the default latency model. */
+    GraphBuilder();
+
+    /** Start an empty graph with a custom latency model. */
+    explicit GraphBuilder(LatencyModel latencies);
+
+    /** Emit an operation consuming the values of @p deps. */
+    InstrId op(Opcode opcode, const std::vector<InstrId> &deps = {},
+               std::string name = "");
+
+    /** Emit a load from @p bank, consuming @p deps (address inputs). */
+    InstrId load(int bank, const std::vector<InstrId> &deps = {},
+                 std::string name = "");
+
+    /**
+     * Emit a store to @p bank consuming @p value plus extra @p deps
+     * (address inputs, ordering edges).
+     */
+    InstrId store(int bank, InstrId value,
+                  const std::vector<InstrId> &deps = {},
+                  std::string name = "");
+
+    /** Add an extra dependence edge between already-emitted ops. */
+    void edge(InstrId src, InstrId dst, DepKind kind = DepKind::Data);
+
+    /**
+     * Force an instruction to be preplaced on @p cluster (used for
+     * live-range constraints; bank-derived preplacement is normally
+     * applied by preplaceMemoryByBank()).
+     */
+    void preplace(InstrId id, int cluster);
+
+    /** Number of instructions emitted so far. */
+    int size() const { return graph_.numInstructions(); }
+
+    /** Access the graph under construction (pre-finalize). */
+    DependenceGraph &graph() { return graph_; }
+
+    /**
+     * Finalize and surrender the graph.  The builder is left empty and
+     * must not be reused.
+     */
+    DependenceGraph build();
+
+  private:
+    DependenceGraph graph_;
+    bool built_ = false;
+};
+
+} // namespace csched
+
+#endif // CSCHED_IR_GRAPH_BUILDER_HH

@@ -1,0 +1,23 @@
+#include "ir/instruction.hh"
+
+#include <sstream>
+
+#include "ir/describe.hh"
+
+namespace csched {
+
+std::string
+describe(const Instruction &instr)
+{
+    std::ostringstream os;
+    os << 'i' << instr.id << ':' << opcodeName(instr.op);
+    if (!instr.name.empty())
+        os << '(' << instr.name << ')';
+    if (instr.memBank != kNoCluster)
+        os << " bank=" << instr.memBank;
+    if (instr.preplaced())
+        os << " home=" << instr.homeCluster;
+    return os.str();
+}
+
+} // namespace csched

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * A single instruction in a scheduling unit.
+ *
+ * Instructions carry the annotations the paper's heuristics consume:
+ * the opcode (for FU class and latency), the preplacement home cluster
+ * (for the PLACE/PLACEPROP passes and for correctness constraints), and
+ * for memory operations the bank they touch (from which preplacement is
+ * derived, mirroring the Maps/congruence analysis of Rawcc and Chorus).
+ */
+
+#ifndef CSCHED_IR_INSTRUCTION_HH
+#define CSCHED_IR_INSTRUCTION_HH
+
+#include <string>
+
+#include "ir/opcode.hh"
+
+namespace csched {
+
+/** Index of an instruction inside its DependenceGraph. */
+using InstrId = int;
+
+/** Sentinel for "no instruction". */
+constexpr InstrId kNoInstr = -1;
+
+/** Sentinel for "no cluster / no bank". */
+constexpr int kNoCluster = -1;
+
+/** One operation in a scheduling unit. */
+struct Instruction
+{
+    /** Dense id, equal to this instruction's index in the graph. */
+    InstrId id = kNoInstr;
+
+    /** Scheduling-level opcode. */
+    Opcode op = Opcode::Nop;
+
+    /** Optional human-readable name for debugging and examples. */
+    std::string name;
+
+    /**
+     * Memory bank touched by a Load/Store, or kNoCluster for
+     * non-memory instructions and unanalysable accesses.
+     */
+    int memBank = kNoCluster;
+
+    /**
+     * Home cluster of a preplaced instruction, or kNoCluster.  A
+     * preplaced instruction MUST be assigned to this cluster for
+     * correctness (Section 1 of the paper).
+     */
+    int homeCluster = kNoCluster;
+
+    /** True iff this instruction is preplaced. */
+    bool preplaced() const { return homeCluster != kNoCluster; }
+};
+
+} // namespace csched
+
+#endif // CSCHED_IR_INSTRUCTION_HH

@@ -1,0 +1,32 @@
+#include "ir/latency_model.hh"
+
+#include "support/logging.hh"
+
+namespace csched {
+
+LatencyModel::LatencyModel()
+{
+    table_.fill(1);
+    auto set = [this](Opcode op, int cycles) {
+        table_[static_cast<size_t>(op)] = cycles;
+    };
+    set(Opcode::IMul, 2);
+    set(Opcode::IDiv, 12);
+    set(Opcode::FAdd, 4);
+    set(Opcode::FSub, 4);
+    set(Opcode::FMul, 4);
+    set(Opcode::FDiv, 12);
+    set(Opcode::FSqrt, 14);
+    set(Opcode::FCmp, 2);
+    set(Opcode::Load, 2);
+    set(Opcode::Store, 1);
+}
+
+void
+LatencyModel::setLatency(Opcode op, int cycles)
+{
+    CSCHED_ASSERT(cycles >= 1, "latency must be >= 1, got ", cycles);
+    table_[static_cast<size_t>(op)] = cycles;
+}
+
+} // namespace csched

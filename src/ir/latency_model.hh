@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Per-opcode latency table.
+ *
+ * The paper states "instruction latencies are based on the MIPS R4000"
+ * for both evaluation machines.  The defaults below are the
+ * scheduling-relevant R4000 numbers used by the Rawcc line of work:
+ * single-cycle integer ALU, pipelined 2-cycle integer multiply
+ * (low-order result forwarding), long unpipelined divides, 4-cycle FP
+ * add/multiply, and multi-cycle divide/sqrt.  Loads have a 2-cycle
+ * use-delay.  All values are overridable so experiments can model other
+ * machines.
+ */
+
+#ifndef CSCHED_IR_LATENCY_MODEL_HH
+#define CSCHED_IR_LATENCY_MODEL_HH
+
+#include <array>
+
+#include "ir/opcode.hh"
+
+namespace csched {
+
+/** Maps opcodes to result latencies (cycles from issue to first use). */
+class LatencyModel
+{
+  public:
+    /** Construct with the R4000-inspired defaults described above. */
+    LatencyModel();
+
+    /** Latency in cycles of @p op; always >= 1. */
+    int latency(Opcode op) const
+    {
+        return table_[static_cast<size_t>(op)];
+    }
+
+    /** Override the latency of one opcode (must be >= 1). */
+    void setLatency(Opcode op, int cycles);
+
+  private:
+    std::array<int, kNumOpcodes> table_;
+};
+
+} // namespace csched
+
+#endif // CSCHED_IR_LATENCY_MODEL_HH

@@ -1,0 +1,121 @@
+#include "ir/opcode.hh"
+
+#include "support/logging.hh"
+
+namespace csched {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::IAdd: return "iadd";
+      case Opcode::ISub: return "isub";
+      case Opcode::IMul: return "imul";
+      case Opcode::IDiv: return "idiv";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::Rot: return "rot";
+      case Opcode::Cmp: return "cmp";
+      case Opcode::Select: return "select";
+      case Opcode::Const: return "const";
+      case Opcode::Move: return "move";
+      case Opcode::FAdd: return "fadd";
+      case Opcode::FSub: return "fsub";
+      case Opcode::FMul: return "fmul";
+      case Opcode::FDiv: return "fdiv";
+      case Opcode::FSqrt: return "fsqrt";
+      case Opcode::FCmp: return "fcmp";
+      case Opcode::FMove: return "fmove";
+      case Opcode::Load: return "load";
+      case Opcode::Store: return "store";
+      case Opcode::Branch: return "branch";
+      case Opcode::Jump: return "jump";
+      case Opcode::Copy: return "copy";
+      case Opcode::Send: return "send";
+      case Opcode::Recv: return "recv";
+    }
+    CSCHED_PANIC("unknown opcode ", static_cast<int>(op));
+}
+
+Opcode
+opcodeFromName(const std::string &name)
+{
+    for (int i = 0; i < kNumOpcodes; ++i) {
+        const auto op = static_cast<Opcode>(i);
+        if (name == opcodeName(op))
+            return op;
+    }
+    CSCHED_FATAL("unknown opcode mnemonic '", name, "'");
+}
+
+bool
+isMemory(Opcode op)
+{
+    return op == Opcode::Load || op == Opcode::Store;
+}
+
+bool
+isFloat(Opcode op)
+{
+    switch (op) {
+      case Opcode::FAdd:
+      case Opcode::FSub:
+      case Opcode::FMul:
+      case Opcode::FDiv:
+      case Opcode::FSqrt:
+      case Opcode::FCmp:
+      case Opcode::FMove:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isComm(Opcode op)
+{
+    return op == Opcode::Copy || op == Opcode::Send || op == Opcode::Recv;
+}
+
+bool
+isControl(Opcode op)
+{
+    return op == Opcode::Branch || op == Opcode::Jump;
+}
+
+bool
+fuCanExecute(FuKind fu, Opcode op)
+{
+    switch (fu) {
+      case FuKind::Universal:
+        return op != Opcode::Copy;
+      case FuKind::IntAlu:
+        return !isMemory(op) && !isFloat(op) && !isComm(op);
+      case FuKind::IntAluMem:
+        return !isFloat(op) && !isComm(op);
+      case FuKind::Fpu:
+        return isFloat(op);
+      case FuKind::Transfer:
+        return op == Opcode::Copy;
+    }
+    CSCHED_PANIC("unknown FU kind ", static_cast<int>(fu));
+}
+
+const char *
+fuKindName(FuKind fu)
+{
+    switch (fu) {
+      case FuKind::IntAlu: return "ialu";
+      case FuKind::IntAluMem: return "ialu.mem";
+      case FuKind::Fpu: return "fpu";
+      case FuKind::Transfer: return "xfer";
+      case FuKind::Universal: return "tile";
+    }
+    CSCHED_PANIC("unknown FU kind ", static_cast<int>(fu));
+}
+
+} // namespace csched

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Instruction opcodes and functional-unit kinds.
+ *
+ * The opcode set is a scheduling-level abstraction of the MIPS R4000
+ * integer/float ISA that both evaluation machines in the paper (the Raw
+ * tile processor and the Chorus clustered VLIW) are based on.  The
+ * scheduler only needs the opcode's resource class and latency, so
+ * addressing modes and immediates are not modelled.
+ */
+
+#ifndef CSCHED_IR_OPCODE_HH
+#define CSCHED_IR_OPCODE_HH
+
+#include <string>
+
+namespace csched {
+
+/** Scheduling-level opcodes. */
+enum class Opcode {
+    Nop,
+    // Integer ALU.
+    IAdd,
+    ISub,
+    IMul,
+    IDiv,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Rot,
+    Cmp,
+    Select,
+    Const,  ///< materialise a constant / address
+    Move,   ///< register copy inside one cluster
+    // Floating point.
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+    FSqrt,
+    FCmp,
+    FMove,
+    // Memory.
+    Load,
+    Store,
+    // Control (ends a scheduling unit; modelled but rarely generated).
+    Branch,
+    Jump,
+    // Inter-cluster communication, inserted by the schedulers.
+    Copy,   ///< VLIW transfer-unit register copy between clusters
+    Send,   ///< Raw static-network inject
+    Recv,   ///< Raw static-network receive
+};
+
+/** Number of distinct opcodes (for tables indexed by opcode). */
+constexpr int kNumOpcodes = static_cast<int>(Opcode::Recv) + 1;
+
+/**
+ * Functional-unit classes.
+ *
+ * The Chorus VLIW cluster of the paper has exactly one FU of each of the
+ * first four kinds; a Raw tile has a single Universal unit (its scalar
+ * pipeline executes every opcode).
+ */
+enum class FuKind {
+    IntAlu,     ///< integer ALU, no memory access
+    IntAluMem,  ///< integer ALU that can also issue loads/stores
+    Fpu,        ///< floating-point unit
+    Transfer,   ///< inter-cluster register-copy unit
+    Universal,  ///< a Raw tile's pipeline: runs everything
+};
+
+/** Human-readable mnemonic, e.g. "fmul". */
+const char *opcodeName(Opcode op);
+
+/** Parse a mnemonic back to an opcode; fatal on unknown names. */
+Opcode opcodeFromName(const std::string &name);
+
+/** True for Load/Store (the opcodes subject to bank preplacement). */
+bool isMemory(Opcode op);
+
+/** True for the floating-point opcodes. */
+bool isFloat(Opcode op);
+
+/** True for the communication opcodes inserted by schedulers. */
+bool isComm(Opcode op);
+
+/** True for control-flow opcodes that terminate a scheduling unit. */
+bool isControl(Opcode op);
+
+/** Whether a functional unit of kind @p fu can issue opcode @p op. */
+bool fuCanExecute(FuKind fu, Opcode op);
+
+/** Human-readable FU-kind name, e.g. "ialu.mem". */
+const char *fuKindName(FuKind fu);
+
+} // namespace csched
+
+#endif // CSCHED_IR_OPCODE_HH

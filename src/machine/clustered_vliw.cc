@@ -1,0 +1,50 @@
+#include "machine/clustered_vliw.hh"
+
+#include "support/logging.hh"
+
+namespace csched {
+
+ClusteredVliwMachine::ClusteredVliwMachine(int num_clusters)
+    : numClusters_(num_clusters),
+      fus_{FuKind::IntAlu, FuKind::IntAluMem, FuKind::Fpu, FuKind::Transfer}
+{
+    CSCHED_ASSERT(num_clusters >= 1, "need at least one cluster, got ",
+                  num_clusters);
+}
+
+std::string
+ClusteredVliwMachine::name() const
+{
+    return "vliw" + std::to_string(numClusters_);
+}
+
+const std::vector<FuKind> &
+ClusteredVliwMachine::clusterFus(int cluster) const
+{
+    CSCHED_ASSERT(cluster >= 0 && cluster < numClusters_,
+                  "cluster ", cluster, " out of range");
+    return fus_;
+}
+
+int
+ClusteredVliwMachine::commLatency(int from, int to) const
+{
+    // One cycle to copy a register value between any two clusters.
+    return from == to ? 0 : 1;
+}
+
+int
+ClusteredVliwMachine::memoryPenalty(int bank, int cluster) const
+{
+    if (bank == -1)
+        return 0;
+    return homeOfBank(bank) == cluster ? 0 : 1;
+}
+
+std::unique_ptr<MachineModel>
+ClusteredVliwMachine::makeSingleCluster() const
+{
+    return std::make_unique<ClusteredVliwMachine>(1);
+}
+
+} // namespace csched

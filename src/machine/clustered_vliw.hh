@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The Chorus-style clustered VLIW machine (Section 5 of the paper).
+ *
+ * N identical clusters; each cluster has four functional units: one
+ * integer ALU, one integer ALU that can also access memory, one
+ * floating-point unit, and one transfer unit.  The transfer unit copies
+ * a register value to another cluster in one cycle.  Memory addresses
+ * are interleaved across the clusters' banks; a memory operation may
+ * access a remote bank with a one-cycle penalty.
+ */
+
+#ifndef CSCHED_MACHINE_CLUSTERED_VLIW_HH
+#define CSCHED_MACHINE_CLUSTERED_VLIW_HH
+
+#include "machine/machine.hh"
+
+namespace csched {
+
+/** Clustered VLIW with identical 4-FU clusters. */
+class ClusteredVliwMachine : public MachineModel
+{
+  public:
+    /** Build a machine with @p num_clusters identical clusters. */
+    explicit ClusteredVliwMachine(int num_clusters);
+
+    std::string name() const override;
+    int numClusters() const override { return numClusters_; }
+    const std::vector<FuKind> &clusterFus(int cluster) const override;
+    int commLatency(int from, int to) const override;
+    CommStyle commStyle() const override { return CommStyle::TransferUnit; }
+    int memoryPenalty(int bank, int cluster) const override;
+    std::unique_ptr<MachineModel> makeSingleCluster() const override;
+
+  private:
+    int numClusters_;
+    std::vector<FuKind> fus_;
+};
+
+} // namespace csched
+
+#endif // CSCHED_MACHINE_CLUSTERED_VLIW_HH

@@ -1,0 +1,24 @@
+#include "machine/machine.hh"
+
+namespace csched {
+
+bool
+MachineModel::canExecute(int cluster, Opcode op) const
+{
+    for (FuKind fu : clusterFus(cluster))
+        if (fuCanExecute(fu, op))
+            return true;
+    return false;
+}
+
+int
+MachineModel::numFusFor(int cluster, Opcode op) const
+{
+    int count = 0;
+    for (FuKind fu : clusterFus(cluster))
+        if (fuCanExecute(fu, op))
+            ++count;
+    return count;
+}
+
+} // namespace csched

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Abstract machine model for spatial architectures.
+ *
+ * A machine is a set of clusters (VLIW clusters or Raw tiles), each
+ * holding functional units and a slice of the interleaved memory
+ * system.  The scheduler interrogates the model for FU capabilities,
+ * communication latencies, and memory-bank locality; the concrete
+ * subclasses add the topology details the list scheduler needs to
+ * reserve communication resources (transfer units, receive slots, or
+ * network links).
+ */
+
+#ifndef CSCHED_MACHINE_MACHINE_HH
+#define CSCHED_MACHINE_MACHINE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/opcode.hh"
+
+namespace csched {
+
+/** How operand values cross clusters on this machine. */
+enum class CommStyle {
+    /**
+     * A Copy op occupies a Transfer FU on the *source* cluster for one
+     * cycle; the value lands in the destination register file
+     * commLatency() cycles later (the clustered VLIW of the paper).
+     */
+    TransferUnit,
+    /**
+     * A Recv op occupies a regular FU on the *destination* cluster;
+     * the value is usable once the receive completes (the abstract
+     * three-cluster machine of the paper's Figure 1).
+     */
+    ReceiveOp,
+    /**
+     * The value is injected into a point-to-point network whose
+     * per-hop links must be reserved; no FU slots are consumed
+     * (Raw's register-mapped static network).
+     */
+    Network,
+};
+
+/** Base class for the spatial machine models. */
+class MachineModel
+{
+  public:
+    virtual ~MachineModel() = default;
+
+    /** Short identifier used in tables, e.g. "vliw4" or "raw4x4". */
+    virtual std::string name() const = 0;
+
+    /** Number of clusters (VLIW clusters or Raw tiles). */
+    virtual int numClusters() const = 0;
+
+    /** Functional units of cluster @p cluster. */
+    virtual const std::vector<FuKind> &clusterFus(int cluster) const = 0;
+
+    /**
+     * Cycles between a producer's finish on @p from and the value's
+     * availability on @p to, assuming no resource contention.  Zero
+     * when from == to.
+     */
+    virtual int commLatency(int from, int to) const = 0;
+
+    /** How values cross clusters (selects the scheduler's comm path). */
+    virtual CommStyle commStyle() const = 0;
+
+    /** Cluster owning memory bank @p bank (banks interleave). */
+    int homeOfBank(int bank) const { return bank % numClusters(); }
+
+    /**
+     * Additional access latency for a memory operation touching
+     * @p bank when executed on @p cluster (0 when local).
+     */
+    virtual int memoryPenalty(int bank, int cluster) const = 0;
+
+    /** Architected registers per cluster (for pressure accounting). */
+    virtual int registersPerCluster() const { return 32; }
+
+    /**
+     * A one-cluster machine of the same family, used to compute the
+     * paper's speedup-vs-one-cluster normalisation.
+     */
+    virtual std::unique_ptr<MachineModel> makeSingleCluster() const = 0;
+
+    /** True when some FU of @p cluster can issue @p op. */
+    bool canExecute(int cluster, Opcode op) const;
+
+    /** Number of FUs of @p cluster that can issue @p op. */
+    int numFusFor(int cluster, Opcode op) const;
+};
+
+} // namespace csched
+
+#endif // CSCHED_MACHINE_MACHINE_HH

@@ -1,0 +1,117 @@
+#include "machine/raw_machine.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "support/logging.hh"
+
+namespace csched {
+
+RawMachine::RawMachine(int rows, int cols)
+    : rows_(rows), cols_(cols), fus_{FuKind::Universal}
+{
+    CSCHED_ASSERT(rows >= 1 && cols >= 1, "mesh must be at least 1x1");
+}
+
+RawMachine
+RawMachine::withTiles(int tiles)
+{
+    CSCHED_ASSERT(tiles >= 1, "need at least one tile");
+    // Squarest factorisation with rows <= cols (2 -> 1x2, 8 -> 2x4).
+    int rows = static_cast<int>(std::sqrt(static_cast<double>(tiles)));
+    while (rows > 1 && tiles % rows != 0)
+        --rows;
+    return RawMachine(rows, tiles / rows);
+}
+
+std::string
+RawMachine::name() const
+{
+    return "raw" + std::to_string(rows_) + "x" + std::to_string(cols_);
+}
+
+const std::vector<FuKind> &
+RawMachine::clusterFus(int cluster) const
+{
+    CSCHED_ASSERT(cluster >= 0 && cluster < numClusters(),
+                  "tile ", cluster, " out of range");
+    return fus_;
+}
+
+int
+RawMachine::distance(int from, int to) const
+{
+    return std::abs(rowOf(from) - rowOf(to)) +
+           std::abs(colOf(from) - colOf(to));
+}
+
+int
+RawMachine::commLatency(int from, int to) const
+{
+    if (from == to)
+        return 0;
+    // Three cycles between neighbours, one extra per additional hop.
+    return 3 + (distance(from, to) - 1);
+}
+
+int
+RawMachine::memoryPenalty(int bank, int cluster) const
+{
+    if (bank == -1)
+        return 0;
+    // Analysed (bank-known) references are preplaced on their home
+    // tile by the compiler; a remote access would have to take the
+    // dynamic network, which costs several cycles of occupancy and
+    // header overhead per request/reply pair.
+    const int home = homeOfBank(bank);
+    if (home == cluster)
+        return 0;
+    return 6 + 2 * distance(home, cluster);
+}
+
+std::unique_ptr<MachineModel>
+RawMachine::makeSingleCluster() const
+{
+    return std::make_unique<RawMachine>(1, 1);
+}
+
+int
+RawMachine::linkBetween(int tile, int next) const
+{
+    // Directions: 0 = east, 1 = west, 2 = south, 3 = north.
+    int dir;
+    if (next == tile + 1)
+        dir = 0;
+    else if (next == tile - 1)
+        dir = 1;
+    else if (next == tile + cols_)
+        dir = 2;
+    else if (next == tile - cols_)
+        dir = 3;
+    else
+        CSCHED_PANIC("tiles ", tile, " and ", next, " are not neighbours");
+    return tile * 4 + dir;
+}
+
+std::vector<int>
+RawMachine::route(int from, int to) const
+{
+    std::vector<int> links;
+    int current = from;
+    // X (column) first, then Y (row): dimension-ordered routing.
+    while (colOf(current) != colOf(to)) {
+        const int next = colOf(current) < colOf(to) ? current + 1
+                                                    : current - 1;
+        links.push_back(linkBetween(current, next));
+        current = next;
+    }
+    while (rowOf(current) != rowOf(to)) {
+        const int next = rowOf(current) < rowOf(to) ? current + cols_
+                                                    : current - cols_;
+        links.push_back(linkBetween(current, next));
+        current = next;
+    }
+    return links;
+}
+
+} // namespace csched

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The Raw tiled processor model (Taylor et al., IEEE Micro 2002).
+ *
+ * Tiles are organised in a rows x cols mesh; each tile has a single
+ * scalar pipeline (modelled as one Universal FU), its own registers,
+ * and a slice of the interleaved memory system.  Scalar operands move
+ * between tiles on the compiler-controlled static network with
+ * register-mapped ports: latency is three cycles between neighbouring
+ * tiles and one extra cycle per additional hop.  Routes follow
+ * dimension-ordered (X-then-Y) paths, and each directed mesh link can
+ * carry one word per cycle, so the scheduler must reserve link slots.
+ */
+
+#ifndef CSCHED_MACHINE_RAW_MACHINE_HH
+#define CSCHED_MACHINE_RAW_MACHINE_HH
+
+#include "machine/machine.hh"
+
+namespace csched {
+
+/** Raw mesh machine; tile ids are row-major. */
+class RawMachine : public MachineModel
+{
+  public:
+    /** Build a @p rows x @p cols mesh of tiles. */
+    RawMachine(int rows, int cols);
+
+    /** Convenience: square-ish mesh with @p tiles tiles (1,2,4,8,16...). */
+    static RawMachine withTiles(int tiles);
+
+    std::string name() const override;
+    int numClusters() const override { return rows_ * cols_; }
+    const std::vector<FuKind> &clusterFus(int cluster) const override;
+    int commLatency(int from, int to) const override;
+    CommStyle commStyle() const override { return CommStyle::Network; }
+    int memoryPenalty(int bank, int cluster) const override;
+    std::unique_ptr<MachineModel> makeSingleCluster() const override;
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+
+    int rowOf(int tile) const { return tile / cols_; }
+    int colOf(int tile) const { return tile % cols_; }
+    int tileAt(int row, int col) const { return row * cols_ + col; }
+
+    /** Manhattan distance between two tiles. */
+    int distance(int from, int to) const;
+
+    /**
+     * Directed mesh links along the X-then-Y route from @p from to
+     * @p to.  Link ids are stable and dense in [0, numLinks()).
+     */
+    std::vector<int> route(int from, int to) const;
+
+    /** Total number of directed mesh links (4 per tile). */
+    int numLinks() const { return numClusters() * 4; }
+
+  private:
+    /** Directed link leaving @p tile towards @p next (a neighbour). */
+    int linkBetween(int tile, int next) const;
+
+    int rows_;
+    int cols_;
+    std::vector<FuKind> fus_;
+};
+
+} // namespace csched
+
+#endif // CSCHED_MACHINE_RAW_MACHINE_HH

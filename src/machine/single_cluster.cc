@@ -1,0 +1,59 @@
+#include "machine/single_cluster.hh"
+
+#include "support/logging.hh"
+
+namespace csched {
+
+UniformMachine::UniformMachine(int num_clusters, int fus_per_cluster,
+                               int comm_latency)
+    : numClusters_(num_clusters), commLatency_(comm_latency)
+{
+    CSCHED_ASSERT(num_clusters >= 1, "need at least one cluster");
+    CSCHED_ASSERT(fus_per_cluster >= 1, "need at least one FU");
+    CSCHED_ASSERT(comm_latency >= 1, "communication must cost something");
+    fus_.assign(fus_per_cluster, FuKind::Universal);
+}
+
+std::string
+UniformMachine::name() const
+{
+    return "uniform" + std::to_string(numClusters_) + "x" +
+           std::to_string(static_cast<int>(fus_.size()));
+}
+
+const std::vector<FuKind> &
+UniformMachine::clusterFus(int cluster) const
+{
+    CSCHED_ASSERT(cluster >= 0 && cluster < numClusters_,
+                  "cluster ", cluster, " out of range");
+    return fus_;
+}
+
+int
+UniformMachine::commLatency(int from, int to) const
+{
+    return from == to ? 0 : commLatency_;
+}
+
+CommStyle
+UniformMachine::commStyle() const
+{
+    return CommStyle::ReceiveOp;
+}
+
+int
+UniformMachine::memoryPenalty(int bank, int cluster) const
+{
+    if (bank == -1)
+        return 0;
+    return homeOfBank(bank) == cluster ? 0 : 1;
+}
+
+std::unique_ptr<MachineModel>
+UniformMachine::makeSingleCluster() const
+{
+    return std::make_unique<UniformMachine>(
+        1, static_cast<int>(fus_.size()), commLatency_);
+}
+
+} // namespace csched

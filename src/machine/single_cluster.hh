@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Idealised single-cluster machine used in unit tests and in the
+ * Figure-1 reproduction: one cluster with a configurable number of
+ * homogeneous universal FUs and no communication.
+ */
+
+#ifndef CSCHED_MACHINE_SINGLE_CLUSTER_HH
+#define CSCHED_MACHINE_SINGLE_CLUSTER_HH
+
+#include "machine/machine.hh"
+
+namespace csched {
+
+/**
+ * Abstract test machine: @p num_clusters clusters of @p fus_per_cluster
+ * universal FUs with a uniform inter-cluster latency.  This is the
+ * "architecture with three clusters, each with one functional unit,
+ * where communication takes one cycle" of the paper's Figure 1.
+ */
+class UniformMachine : public MachineModel
+{
+  public:
+    UniformMachine(int num_clusters, int fus_per_cluster,
+                   int comm_latency);
+
+    std::string name() const override;
+    int numClusters() const override { return numClusters_; }
+    const std::vector<FuKind> &clusterFus(int cluster) const override;
+    int commLatency(int from, int to) const override;
+    CommStyle commStyle() const override;
+    int memoryPenalty(int bank, int cluster) const override;
+    std::unique_ptr<MachineModel> makeSingleCluster() const override;
+
+  private:
+    int numClusters_;
+    int commLatency_;
+    std::vector<FuKind> fus_;
+};
+
+} // namespace csched
+
+#endif // CSCHED_MACHINE_SINGLE_CLUSTER_HH

@@ -1,0 +1,130 @@
+#include "regions/program.hh"
+
+#include <set>
+
+#include "support/logging.hh"
+
+namespace csched {
+
+int
+Program::addUnit(ProgramUnit unit)
+{
+    units_.push_back(std::move(unit));
+    return static_cast<int>(units_.size()) - 1;
+}
+
+ProgramUnit &
+Program::unit(int index)
+{
+    CSCHED_ASSERT(index >= 0 && index < numUnits(), "unit ", index,
+                  " out of range");
+    return units_[index];
+}
+
+const ProgramUnit &
+Program::unit(int index) const
+{
+    CSCHED_ASSERT(index >= 0 && index < numUnits(), "unit ", index,
+                  " out of range");
+    return units_[index];
+}
+
+void
+Program::validate() const
+{
+    std::set<std::string> exported;
+    for (int k = 0; k < numUnits(); ++k) {
+        const auto &unit = units_[k];
+        for (const auto &[name, id] : unit.liveIns) {
+            CSCHED_ASSERT(exported.count(name),
+                          "unit '", unit.name, "' imports '", name,
+                          "' before any export");
+            CSCHED_ASSERT(id >= 0 && id < unit.graph.numInstructions(),
+                          "live-in id out of range");
+        }
+        for (const auto &[name, id] : unit.liveOuts) {
+            CSCHED_ASSERT(id >= 0 && id < unit.graph.numInstructions(),
+                          "live-out id out of range");
+            exported.insert(name);
+        }
+    }
+}
+
+void
+ProgramBuilder::beginUnit(std::string name)
+{
+    program_.addUnit(ProgramUnit{std::move(name), DependenceGraph(),
+                                 {}, {}});
+    open_ = true;
+}
+
+ProgramUnit &
+ProgramBuilder::current()
+{
+    CSCHED_ASSERT(open_, "no open unit: call beginUnit() first");
+    return program_.unit(program_.numUnits() - 1);
+}
+
+InstrId
+ProgramBuilder::op(Opcode opcode, const std::vector<InstrId> &deps,
+                   std::string name)
+{
+    auto &unit = current();
+    Instruction instr;
+    instr.op = opcode;
+    instr.name = std::move(name);
+    const InstrId id = unit.graph.addInstruction(std::move(instr));
+    for (InstrId dep : deps)
+        unit.graph.addEdge(dep, id, DepKind::Data);
+    return id;
+}
+
+InstrId
+ProgramBuilder::load(int bank, const std::vector<InstrId> &deps)
+{
+    const InstrId id = op(Opcode::Load, deps);
+    current().graph.instr(id).memBank = bank;
+    return id;
+}
+
+InstrId
+ProgramBuilder::store(int bank, InstrId value)
+{
+    const InstrId id = op(Opcode::Store, {value});
+    current().graph.instr(id).memBank = bank;
+    return id;
+}
+
+InstrId
+ProgramBuilder::importValue(const std::string &value_name)
+{
+    auto &unit = current();
+    const auto it = unit.liveIns.find(value_name);
+    if (it != unit.liveIns.end())
+        return it->second;
+    const InstrId id = op(Opcode::Const, {}, value_name + ".in");
+    unit.liveIns.emplace(value_name, id);
+    return id;
+}
+
+void
+ProgramBuilder::exportValue(const std::string &value_name, InstrId id)
+{
+    auto &unit = current();
+    CSCHED_ASSERT(id >= 0 && id < unit.graph.numInstructions(),
+                  "export of unknown instruction ", id);
+    CSCHED_ASSERT(!unit.liveOuts.count(value_name),
+                  "value '", value_name, "' exported twice");
+    unit.liveOuts.emplace(value_name, id);
+}
+
+Program
+ProgramBuilder::build()
+{
+    CSCHED_ASSERT(program_.numUnits() > 0, "empty program");
+    program_.validate();
+    open_ = false;
+    return std::move(program_);
+}
+
+} // namespace csched

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Multi-unit programs: scheduling regions connected by live values.
+ *
+ * The convergent scheduler operates on one scheduling unit at a time
+ * (a basic block, trace, superblock...).  Real programs are sequences
+ * of such units, and values live across unit boundaries.  Section 5 of
+ * the paper: "when a value is live across multiple scheduling regions,
+ * its definitions and uses must be mapped to a consistent cluster" --
+ * on Rawcc that cluster is the one of the first definition/use
+ * encountered; on Chorus every cross-region value is mapped to the
+ * first cluster.  This module models the program structure; the
+ * policies live in region_scheduler.hh.
+ *
+ * A unit imports live values (each import materialises as a Const
+ * instruction standing for the incoming register) and exports defined
+ * values by name.  Imports of a value must be preceded by an export in
+ * an earlier unit.
+ */
+
+#ifndef CSCHED_REGIONS_PROGRAM_HH
+#define CSCHED_REGIONS_PROGRAM_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/graph.hh"
+
+namespace csched {
+
+/** One scheduling region plus its boundary values. */
+struct ProgramUnit
+{
+    std::string name;
+    /** The region's dependence graph (unfinalized until scheduling:
+     *  live-value pinning must precede finalize()). */
+    DependenceGraph graph;
+    /** value name -> the Const instruction materialising the import. */
+    std::map<std::string, InstrId> liveIns;
+    /** value name -> defining instruction exported to later units. */
+    std::map<std::string, InstrId> liveOuts;
+};
+
+/** An ordered sequence of scheduling units. */
+class Program
+{
+  public:
+    /** Append a unit; returns its index. */
+    int addUnit(ProgramUnit unit);
+
+    int numUnits() const { return static_cast<int>(units_.size()); }
+    ProgramUnit &unit(int index);
+    const ProgramUnit &unit(int index) const;
+
+    /**
+     * Check the boundary structure: every live-in has an earlier
+     * exporter, and the referenced instructions exist.  Fatal on
+     * malformed programs.
+     */
+    void validate() const;
+
+  private:
+    std::vector<ProgramUnit> units_;
+};
+
+/** Incremental builder for multi-unit programs. */
+class ProgramBuilder
+{
+  public:
+    /** Start a new unit; instructions go to it until the next begin. */
+    void beginUnit(std::string name);
+
+    /** Append an instruction to the current unit. */
+    InstrId op(Opcode opcode, const std::vector<InstrId> &deps = {},
+               std::string name = "");
+
+    /** Load/store with a memory bank, as in GraphBuilder. */
+    InstrId load(int bank, const std::vector<InstrId> &deps = {});
+    InstrId store(int bank, InstrId value);
+
+    /**
+     * Import value @p value_name from an earlier unit; returns the
+     * Const instruction standing for it (usable as an operand).
+     * Repeated imports of the same value in one unit are shared.
+     */
+    InstrId importValue(const std::string &value_name);
+
+    /** Export instruction @p id under @p value_name. */
+    void exportValue(const std::string &value_name, InstrId id);
+
+    /** Finish and validate the program. */
+    Program build();
+
+  private:
+    ProgramUnit &current();
+
+    Program program_;
+    bool open_ = false;
+};
+
+} // namespace csched
+
+#endif // CSCHED_REGIONS_PROGRAM_HH

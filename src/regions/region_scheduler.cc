@@ -1,0 +1,68 @@
+#include "regions/region_scheduler.hh"
+
+#include "ir/graph_algorithms.hh"
+#include "sched/schedule_checker.hh"
+#include "support/logging.hh"
+
+namespace csched {
+
+ProgramResult
+scheduleProgram(Program &program, const MachineModel &machine,
+                const AlgorithmFactory &factory, LiveValuePolicy policy)
+{
+    program.validate();
+    ProgramResult result;
+
+    for (int k = 0; k < program.numUnits(); ++k) {
+        auto &unit = program.unit(k);
+        CSCHED_ASSERT(!unit.graph.finalized(),
+                      "program scheduled twice");
+
+        // Pin boundary values according to the policy.
+        for (const auto &[name, id] : unit.liveIns) {
+            const auto it = result.valueCluster.find(name);
+            CSCHED_ASSERT(it != result.valueCluster.end() &&
+                              it->second != kNoCluster,
+                          "live-in '", name, "' has no binding yet");
+            unit.graph.instr(id).homeCluster = it->second;
+        }
+        for (const auto &[name, id] : unit.liveOuts) {
+            int &binding =
+                result.valueCluster
+                    .emplace(name, kNoCluster)
+                    .first->second;
+            if (policy == LiveValuePolicy::FirstCluster) {
+                binding = 0;
+            }
+            // FirstUse: leave unbound definitions free; an already-
+            // bound name (re-export of an imported value) pins the
+            // definition to the existing binding.
+            if (binding != kNoCluster)
+                unit.graph.instr(id).homeCluster = binding;
+        }
+
+        // Memory banks pin as usual.
+        preplaceMemoryByBank(unit.graph, machine.numClusters());
+        unit.graph.finalize();
+
+        const auto algorithm = factory(machine);
+        Schedule schedule = algorithm->run(unit.graph);
+        const auto check =
+            checkSchedule(unit.graph, machine, schedule);
+        CSCHED_ASSERT(check.ok(), "unit '", unit.name,
+                      "' schedule invalid: ", check.message());
+
+        // FirstUse: record where unbound definitions landed.
+        for (const auto &[name, id] : unit.liveOuts) {
+            int &binding = result.valueCluster.at(name);
+            if (binding == kNoCluster)
+                binding = schedule.clusterOf(id);
+        }
+
+        result.totalCycles += schedule.makespan();
+        result.schedules.push_back(std::move(schedule));
+    }
+    return result;
+}
+
+} // namespace csched

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Scheduling multi-unit programs with consistent live-value placement.
+ *
+ * Implements the two policies of the paper's Section 5:
+ *
+ *  - FirstCluster (Chorus): every value live across scheduling regions
+ *    is mapped to the first cluster -- its defining instruction and
+ *    every import are preplaced on cluster 0.
+ *  - FirstUse (Rawcc): a live value is bound to the cluster of the
+ *    first definition/use the compiler encounters; the definition's
+ *    unit is scheduled with the value unconstrained, the chosen
+ *    cluster is recorded, and all later units' imports (and re-exports)
+ *    become preplaced instructions on that cluster.
+ *
+ * Units execute back-to-back, so the program makespan is the sum of
+ * unit makespans.  Every unit's schedule is produced by the supplied
+ * algorithm factory and re-verified by the checker.
+ */
+
+#ifndef CSCHED_REGIONS_REGION_SCHEDULER_HH
+#define CSCHED_REGIONS_REGION_SCHEDULER_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "machine/machine.hh"
+#include "regions/program.hh"
+#include "sched/algorithm.hh"
+
+namespace csched {
+
+/** How cross-region live values choose their consistent cluster. */
+enum class LiveValuePolicy {
+    FirstCluster,  ///< Chorus: everything on cluster 0
+    FirstUse,      ///< Rawcc: the cluster of the first definition
+};
+
+/** Result of scheduling one program. */
+struct ProgramResult
+{
+    /** One schedule per unit, in program order. */
+    std::vector<Schedule> schedules;
+    /** Sum of unit makespans. */
+    int totalCycles = 0;
+    /** Final cluster binding of every cross-region value. */
+    std::map<std::string, int> valueCluster;
+};
+
+/** Creates the per-unit scheduling algorithm (units are independent). */
+using AlgorithmFactory =
+    std::function<std::unique_ptr<SchedulingAlgorithm>(
+        const MachineModel &)>;
+
+/**
+ * Schedule @p program on @p machine.  Mutates the program: live-value
+ * pinning is applied to the unit graphs, which are finalized in the
+ * process (a program can therefore be scheduled once).
+ */
+ProgramResult scheduleProgram(Program &program,
+                              const MachineModel &machine,
+                              const AlgorithmFactory &factory,
+                              LiveValuePolicy policy);
+
+} // namespace csched
+
+#endif // CSCHED_REGIONS_REGION_SCHEDULER_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Common interface for complete scheduling algorithms (assignment plus
+ * scheduling), implemented by the convergent scheduler adapter and by
+ * every baseline (UAS, PCC, the Rawcc partitioner, single-cluster).
+ * The evaluation harness iterates algorithms through this interface.
+ */
+
+#ifndef CSCHED_SCHED_ALGORITHM_HH
+#define CSCHED_SCHED_ALGORITHM_HH
+
+#include <string>
+
+#include "ir/graph.hh"
+#include "sched/schedule.hh"
+
+namespace csched {
+
+/** A complete space-time scheduler bound to one machine. */
+class SchedulingAlgorithm
+{
+  public:
+    virtual ~SchedulingAlgorithm() = default;
+
+    /** Display name used in result tables, e.g. "UAS". */
+    virtual std::string name() const = 0;
+
+    /** Produce a legal schedule of @p graph. */
+    virtual Schedule run(const DependenceGraph &graph) const = 0;
+};
+
+} // namespace csched
+
+#endif // CSCHED_SCHED_ALGORITHM_HH

@@ -1,0 +1,226 @@
+#include "sched/list_scheduler.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "machine/raw_machine.hh"
+#include "sched/reservation.hh"
+#include "support/logging.hh"
+
+namespace csched {
+
+namespace {
+
+constexpr int kInfinity = std::numeric_limits<int>::max() / 4;
+
+/** Mutable state for one scheduling run. */
+struct RunState
+{
+    RunState(const MachineModel &machine, const DependenceGraph &graph)
+        : fus(machine),
+          links(machine.commStyle() == CommStyle::Network
+                    ? dynamic_cast<const RawMachine &>(machine).numLinks()
+                    : 0),
+          availAt(static_cast<size_t>(graph.numInstructions()) *
+                      machine.numClusters(),
+                  -1)
+    {
+    }
+
+    FuReservation fus;
+    LinkReservation links;
+    /** availAt[i * K + c]: first cycle i's value is usable on c. */
+    std::vector<int> availAt;
+};
+
+} // namespace
+
+ListScheduler::ListScheduler(const MachineModel &machine)
+    : machine_(machine)
+{
+}
+
+Schedule
+ListScheduler::run(const DependenceGraph &graph,
+                   const std::vector<int> &assignment,
+                   const std::vector<double> &priority) const
+{
+    const int n = graph.numInstructions();
+    const int num_clusters = machine_.numClusters();
+    CSCHED_ASSERT(static_cast<int>(assignment.size()) == n,
+                  "assignment size mismatch");
+    CSCHED_ASSERT(static_cast<int>(priority.size()) == n,
+                  "priority size mismatch");
+
+    for (InstrId id = 0; id < n; ++id) {
+        const auto &instr = graph.instr(id);
+        const int cluster = assignment[id];
+        CSCHED_ASSERT(cluster >= 0 && cluster < num_clusters,
+                      "instruction ", id, " assigned to invalid cluster ",
+                      cluster);
+        CSCHED_ASSERT(machine_.canExecute(cluster, instr.op),
+                      "cluster ", cluster, " cannot execute ",
+                      opcodeName(instr.op));
+        CSCHED_ASSERT(!instr.preplaced() || cluster == instr.homeCluster,
+                      "preplaced instruction ", id, " assigned to ",
+                      cluster, " instead of home ", instr.homeCluster);
+    }
+
+    Schedule schedule(n, num_clusters);
+    RunState state(machine_, graph);
+
+    const auto *raw = machine_.commStyle() == CommStyle::Network
+                          ? &dynamic_cast<const RawMachine &>(machine_)
+                          : nullptr;
+
+    std::vector<int> unplaced_preds(n, 0);
+    std::vector<int> ready_at(n, 0);
+    std::vector<InstrId> ready;
+    for (InstrId id = 0; id < n; ++id) {
+        unplaced_preds[id] = static_cast<int>(graph.preds(id).size());
+        if (unplaced_preds[id] == 0)
+            ready.push_back(id);
+    }
+
+    // Out-edges indexed by source so the hot loop below is O(degree).
+    std::vector<std::vector<std::pair<InstrId, DepKind>>> out(n);
+    for (const auto &edge : graph.edges())
+        out[edge.src].emplace_back(edge.dst, edge.kind);
+
+    // Reserve the communication resource that carries producer's value
+    // to to_cluster; returns the arrival cycle.
+    auto schedule_comm = [&](InstrId producer, int finish,
+                             int to_cluster) -> int {
+        const int from = assignment[producer];
+        CommEvent event;
+        event.producer = producer;
+        event.fromCluster = from;
+        event.toCluster = to_cluster;
+        switch (machine_.commStyle()) {
+          case CommStyle::TransferUnit: {
+            const auto [cycle, fu] =
+                state.fus.earliestFor(from, Opcode::Copy, finish);
+            state.fus.take(from, fu, cycle);
+            event.start = cycle;
+            event.fu = fu;
+            event.arrive = cycle + machine_.commLatency(from, to_cluster);
+            break;
+          }
+          case CommStyle::ReceiveOp: {
+            const auto [cycle, fu] =
+                state.fus.earliestFor(to_cluster, Opcode::Recv, finish);
+            state.fus.take(to_cluster, fu, cycle);
+            event.start = cycle;
+            event.fu = fu;
+            event.arrive = cycle + machine_.commLatency(from, to_cluster);
+            break;
+          }
+          case CommStyle::Network: {
+            const auto route = raw->route(from, to_cluster);
+            const int send =
+                state.links.earliestRouteSlot(route, finish);
+            state.links.takeRoute(route, send);
+            event.start = send;
+            event.arrive = send + machine_.commLatency(from, to_cluster);
+            for (size_t hop = 0; hop < route.size(); ++hop)
+                event.linkSlots.emplace_back(
+                    route[hop], send + static_cast<int>(hop));
+            break;
+          }
+        }
+        schedule.addComm(event);
+        return event.arrive;
+    };
+
+    int remaining = n;
+    int cycle = 0;
+    std::vector<InstrId> candidates;
+    while (remaining > 0) {
+        candidates.clear();
+        for (InstrId id : ready)
+            if (ready_at[id] <= cycle)
+                candidates.push_back(id);
+
+        std::stable_sort(candidates.begin(), candidates.end(),
+                         [&](InstrId a, InstrId b) {
+                             if (priority[a] != priority[b])
+                                 return priority[a] > priority[b];
+                             if (ready_at[a] != ready_at[b])
+                                 return ready_at[a] < ready_at[b];
+                             return a < b;
+                         });
+
+        for (InstrId id : candidates) {
+            const auto &instr = graph.instr(id);
+            const int cluster = assignment[id];
+            const int fu = state.fus.freeFuFor(cluster, instr.op, cycle);
+            if (fu == -1)
+                continue;
+            state.fus.take(cluster, fu, cycle);
+
+            Placement placement;
+            placement.cluster = cluster;
+            placement.cycle = cycle;
+            placement.fu = fu;
+            placement.finish =
+                cycle + graph.latency(id) +
+                (isMemory(instr.op)
+                     ? machine_.memoryPenalty(instr.memBank, cluster)
+                     : 0);
+            schedule.place(id, placement);
+            --remaining;
+            ready.erase(std::find(ready.begin(), ready.end(), id));
+
+            state.availAt[static_cast<size_t>(id) * num_clusters +
+                          cluster] = placement.finish;
+
+            // Eagerly move the value to every consumer cluster.
+            for (const auto &[dst, kind] : out[id]) {
+                if (kind != DepKind::Data)
+                    continue;
+                const int dest = assignment[dst];
+                auto &avail =
+                    state.availAt[static_cast<size_t>(id) * num_clusters +
+                                  dest];
+                if (avail == -1)
+                    avail = schedule_comm(id, placement.finish, dest);
+            }
+
+            // Release successors whose operands are now all known.
+            for (const auto &[succ, kind] : out[id]) {
+                int constraint;
+                if (kind == DepKind::Data) {
+                    constraint =
+                        state.availAt[static_cast<size_t>(id) *
+                                          num_clusters +
+                                      assignment[succ]];
+                } else {
+                    // Anti/output dependences only order issue slots.
+                    constraint = placement.cycle + 1;
+                }
+                ready_at[succ] = std::max(ready_at[succ], constraint);
+                if (--unplaced_preds[succ] == 0)
+                    ready.push_back(succ);
+            }
+        }
+
+        // Advance time; skip dead cycles when nothing becomes ready.
+        int next = cycle + 1;
+        if (!ready.empty()) {
+            int soonest = kInfinity;
+            bool waiting_on_fu = false;
+            for (InstrId id : ready) {
+                if (ready_at[id] <= cycle)
+                    waiting_on_fu = true;
+                soonest = std::min(soonest, ready_at[id]);
+            }
+            if (!waiting_on_fu && soonest > next)
+                next = soonest;
+        }
+        cycle = next;
+    }
+
+    return schedule;
+}
+
+} // namespace csched

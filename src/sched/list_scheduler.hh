@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Cycle-driven list scheduler with communication insertion.
+ *
+ * Both the convergent scheduler and the offline baselines (PCC, the
+ * Rawcc partitioner) separate *assignment* from *scheduling*: they fix
+ * a cluster per instruction, then hand the assignment plus a priority
+ * per instruction to this scheduler.  The scheduler walks cycles in
+ * order; at each cycle it issues, in priority order, every ready
+ * instruction whose cluster has a capable functional unit free.  When
+ * a value is consumed on another cluster the scheduler eagerly
+ * reserves the machine's communication resource:
+ *
+ *  - TransferUnit: a Copy on the producer cluster's transfer unit,
+ *  - ReceiveOp: a Recv slot on the consumer cluster's FUs,
+ *  - Network: per-hop link slots along the mesh route.
+ *
+ * Memory operations pay the machine's remote-bank penalty when placed
+ * off their home bank.  Preplaced instructions must be assigned to
+ * their home cluster; the scheduler treats anything else as a caller
+ * bug.
+ */
+
+#ifndef CSCHED_SCHED_LIST_SCHEDULER_HH
+#define CSCHED_SCHED_LIST_SCHEDULER_HH
+
+#include <vector>
+
+#include "ir/graph.hh"
+#include "machine/machine.hh"
+#include "sched/schedule.hh"
+
+namespace csched {
+
+/** Assignment-driven cycle-by-cycle scheduler. */
+class ListScheduler
+{
+  public:
+    /** Bind the scheduler to a machine model. */
+    explicit ListScheduler(const MachineModel &machine);
+
+    /**
+     * Schedule @p graph under the given cluster @p assignment.
+     * Higher @p priority values issue first among ready instructions.
+     *
+     * @pre assignment[i] is a valid cluster that can execute i's
+     *      opcode, and equals the home cluster for preplaced i.
+     */
+    Schedule run(const DependenceGraph &graph,
+                 const std::vector<int> &assignment,
+                 const std::vector<double> &priority) const;
+
+  private:
+    const MachineModel &machine_;
+};
+
+} // namespace csched
+
+#endif // CSCHED_SCHED_LIST_SCHEDULER_HH

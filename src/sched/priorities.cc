@@ -1,0 +1,35 @@
+#include "sched/priorities.hh"
+
+#include "support/logging.hh"
+
+namespace csched {
+
+std::vector<double>
+criticalPathPriority(const DependenceGraph &graph)
+{
+    std::vector<double> out(graph.numInstructions());
+    for (InstrId id = 0; id < graph.numInstructions(); ++id)
+        out[id] = static_cast<double>(graph.latestFinishSlack(id));
+    return out;
+}
+
+std::vector<double>
+preferredTimePriority(const DependenceGraph &graph,
+                      const std::vector<int> &preferred_time)
+{
+    CSCHED_ASSERT(static_cast<int>(preferred_time.size()) ==
+                      graph.numInstructions(),
+                  "preferred-time vector size mismatch");
+    // Scale the slack tie-break below the time resolution so the
+    // preferred times dominate, but strongly enough to order whole
+    // groups of instructions sharing a preferred slot.
+    const double cpl = graph.criticalPathLength();
+    std::vector<double> out(graph.numInstructions());
+    for (InstrId id = 0; id < graph.numInstructions(); ++id) {
+        out[id] = -static_cast<double>(preferred_time[id]) +
+                  graph.latestFinishSlack(id) / (cpl + 1.0);
+    }
+    return out;
+}
+
+} // namespace csched

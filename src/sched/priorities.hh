@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Standard priority vectors for list scheduling.
+ */
+
+#ifndef CSCHED_SCHED_PRIORITIES_HH
+#define CSCHED_SCHED_PRIORITIES_HH
+
+#include <vector>
+
+#include "ir/graph.hh"
+
+namespace csched {
+
+/**
+ * Classic critical-path priority: an instruction's latency-weighted
+ * longest path to a leaf.  Instructions with more work below them
+ * issue first.
+ */
+std::vector<double> criticalPathPriority(const DependenceGraph &graph);
+
+/**
+ * Priority from preferred times (the convergent scheduler's output):
+ * instructions the convergent matrix wants earlier issue first, with
+ * the critical-path slack as a tie-break.
+ */
+std::vector<double>
+preferredTimePriority(const DependenceGraph &graph,
+                      const std::vector<int> &preferred_time);
+
+} // namespace csched
+
+#endif // CSCHED_SCHED_PRIORITIES_HH

@@ -1,0 +1,90 @@
+#include "sched/register_pressure.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace csched {
+
+int
+PressureReport::peak() const
+{
+    int best = 0;
+    for (int live : maxLive)
+        best = std::max(best, live);
+    return best;
+}
+
+int
+PressureReport::clustersOverBudget(int register_count) const
+{
+    int over = 0;
+    for (int live : maxLive)
+        if (live > register_count)
+            ++over;
+    return over;
+}
+
+PressureReport
+analyzePressure(const DependenceGraph &graph, const Schedule &schedule)
+{
+    const int num_clusters = schedule.numClusters();
+    const int horizon = schedule.makespan() + 1;
+
+    // delta[c][t]: live-range starts minus ends at cycle t.
+    std::vector<std::vector<int>> delta(
+        num_clusters, std::vector<int>(horizon + 1, 0));
+
+    auto add_range = [&](int cluster, int from, int to) {
+        // Live in [from, to); empty or negative ranges are skipped.
+        if (from >= to)
+            return;
+        delta[cluster][std::min(from, horizon)] += 1;
+        delta[cluster][std::min(to, horizon)] -= 1;
+    };
+
+    for (InstrId id = 0; id < graph.numInstructions(); ++id) {
+        if (graph.instr(id).op == Opcode::Store)
+            continue;  // stores produce no register value
+        const auto &p = schedule.at(id);
+
+        // Last local use on the producer cluster.
+        int last_local = p.finish;
+        for (InstrId succ : graph.succs(id)) {
+            const auto &sp = schedule.at(succ);
+            if (sp.cluster == p.cluster)
+                last_local = std::max(last_local, sp.cycle + 1);
+        }
+        // The value also stays live until any outgoing comm reads it.
+        for (const auto &event : schedule.comms())
+            if (event.producer == id)
+                last_local = std::max(last_local, event.start + 1);
+        add_range(p.cluster, p.finish, last_local);
+
+        // Remote copies live from arrival to last remote use.
+        for (const auto &event : schedule.comms()) {
+            if (event.producer != id)
+                continue;
+            int last_remote = event.arrive;
+            for (InstrId succ : graph.succs(id)) {
+                const auto &sp = schedule.at(succ);
+                if (sp.cluster == event.toCluster)
+                    last_remote = std::max(last_remote, sp.cycle + 1);
+            }
+            add_range(event.toCluster, event.arrive, last_remote);
+        }
+    }
+
+    PressureReport report;
+    report.maxLive.assign(num_clusters, 0);
+    for (int c = 0; c < num_clusters; ++c) {
+        int live = 0;
+        for (int t = 0; t <= horizon; ++t) {
+            live += delta[c][t];
+            report.maxLive[c] = std::max(report.maxLive[c], live);
+        }
+    }
+    return report;
+}
+
+} // namespace csched

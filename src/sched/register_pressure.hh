@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Register-pressure accounting for schedules.
+ *
+ * The paper motivates convergent scheduling partly through the tension
+ * between ILP and register pressure.  We do not run a full register
+ * allocator (the paper's results are schedule-length based); instead
+ * this analysis reports, for every cluster, the maximum number of
+ * simultaneously-live values, so tests and benches can observe the
+ * pressure effects of different assignments.
+ *
+ * A value produced by instruction i on cluster c is live on c from
+ * i's finish until the last local use issues; a value consumed
+ * remotely is additionally live on the consumer cluster from its
+ * arrival until the last use there.
+ */
+
+#ifndef CSCHED_SCHED_REGISTER_PRESSURE_HH
+#define CSCHED_SCHED_REGISTER_PRESSURE_HH
+
+#include <vector>
+
+#include "ir/graph.hh"
+#include "sched/schedule.hh"
+
+namespace csched {
+
+/** Register-pressure summary of one schedule. */
+struct PressureReport
+{
+    /** Maximum simultaneous live values, per cluster. */
+    std::vector<int> maxLive;
+
+    /** Largest entry of maxLive (0 for empty schedules). */
+    int peak() const;
+
+    /** Clusters whose peak exceeds @p register_count. */
+    int clustersOverBudget(int register_count) const;
+};
+
+/** Compute the pressure report of @p schedule. */
+PressureReport analyzePressure(const DependenceGraph &graph,
+                               const Schedule &schedule);
+
+} // namespace csched
+
+#endif // CSCHED_SCHED_REGISTER_PRESSURE_HH

@@ -1,0 +1,87 @@
+#include "sched/schedule.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace csched {
+
+Schedule::Schedule(int num_instrs, int num_clusters)
+    : numClusters_(num_clusters), placements_(num_instrs)
+{
+    CSCHED_ASSERT(num_instrs >= 0, "negative instruction count");
+    CSCHED_ASSERT(num_clusters >= 1, "need at least one cluster");
+}
+
+void
+Schedule::place(InstrId id, Placement placement)
+{
+    CSCHED_ASSERT(id >= 0 && id < numInstructions(),
+                  "instruction id ", id, " out of range");
+    CSCHED_ASSERT(!placed(id), "instruction ", id, " placed twice");
+    CSCHED_ASSERT(placement.cluster >= 0 &&
+                      placement.cluster < numClusters_,
+                  "cluster ", placement.cluster, " out of range");
+    CSCHED_ASSERT(placement.cycle >= 0, "negative issue cycle");
+    CSCHED_ASSERT(placement.finish > placement.cycle,
+                  "finish must be after issue");
+    placements_[id] = placement;
+}
+
+bool
+Schedule::placed(InstrId id) const
+{
+    CSCHED_ASSERT(id >= 0 && id < numInstructions(),
+                  "instruction id ", id, " out of range");
+    return placements_[id].cluster != -1;
+}
+
+const Placement &
+Schedule::at(InstrId id) const
+{
+    CSCHED_ASSERT(placed(id), "instruction ", id, " not placed");
+    return placements_[id];
+}
+
+void
+Schedule::addComm(CommEvent event)
+{
+    CSCHED_ASSERT(event.producer != kNoInstr, "comm without producer");
+    CSCHED_ASSERT(event.fromCluster != event.toCluster,
+                  "comm within one cluster");
+    CSCHED_ASSERT(event.arrive > event.start, "comm arrives before start");
+    comms_.push_back(std::move(event));
+}
+
+int
+Schedule::makespan() const
+{
+    int last = 0;
+    for (const auto &placement : placements_)
+        if (placement.cluster != -1)
+            last = std::max(last, placement.finish);
+    for (const auto &event : comms_)
+        last = std::max(last, event.arrive);
+    return last;
+}
+
+std::vector<int>
+Schedule::assignment() const
+{
+    std::vector<int> out(placements_.size());
+    for (size_t i = 0; i < placements_.size(); ++i)
+        out[i] = placements_[i].cluster;
+    return out;
+}
+
+int
+Schedule::clusterLoad(int cluster) const
+{
+    int load = 0;
+    for (const auto &placement : placements_)
+        if (placement.cluster == cluster)
+            ++load;
+    return load;
+}
+
+} // namespace csched

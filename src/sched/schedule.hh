@@ -1,0 +1,95 @@
+/**
+ * @file
+ * A concrete space-time schedule: for every instruction the cluster,
+ * issue cycle, and functional unit it uses, plus every inter-cluster
+ * communication event (transfer-unit copy, receive op, or network
+ * route) the schedule relies on.  The ScheduleChecker re-validates all
+ * of this against the dependence graph and machine model.
+ */
+
+#ifndef CSCHED_SCHED_SCHEDULE_HH
+#define CSCHED_SCHED_SCHEDULE_HH
+
+#include <utility>
+#include <vector>
+
+#include "ir/instruction.hh"
+
+namespace csched {
+
+/** Where and when one instruction executes. */
+struct Placement
+{
+    int cluster = -1;
+    int cycle = -1;    ///< issue cycle
+    int fu = -1;       ///< FU index within the cluster
+    int finish = -1;   ///< first cycle the result is usable locally
+};
+
+/** One inter-cluster value transfer. */
+struct CommEvent
+{
+    InstrId producer = kNoInstr;
+    int fromCluster = -1;
+    int toCluster = -1;
+    int start = -1;    ///< cycle the comm resource is first used
+    int arrive = -1;   ///< first cycle a consumer on toCluster may issue
+    /**
+     * FU index consumed by the event: a Transfer unit on fromCluster
+     * (TransferUnit style) or a regular FU on toCluster (ReceiveOp
+     * style); -1 for Network style.
+     */
+    int fu = -1;
+    /** (link id, cycle) pairs reserved on the mesh (Network style). */
+    std::vector<std::pair<int, int>> linkSlots;
+};
+
+/** Full schedule of one scheduling unit on one machine. */
+class Schedule
+{
+  public:
+    /** Create an empty schedule for @p num_instrs instructions. */
+    Schedule(int num_instrs, int num_clusters);
+
+    /** Record the placement of one instruction (each exactly once). */
+    void place(InstrId id, Placement placement);
+
+    bool placed(InstrId id) const;
+    const Placement &at(InstrId id) const;
+
+    int clusterOf(InstrId id) const { return at(id).cluster; }
+    int cycleOf(InstrId id) const { return at(id).cycle; }
+
+    /** Record one communication event. */
+    void addComm(CommEvent event);
+
+    const std::vector<CommEvent> &comms() const { return comms_; }
+
+    int numInstructions() const
+    {
+        return static_cast<int>(placements_.size());
+    }
+
+    int numClusters() const { return numClusters_; }
+
+    /**
+     * Makespan in cycles: the last instruction finish or communication
+     * arrival.  An empty schedule has makespan 0.
+     */
+    int makespan() const;
+
+    /** Cluster assignment vector (cluster per instruction). */
+    std::vector<int> assignment() const;
+
+    /** Number of instructions placed on @p cluster. */
+    int clusterLoad(int cluster) const;
+
+  private:
+    int numClusters_;
+    std::vector<Placement> placements_;
+    std::vector<CommEvent> comms_;
+};
+
+} // namespace csched
+
+#endif // CSCHED_SCHED_SCHEDULE_HH

@@ -1,0 +1,224 @@
+#include "sched/schedule_checker.hh"
+
+#include <map>
+#include <sstream>
+
+#include "machine/raw_machine.hh"
+#include "support/str.hh"
+
+namespace csched {
+
+std::string
+CheckResult::message() const
+{
+    return join(violations, "; ");
+}
+
+namespace {
+
+/** Collects violations with printf-free streaming. */
+class Reporter
+{
+  public:
+    explicit Reporter(CheckResult &result) : result_(result) {}
+
+    template <typename... Args>
+    void
+    fail(Args &&...args)
+    {
+        std::ostringstream os;
+        (os << ... << std::forward<Args>(args));
+        result_.violations.push_back(os.str());
+    }
+
+  private:
+    CheckResult &result_;
+};
+
+} // namespace
+
+CheckResult
+checkSchedule(const DependenceGraph &graph, const MachineModel &machine,
+              const Schedule &schedule)
+{
+    CheckResult result;
+    Reporter report(result);
+    const int n = graph.numInstructions();
+
+    if (schedule.numInstructions() != n) {
+        report.fail("schedule covers ", schedule.numInstructions(),
+                    " instructions, graph has ", n);
+        return result;
+    }
+
+    // 1. Every instruction placed, on a capable cluster, at its home
+    //    if preplaced, with a finish consistent with latency+penalty.
+    for (InstrId id = 0; id < n; ++id) {
+        if (!schedule.placed(id)) {
+            report.fail("instruction ", id, " never placed");
+            continue;
+        }
+        const auto &p = schedule.at(id);
+        const auto &instr = graph.instr(id);
+        if (p.cluster < 0 || p.cluster >= machine.numClusters()) {
+            report.fail("instruction ", id, " on invalid cluster ",
+                        p.cluster);
+            continue;
+        }
+        const auto &fus = machine.clusterFus(p.cluster);
+        if (p.fu < 0 || p.fu >= static_cast<int>(fus.size())) {
+            report.fail("instruction ", id, " on invalid FU ", p.fu);
+            continue;
+        }
+        if (!fuCanExecute(fus[p.fu], instr.op)) {
+            report.fail("instruction ", id, " (", opcodeName(instr.op),
+                        ") on incapable FU ", fuKindName(fus[p.fu]));
+        }
+        if (instr.preplaced() && p.cluster != instr.homeCluster) {
+            report.fail("preplaced instruction ", id, " on cluster ",
+                        p.cluster, ", home is ", instr.homeCluster);
+        }
+        int expected_finish = p.cycle + graph.latency(id);
+        if (isMemory(instr.op))
+            expected_finish +=
+                machine.memoryPenalty(instr.memBank, p.cluster);
+        if (p.finish != expected_finish) {
+            report.fail("instruction ", id, " finish ", p.finish,
+                        " != issue+latency(+penalty) ", expected_finish);
+        }
+    }
+    if (!result.ok())
+        return result;
+
+    // 2. FU exclusivity: instructions plus FU-consuming comm events.
+    std::map<std::tuple<int, int, int>, std::string> fu_users;
+    auto claim_fu = [&](int cluster, int fu, int cycle,
+                        const std::string &who) {
+        const auto key = std::make_tuple(cluster, fu, cycle);
+        auto [it, inserted] = fu_users.emplace(key, who);
+        if (!inserted) {
+            report.fail("FU conflict on cluster ", cluster, " fu ", fu,
+                        " cycle ", cycle, ": ", who, " vs ", it->second);
+        }
+    };
+    for (InstrId id = 0; id < n; ++id) {
+        const auto &p = schedule.at(id);
+        claim_fu(p.cluster, p.fu, p.cycle, "i" + std::to_string(id));
+    }
+
+    // 3. Communication events: resources and latency.
+    const auto *raw = machine.commStyle() == CommStyle::Network
+                          ? dynamic_cast<const RawMachine *>(&machine)
+                          : nullptr;
+    std::map<std::pair<int, int>, std::string> link_users;
+    for (size_t k = 0; k < schedule.comms().size(); ++k) {
+        const auto &event = schedule.comms()[k];
+        const std::string who = "comm" + std::to_string(k);
+        const auto &p = schedule.at(event.producer);
+        if (event.fromCluster != p.cluster) {
+            report.fail(who, " leaves cluster ", event.fromCluster,
+                        " but producer sits on ", p.cluster);
+        }
+        if (event.start < p.finish) {
+            report.fail(who, " starts at ", event.start,
+                        " before producer finish ", p.finish);
+        }
+        const int latency =
+            machine.commLatency(event.fromCluster, event.toCluster);
+        if (event.arrive != event.start + latency) {
+            report.fail(who, " arrives at ", event.arrive,
+                        " != start+latency ", event.start + latency);
+        }
+        switch (machine.commStyle()) {
+          case CommStyle::TransferUnit: {
+            const auto &fus = machine.clusterFus(event.fromCluster);
+            if (event.fu < 0 || event.fu >= static_cast<int>(fus.size()) ||
+                !fuCanExecute(fus[event.fu], Opcode::Copy)) {
+                report.fail(who, " uses non-transfer FU ", event.fu);
+            } else {
+                claim_fu(event.fromCluster, event.fu, event.start, who);
+            }
+            break;
+          }
+          case CommStyle::ReceiveOp: {
+            const auto &fus = machine.clusterFus(event.toCluster);
+            if (event.fu < 0 || event.fu >= static_cast<int>(fus.size()) ||
+                !fuCanExecute(fus[event.fu], Opcode::Recv)) {
+                report.fail(who, " uses invalid receive FU ", event.fu);
+            } else {
+                claim_fu(event.toCluster, event.fu, event.start, who);
+            }
+            break;
+          }
+          case CommStyle::Network: {
+            const auto route =
+                raw->route(event.fromCluster, event.toCluster);
+            if (event.linkSlots.size() != route.size()) {
+                report.fail(who, " reserves ", event.linkSlots.size(),
+                            " link slots, route needs ", route.size());
+                break;
+            }
+            for (size_t hop = 0; hop < route.size(); ++hop) {
+                const auto &[link, cycle] = event.linkSlots[hop];
+                if (link != route[hop]) {
+                    report.fail(who, " hop ", hop, " on link ", link,
+                                " instead of ", route[hop]);
+                }
+                if (cycle != event.start + static_cast<int>(hop)) {
+                    report.fail(who, " hop ", hop, " at cycle ", cycle,
+                                " instead of ",
+                                event.start + static_cast<int>(hop));
+                }
+                auto [it, inserted] = link_users.emplace(
+                    std::make_pair(link, cycle), who);
+                if (!inserted) {
+                    report.fail("link conflict on link ", link,
+                                " cycle ", cycle, ": ", who, " vs ",
+                                it->second);
+                }
+            }
+            break;
+          }
+        }
+    }
+
+    // 4. Dependence timing.
+    for (const auto &edge : graph.edges()) {
+        const auto &src = schedule.at(edge.src);
+        const auto &dst = schedule.at(edge.dst);
+        if (edge.kind != DepKind::Data) {
+            if (dst.cycle <= src.cycle) {
+                report.fail("ordering edge ", edge.src, "->", edge.dst,
+                            " violated: ", dst.cycle, " <= ", src.cycle);
+            }
+            continue;
+        }
+        if (src.cluster == dst.cluster) {
+            if (dst.cycle < src.finish) {
+                report.fail("data edge ", edge.src, "->", edge.dst,
+                            " violated locally: consumer at ", dst.cycle,
+                            ", producer finishes ", src.finish);
+            }
+            continue;
+        }
+        // Cross-cluster: some comm event must deliver the value.
+        bool delivered = false;
+        for (const auto &event : schedule.comms()) {
+            if (event.producer == edge.src &&
+                event.toCluster == dst.cluster &&
+                event.arrive <= dst.cycle) {
+                delivered = true;
+                break;
+            }
+        }
+        if (!delivered) {
+            report.fail("data edge ", edge.src, "->", edge.dst,
+                        " has no communication arriving on cluster ",
+                        dst.cluster, " by cycle ", dst.cycle);
+        }
+    }
+
+    return result;
+}
+
+} // namespace csched

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Independent validator for schedules.
+ *
+ * Scheduling legality is never entrusted to the heuristics: every
+ * schedule produced in the tests and benches is re-verified here
+ * against the dependence graph and the machine model.  The checker
+ * validates placement completeness, preplacement correctness, FU
+ * exclusivity and capability, communication-resource exclusivity, and
+ * dependence timing (including comm latency and memory penalties).
+ */
+
+#ifndef CSCHED_SCHED_SCHEDULE_CHECKER_HH
+#define CSCHED_SCHED_SCHEDULE_CHECKER_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/graph.hh"
+#include "machine/machine.hh"
+#include "sched/schedule.hh"
+
+namespace csched {
+
+/** Result of checking one schedule. */
+struct CheckResult
+{
+    /** Human-readable violations; empty means the schedule is legal. */
+    std::vector<std::string> violations;
+
+    bool ok() const { return violations.empty(); }
+
+    /** All violations joined for gtest failure messages. */
+    std::string message() const;
+};
+
+/** Verify @p schedule of @p graph on @p machine. */
+CheckResult checkSchedule(const DependenceGraph &graph,
+                          const MachineModel &machine,
+                          const Schedule &schedule);
+
+} // namespace csched
+
+#endif // CSCHED_SCHED_SCHEDULE_CHECKER_HH

@@ -1,0 +1,95 @@
+#include "sched/schedule_printer.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <string>
+#include <vector>
+
+#include "ir/describe.hh"
+
+namespace csched {
+
+namespace {
+
+/** Fixed-width cell for one instruction id. */
+std::string
+cell(const std::string &text, int width)
+{
+    std::string out = text;
+    if (static_cast<int>(out.size()) > width)
+        out.resize(width);
+    while (static_cast<int>(out.size()) < width)
+        out += ' ';
+    return out;
+}
+
+} // namespace
+
+void
+printGantt(std::ostream &os, const DependenceGraph &graph,
+           const MachineModel &machine, const Schedule &schedule,
+           int max_cycles)
+{
+    const int makespan = schedule.makespan();
+    const int horizon =
+        max_cycles > 0 ? std::min(max_cycles, makespan) : makespan;
+    const int width = makespan >= 100 ? 5 : 4;
+
+    for (int c = 0; c < machine.numClusters(); ++c) {
+        const auto &fus = machine.clusterFus(c);
+        os << "cluster " << c << " (" << schedule.clusterLoad(c)
+           << " instrs)\n";
+        for (int fu = 0; fu < static_cast<int>(fus.size()); ++fu) {
+            // grid[t]: what occupies this FU at cycle t.
+            std::vector<std::string> grid(horizon, ".");
+            for (InstrId id = 0; id < graph.numInstructions(); ++id) {
+                const auto &p = schedule.at(id);
+                if (p.cluster != c || p.fu != fu)
+                    continue;
+                if (p.cycle < horizon)
+                    grid[p.cycle] = "i" + std::to_string(id);
+                for (int t = p.cycle + 1;
+                     t < std::min(p.finish, horizon); ++t) {
+                    grid[t] = "~";
+                }
+            }
+            // Comm events that consume this FU slot.
+            for (const auto &event : schedule.comms()) {
+                const bool here =
+                    (event.fu == fu) &&
+                    ((machine.commStyle() == CommStyle::TransferUnit &&
+                      event.fromCluster == c) ||
+                     (machine.commStyle() == CommStyle::ReceiveOp &&
+                      event.toCluster == c));
+                if (here && event.start < horizon) {
+                    grid[event.start] =
+                        "c" + std::to_string(event.producer);
+                }
+            }
+            os << "  " << cell(fuKindName(fus[fu]), 9) << "|";
+            for (const auto &slot : grid)
+                os << cell(slot, width);
+            os << "\n";
+        }
+    }
+
+    if (machine.commStyle() == CommStyle::Network &&
+        !schedule.comms().empty()) {
+        os << "network: " << schedule.comms().size() << " messages\n";
+    }
+    os << "makespan: " << makespan << " cycles\n";
+}
+
+void
+printPlacements(std::ostream &os, const DependenceGraph &graph,
+                const Schedule &schedule)
+{
+    for (InstrId id = 0; id < graph.numInstructions(); ++id) {
+        const auto &p = schedule.at(id);
+        os << std::left << std::setw(28) << describe(graph.instr(id))
+           << " cluster " << p.cluster << "  cycle " << std::setw(4)
+           << p.cycle << " finish " << p.finish << "\n";
+    }
+}
+
+} // namespace csched

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Human-readable schedule rendering: a per-cluster text Gantt chart
+ * (one row per FU, one column per cycle) and a placement listing.
+ * Used by the CLI tool and the examples.
+ */
+
+#ifndef CSCHED_SCHED_SCHEDULE_PRINTER_HH
+#define CSCHED_SCHED_SCHEDULE_PRINTER_HH
+
+#include <ostream>
+
+#include "ir/graph.hh"
+#include "machine/machine.hh"
+#include "sched/schedule.hh"
+
+namespace csched {
+
+/**
+ * Render @p schedule as a text Gantt chart.  Each cluster prints one
+ * row per FU; a cell shows the instruction id issued that cycle ('.'
+ * when idle, '~' while a multi-cycle result is still in flight).
+ * Communication events print below each cluster.  @p max_cycles caps
+ * the chart width (0 = full makespan).
+ */
+void printGantt(std::ostream &os, const DependenceGraph &graph,
+                const MachineModel &machine, const Schedule &schedule,
+                int max_cycles = 0);
+
+/** One line per instruction: id, opcode, cluster, cycle, finish. */
+void printPlacements(std::ostream &os, const DependenceGraph &graph,
+                     const Schedule &schedule);
+
+} // namespace csched
+
+#endif // CSCHED_SCHED_SCHEDULE_PRINTER_HH

@@ -1,0 +1,24 @@
+#include "support/logging.hh"
+
+#include <cstdio>
+
+namespace csched {
+
+void
+logAndDie(LogLevel level, const char *file, int line, const std::string &msg)
+{
+    const char *prefix = level == LogLevel::Panic ? "panic" : "fatal";
+    std::fprintf(stderr, "%s: %s (%s:%d)\n", prefix, msg.c_str(), file, line);
+    std::fflush(stderr);
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+void
+logWarn(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
+}
+
+} // namespace csched

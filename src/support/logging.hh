@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  -- an internal invariant was violated (a bug in this library);
+ *             aborts so a debugger or core dump can capture the state.
+ * fatal()  -- the caller supplied an impossible configuration or input;
+ *             exits with status 1.
+ * warn()   -- something is suspicious but execution can continue.
+ */
+
+#ifndef CSCHED_SUPPORT_LOGGING_HH
+#define CSCHED_SUPPORT_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace csched {
+
+/** Severity of a log message; selects the prefix and the exit behaviour. */
+enum class LogLevel { Warn, Fatal, Panic };
+
+/**
+ * Emit a message to stderr and, for Fatal/Panic, terminate the process.
+ *
+ * @param level severity; Fatal calls exit(1), Panic calls abort().
+ * @param file  source file of the call site.
+ * @param line  source line of the call site.
+ * @param msg   already-formatted message body.
+ */
+[[noreturn]] void logAndDie(LogLevel level, const char *file, int line,
+                            const std::string &msg);
+
+/** Emit a non-fatal warning to stderr. */
+void logWarn(const char *file, int line, const std::string &msg);
+
+namespace detail {
+
+/** Concatenate a mixed argument pack into one string via a stream. */
+template <typename... Args>
+std::string
+formatParts(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace csched
+
+/** Abort with a message: an internal invariant was violated. */
+#define CSCHED_PANIC(...)                                                   \
+    ::csched::logAndDie(::csched::LogLevel::Panic, __FILE__, __LINE__,      \
+                        ::csched::detail::formatParts(__VA_ARGS__))
+
+/** Exit(1) with a message: the user supplied an impossible input. */
+#define CSCHED_FATAL(...)                                                   \
+    ::csched::logAndDie(::csched::LogLevel::Fatal, __FILE__, __LINE__,      \
+                        ::csched::detail::formatParts(__VA_ARGS__))
+
+/** Print a warning and keep going. */
+#define CSCHED_WARN(...)                                                    \
+    ::csched::logWarn(__FILE__, __LINE__,                                   \
+                      ::csched::detail::formatParts(__VA_ARGS__))
+
+/** Panic when @p cond is false; use for internal invariants. */
+#define CSCHED_ASSERT(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            CSCHED_PANIC("assertion failed: " #cond " ",                    \
+                         ::csched::detail::formatParts(__VA_ARGS__));       \
+        }                                                                   \
+    } while (0)
+
+#endif // CSCHED_SUPPORT_LOGGING_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Small statistics helpers used by the evaluation harness: means,
+ * geometric means, and a streaming accumulator for min/max/mean.
+ */
+
+#ifndef CSCHED_SUPPORT_STATS_HH
+#define CSCHED_SUPPORT_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace csched {
+
+/** Arithmetic mean; returns 0 for an empty vector. */
+double mean(const std::vector<double> &values);
+
+/**
+ * Geometric mean; all values must be positive.  This is the standard
+ * aggregate for speedup ratios (used for the paper's "average
+ * improvement" numbers).
+ */
+double geomean(const std::vector<double> &values);
+
+/** Population standard deviation; returns 0 for fewer than two values. */
+double stddev(const std::vector<double> &values);
+
+/** Streaming accumulator for count/min/max/mean of a sample set. */
+class Accumulator
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double value);
+
+    size_t count() const { return count_; }
+    double min() const;
+    double max() const;
+    double mean() const;
+    double sum() const { return sum_; }
+
+  private:
+    size_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace csched
+
+#endif // CSCHED_SUPPORT_STATS_HH

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * String helpers: split/trim/join/case used by the pass-sequence parser
+ * and the table printer.
+ */
+
+#ifndef CSCHED_SUPPORT_STR_HH
+#define CSCHED_SUPPORT_STR_HH
+
+#include <string>
+#include <vector>
+
+namespace csched {
+
+/** Split @p text on @p sep; empty fields are preserved. */
+std::vector<std::string> split(const std::string &text, char sep);
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string trim(const std::string &text);
+
+/** Upper-case ASCII letters in place-free fashion. */
+std::string toUpper(const std::string &text);
+
+/** Join @p parts with @p sep between consecutive elements. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** printf-style double formatting with @p decimals fraction digits. */
+std::string formatDouble(double value, int decimals);
+
+} // namespace csched
+
+#endif // CSCHED_SUPPORT_STR_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Dense-matrix benchmark generators: vvmul, mxm, cholesky, vpenta.
+ *
+ * All four are "fat" graphs in the paper's Figure-2 sense: coarse
+ * parallelism across unrolled iterations, with memory operations
+ * preplaced by bank and array bases entering as live-ins on cluster 0.
+ * Loop bodies are unrolled by the bank count, as the Rawcc/Chorus
+ * congruence pass does.
+ */
+
+#include "workloads/loop_kernel.hh"
+#include "workloads/workloads.hh"
+
+#include "support/logging.hh"
+
+namespace csched {
+
+DependenceGraph
+makeVvmul(int banks, int preplace_clusters)
+{
+    CSCHED_ASSERT(banks >= 1, "need at least one bank");
+    GraphBuilder builder;
+    ArrayRef a(builder, "a");
+    ArrayRef b(builder, "b");
+    ArrayRef c(builder, "c");
+    const int elems_per_bank = 4;
+    for (int i = 0; i < elems_per_bank * banks; ++i) {
+        const int bank = i % banks;
+        const InstrId av = a.load(bank);
+        const InstrId bv = b.load(bank);
+        const InstrId m = builder.op(Opcode::FMul, {av, bv});
+        c.store(bank, m);
+    }
+    return finishKernel(builder, preplace_clusters);
+}
+
+DependenceGraph
+makeMxm(int banks, int preplace_clusters)
+{
+    CSCHED_ASSERT(banks >= 1, "need at least one bank");
+    GraphBuilder builder;
+    ArrayRef a(builder, "A");
+    ArrayRef b(builder, "B");
+    ArrayRef c(builder, "C");
+    const int rows = 2;
+    const int depth = 8;  // k-loop extent
+    for (int i = 0; i < rows; ++i) {
+        for (int j = 0; j < banks; ++j) {
+            std::vector<InstrId> products;
+            for (int k = 0; k < depth; ++k) {
+                // A is distributed along k, B along j.
+                const InstrId av = a.load(k % banks);
+                const InstrId bv = b.load(j % banks);
+                products.push_back(
+                    builder.op(Opcode::FMul, {av, bv}));
+            }
+            const InstrId sum =
+                reduceBalanced(builder, Opcode::FAdd, products);
+            c.store(j % banks, sum);
+        }
+    }
+    return finishKernel(builder, preplace_clusters);
+}
+
+DependenceGraph
+makeCholesky(int banks, int preplace_clusters)
+{
+    CSCHED_ASSERT(banks >= 1, "need at least one bank");
+    GraphBuilder builder;
+    ArrayRef a(builder, "a");
+    ArrayRef l(builder, "L");
+    const InstrId one = builder.op(Opcode::Const, {}, "1.0");
+
+    const int steps = 3;  // j-loop iterations with a serial backbone
+    const int col = 2 * banks + 2;  // unrolled i-loop extent
+
+    InstrId backbone = kNoInstr;  // value carrying the j -> j+1 chain
+    for (int j = 0; j < steps; ++j) {
+        std::vector<InstrId> diag_deps;
+        if (backbone != kNoInstr)
+            diag_deps.push_back(backbone);
+        const InstrId diag = a.load(j % banks, diag_deps);
+        const InstrId root = builder.op(Opcode::FSqrt, {diag});
+        const InstrId inv = builder.op(Opcode::FDiv, {one, root});
+
+        InstrId last_update = kNoInstr;
+        for (int i = 1; i <= col; ++i) {
+            const int bank = (j + i) % banks;
+            const InstrId aij = a.load(bank);
+            const InstrId lij = builder.op(Opcode::FMul, {aij, inv});
+            l.store(bank, lij);
+            // Rank-1 update of the next column entry.
+            const InstrId next = a.load(bank);
+            const InstrId sq = builder.op(Opcode::FMul, {lij, lij});
+            const InstrId updated =
+                builder.op(Opcode::FSub, {next, sq});
+            a.store(bank, updated);
+            last_update = updated;
+        }
+        backbone = last_update;
+    }
+    return finishKernel(builder, preplace_clusters);
+}
+
+DependenceGraph
+makeVpenta(int banks, int preplace_clusters)
+{
+    CSCHED_ASSERT(banks >= 1, "need at least one bank");
+    GraphBuilder builder;
+    ArrayRef coef(builder, "c");
+    ArrayRef rhs(builder, "r");
+    ArrayRef x(builder, "x");
+    const int lines = 2 * banks;  // independent recurrences
+    const int chain = 4;          // serial steps per line
+    for (int line = 0; line < lines; ++line) {
+        const int bank = line % banks;
+        InstrId value = x.load(bank);
+        for (int step = 0; step < chain; ++step) {
+            const InstrId cv = coef.load(bank);
+            const InstrId rv = rhs.load(bank);
+            const InstrId scaled =
+                builder.op(Opcode::FMul, {value, cv});
+            value = builder.op(Opcode::FSub, {rv, scaled});
+        }
+        x.store(bank, value);
+    }
+    return finishKernel(builder, preplace_clusters);
+}
+
+} // namespace csched

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Irregular benchmark generators: fpppp-kernel, sha, fir, yuv.
+ *
+ * fpppp-kernel and sha are the paper's two "long, narrow" graphs
+ * (Figure 2a): deep dependence chains, little coarse parallelism, and
+ * preplacement that suggests no useful assignment.  These are the
+ * benchmarks on which the paper reports convergent scheduling LOSING
+ * to the Rawcc baseline, so their shapes matter as much as the dense
+ * kernels'.  fir and yuv belong to the VLIW suite.
+ */
+
+#include "workloads/loop_kernel.hh"
+#include "workloads/workloads.hh"
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace csched {
+
+DependenceGraph
+makeFppppKernel(int banks, int preplace_clusters)
+{
+    (void)banks;  // fpppp is a huge scalar block; it does not unroll
+    GraphBuilder builder;
+    Rng rng(0xf9999ULL);  // fixed: the kernel's shape is a constant
+
+    // A few dozen scalar loads feed the expression web.  Their
+    // addresses are unanalysable (spilled locals), so they carry no
+    // bank and are never preplaced.
+    std::vector<InstrId> window;
+    for (int k = 0; k < 24; ++k)
+        window.push_back(builder.load(kNoCluster, {}, "scalar"));
+
+    // The real fpppp-kernel is a ~600-operation basic block with
+    // substantial fine-grained ILP (the paper reports a baseline
+    // speedup of 6.8x on 16 tiles) but no preplacement structure:
+    // many medium-length chains criss-crossing shared temporaries.
+    const int body = 560;
+    for (int k = 0; k < body; ++k) {
+        // Pick operands from a moderately wide recent window: wide
+        // enough for fine-grained parallelism, narrow enough that
+        // chains stay long.
+        auto pick = [&]() -> InstrId {
+            const int w = static_cast<int>(window.size());
+            const int back = std::min(w, 36);
+            return window[w - 1 - rng.range(back)];
+        };
+        const InstrId a = pick();
+        InstrId b = pick();
+        Opcode op;
+        const int dice = rng.range(100);
+        if (dice < 42) {
+            op = Opcode::FMul;
+        } else if (dice < 74) {
+            op = Opcode::FAdd;
+        } else if (dice < 96) {
+            op = Opcode::FSub;
+        } else if (dice < 98) {
+            op = Opcode::FDiv;
+        } else {
+            op = Opcode::FSqrt;
+        }
+        InstrId value;
+        if (op == Opcode::FSqrt) {
+            value = builder.op(op, {a});
+        } else {
+            if (a == b)
+                b = pick();
+            value = builder.op(op, {a, b});
+        }
+        window.push_back(value);
+    }
+
+    // Sink the last few values to unanalysable stores.
+    for (int k = 0; k < 8; ++k)
+        builder.store(kNoCluster, window[window.size() - 1 - k], {},
+                      "result");
+    return finishKernel(builder, preplace_clusters);
+}
+
+DependenceGraph
+makeSha(int banks, int preplace_clusters)
+{
+    CSCHED_ASSERT(banks >= 1, "need at least one bank");
+    GraphBuilder builder;
+    const int rounds = 48;
+
+    // Chaining variables: live-ins, pinned to the first cluster.
+    InstrId a = builder.op(Opcode::Const, {}, "h0");
+    InstrId b = builder.op(Opcode::Const, {}, "h1");
+    InstrId c = builder.op(Opcode::Const, {}, "h2");
+    InstrId d = builder.op(Opcode::Const, {}, "h3");
+    InstrId e = builder.op(Opcode::Const, {}, "h4");
+    for (InstrId live : {a, b, c, d, e})
+        builder.preplace(live, 0);
+    const InstrId k_const = builder.op(Opcode::Const, {}, "K");
+    ArrayRef w_arr(builder, "w");
+
+    // The first 16 message words come from memory, banked by word
+    // index -- preplaced but scattered; the paper notes sha's
+    // preplacement suggests no good assignment.
+    std::vector<InstrId> w_sched;
+    for (int t = 0; t < 16; ++t)
+        w_sched.push_back(w_arr.load(t % banks));
+
+    for (int t = 0; t < rounds; ++t) {
+        // Message-schedule expansion: w[t] = rotl1(w[t-3] ^ w[t-8] ^
+        // w[t-14] ^ w[t-16]).  This side network is where sha's
+        // modest fine-grained parallelism lives.
+        InstrId w;
+        if (t < 16) {
+            w = w_sched[t];
+        } else {
+            const InstrId x1 = builder.op(
+                Opcode::Xor, {w_sched[t - 3], w_sched[t - 8]});
+            const InstrId x2 = builder.op(
+                Opcode::Xor, {w_sched[t - 14], w_sched[t - 16]});
+            const InstrId x3 = builder.op(Opcode::Xor, {x1, x2});
+            w = builder.op(Opcode::Rot, {x3});
+            w_sched.push_back(w);
+        }
+        // f = (b & c) | (b ^ d), a round-function stand-in.
+        const InstrId bc = builder.op(Opcode::And, {b, c});
+        const InstrId bd = builder.op(Opcode::Xor, {b, d});
+        const InstrId f = builder.op(Opcode::Or, {bc, bd});
+        // temp = rotl5(a) + f + e + K + w[t]
+        const InstrId rot = builder.op(Opcode::Rot, {a});
+        const InstrId s1 = builder.op(Opcode::IAdd, {rot, f});
+        const InstrId s2 = builder.op(Opcode::IAdd, {s1, e});
+        const InstrId s3 = builder.op(Opcode::IAdd, {s2, k_const});
+        const InstrId temp = builder.op(Opcode::IAdd, {s3, w});
+        // Rotate the state.
+        e = d;
+        d = c;
+        c = builder.op(Opcode::Rot, {b});
+        b = a;
+        a = temp;
+    }
+    ArrayRef digest(builder, "digest");
+    digest.store(0, a);
+    digest.store(1 % banks, b);
+    digest.store(2 % banks, c);
+    digest.store(3 % banks, d);
+    digest.store(4 % banks, e);
+    return finishKernel(builder, preplace_clusters);
+}
+
+DependenceGraph
+makeFir(int banks, int preplace_clusters)
+{
+    CSCHED_ASSERT(banks >= 1, "need at least one bank");
+    GraphBuilder builder;
+    const int outputs = 2 * banks;
+    const int taps = 6;
+    ArrayRef x(builder, "x");
+    ArrayRef h(builder, "h");
+    ArrayRef y(builder, "y");
+    for (int i = 0; i < outputs; ++i) {
+        std::vector<InstrId> products;
+        for (int k = 0; k < taps; ++k) {
+            const InstrId xv = x.load((i + k) % banks);
+            const InstrId hv = h.load(k % banks);
+            products.push_back(builder.op(Opcode::FMul, {xv, hv}));
+        }
+        // FP sums are not reassociable: keep the serial chain.
+        const InstrId sum =
+            reduceChain(builder, Opcode::FAdd, products);
+        y.store(i % banks, sum);
+    }
+    return finishKernel(builder, preplace_clusters);
+}
+
+DependenceGraph
+makeYuv(int banks, int preplace_clusters)
+{
+    CSCHED_ASSERT(banks >= 1, "need at least one bank");
+    GraphBuilder builder;
+    ArrayRef rArr(builder, "r");
+    ArrayRef gArr(builder, "g");
+    ArrayRef bArr(builder, "b");
+    ArrayRef outArr(builder, "yuv");
+    const int pixels = 2 * banks;
+
+    // The nine conversion coefficients are shared constants.
+    std::vector<InstrId> coef;
+    for (int k = 0; k < 9; ++k)
+        coef.push_back(builder.op(Opcode::Const, {}, "c"));
+
+    for (int p = 0; p < pixels; ++p) {
+        const int bank = p % banks;
+        const InstrId r = rArr.load(bank);
+        const InstrId g = gArr.load(bank);
+        const InstrId b = bArr.load(bank);
+        const InstrId rgb[3] = {r, g, b};
+        for (int ch = 0; ch < 3; ++ch) {
+            std::vector<InstrId> terms;
+            for (int k = 0; k < 3; ++k)
+                terms.push_back(builder.op(
+                    Opcode::IMul, {rgb[k], coef[ch * 3 + k]}));
+            const InstrId sum =
+                reduceBalanced(builder, Opcode::IAdd, terms);
+            const InstrId scaled = builder.op(Opcode::Shr, {sum});
+            outArr.store(bank, scaled);
+        }
+    }
+    return finishKernel(builder, preplace_clusters);
+}
+
+} // namespace csched

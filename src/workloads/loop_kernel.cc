@@ -1,0 +1,68 @@
+#include "workloads/loop_kernel.hh"
+
+#include "ir/graph_algorithms.hh"
+#include "support/logging.hh"
+
+namespace csched {
+
+ArrayRef::ArrayRef(GraphBuilder &builder, std::string name)
+    : builder_(builder), name_(std::move(name))
+{
+    base_ = builder_.op(Opcode::Const, {}, name_ + ".base");
+    builder_.preplace(base_, 0);
+}
+
+InstrId
+ArrayRef::load(int bank, const std::vector<InstrId> &deps)
+{
+    // Unrolled accesses use immediate offsets from the live-in base,
+    // so the load consumes the base value directly.
+    std::vector<InstrId> all = deps;
+    all.push_back(base_);
+    return builder_.load(bank, all, name_);
+}
+
+InstrId
+ArrayRef::store(int bank, InstrId value,
+                const std::vector<InstrId> &deps)
+{
+    std::vector<InstrId> all = deps;
+    all.push_back(base_);
+    return builder_.store(bank, value, all, name_);
+}
+
+InstrId
+reduceBalanced(GraphBuilder &builder, Opcode op,
+               std::vector<InstrId> values)
+{
+    CSCHED_ASSERT(!values.empty(), "reduction of zero values");
+    while (values.size() > 1) {
+        std::vector<InstrId> next;
+        for (size_t k = 0; k + 1 < values.size(); k += 2)
+            next.push_back(builder.op(op, {values[k], values[k + 1]}));
+        if (values.size() % 2 == 1)
+            next.push_back(values.back());
+        values = std::move(next);
+    }
+    return values.front();
+}
+
+InstrId
+reduceChain(GraphBuilder &builder, Opcode op,
+            const std::vector<InstrId> &values)
+{
+    CSCHED_ASSERT(!values.empty(), "reduction of zero values");
+    InstrId acc = values.front();
+    for (size_t k = 1; k < values.size(); ++k)
+        acc = builder.op(op, {acc, values[k]});
+    return acc;
+}
+
+DependenceGraph
+finishKernel(GraphBuilder &builder, int preplace_clusters)
+{
+    preplaceMemoryByBank(builder.graph(), preplace_clusters);
+    return builder.build();
+}
+
+} // namespace csched

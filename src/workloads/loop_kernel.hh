@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared helpers for the synthetic benchmark generators.
+ *
+ * The generators in this directory reproduce the *dependence-graph
+ * shapes* of the paper's benchmarks (see DESIGN.md): dense-matrix
+ * loops unrolled by the number of clusters with bank-preplaced memory
+ * operations (the effect of Rawcc/Chorus congruence analysis), and
+ * irregular kernels (fpppp-kernel, sha) that are long, narrow, and
+ * preplacement-free.  This header provides the small building blocks
+ * they share.
+ */
+
+#ifndef CSCHED_WORKLOADS_LOOP_KERNEL_HH
+#define CSCHED_WORKLOADS_LOOP_KERNEL_HH
+
+#include <vector>
+
+#include "ir/graph_builder.hh"
+
+namespace csched {
+
+/**
+ * An array accessed by a kernel.
+ *
+ * Mirrors what compiled dense-loop code looks like: the array's base
+ * address is a *live-in* value.  Live-ins are preplaced on cluster 0,
+ * following the paper's Section 5: on Chorus "all values that are live
+ * across multiple scheduling regions are mapped to the first cluster",
+ * and on Raw live ranges pin to the cluster of their first
+ * definition/use.  Unrolled accesses use immediate offsets from the
+ * base, so every load/store consumes the live-in base value directly
+ * (and therefore needs it broadcast to its cluster).
+ */
+class ArrayRef
+{
+  public:
+    /** Declare an array: emits the live-in base value. */
+    ArrayRef(GraphBuilder &builder, std::string name);
+
+    /** Emit a load from @p bank at an immediate offset off the base. */
+    InstrId load(int bank, const std::vector<InstrId> &deps = {});
+
+    /** Emit a store of @p value to @p bank. */
+    InstrId store(int bank, InstrId value,
+                  const std::vector<InstrId> &deps = {});
+
+    /** The live-in base value (preplaced on cluster 0). */
+    InstrId base() const { return base_; }
+
+  private:
+    GraphBuilder &builder_;
+    std::string name_;
+    InstrId base_;
+};
+
+/**
+ * Pairwise (balanced-tree) reduction of @p values with @p op;
+ * returns the root of the tree.  A single value reduces to itself.
+ */
+InstrId reduceBalanced(GraphBuilder &builder, Opcode op,
+                       std::vector<InstrId> values);
+
+/**
+ * Left-to-right (serial-chain) reduction, the shape a compiler keeps
+ * for non-reassociable floating-point sums.
+ */
+InstrId reduceChain(GraphBuilder &builder, Opcode op,
+                    const std::vector<InstrId> &values);
+
+/**
+ * Apply bank-derived preplacement for @p preplace_clusters clusters
+ * and finalize.  Every generator funnels through this so that the
+ * same kernel can be preplaced for its target machine (banks ==
+ * clusters) or for the one-cluster normalisation run.
+ */
+DependenceGraph finishKernel(GraphBuilder &builder, int preplace_clusters);
+
+} // namespace csched
+
+#endif // CSCHED_WORKLOADS_LOOP_KERNEL_HH

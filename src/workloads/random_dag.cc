@@ -1,0 +1,82 @@
+#include "workloads/random_dag.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "workloads/loop_kernel.hh"
+
+namespace csched {
+
+DependenceGraph
+makeRandomDag(const RandomDagOptions &options)
+{
+    CSCHED_ASSERT(options.numInstructions >= 1, "empty DAG requested");
+    CSCHED_ASSERT(options.width >= 1, "width must be positive");
+    CSCHED_ASSERT(options.banks >= 1, "need at least one bank");
+
+    GraphBuilder builder;
+    Rng rng(options.seed);
+
+    std::vector<InstrId> previous;  // last two layers, flattened
+    std::vector<InstrId> current;
+    int emitted = 0;
+    while (emitted < options.numInstructions) {
+        const int layer_size = std::min(
+            options.numInstructions - emitted,
+            std::max(1, options.width / 2 +
+                            rng.range(std::max(1, options.width))));
+        current.clear();
+        for (int k = 0; k < layer_size; ++k) {
+            // Choose up to two operands from the previous layers.
+            std::vector<InstrId> deps;
+            if (!previous.empty()) {
+                const int fanin = 1 + rng.range(2);
+                for (int d = 0; d < fanin; ++d) {
+                    const InstrId pick = previous[rng.range(
+                        static_cast<int>(previous.size()))];
+                    if (std::find(deps.begin(), deps.end(), pick) ==
+                        deps.end()) {
+                        deps.push_back(pick);
+                    }
+                }
+            }
+
+            InstrId id;
+            if (rng.uniform() < options.memFraction) {
+                const int bank = rng.range(options.banks);
+                if (!deps.empty() && rng.chance(0.4)) {
+                    id = builder.store(bank, deps.front(), {});
+                } else {
+                    id = builder.load(bank, deps);
+                }
+            } else if (rng.uniform() < options.floatFraction) {
+                static const Opcode kFloatOps[] = {
+                    Opcode::FAdd, Opcode::FMul, Opcode::FSub,
+                    Opcode::FDiv};
+                id = builder.op(kFloatOps[rng.range(3 + (rng.chance(0.1)
+                                                             ? 1
+                                                             : 0))],
+                                deps);
+            } else {
+                static const Opcode kIntOps[] = {
+                    Opcode::IAdd, Opcode::ISub, Opcode::IMul,
+                    Opcode::And, Opcode::Xor, Opcode::Shl};
+                id = builder.op(kIntOps[rng.range(6)], deps);
+            }
+            current.push_back(id);
+            ++emitted;
+        }
+        // Keep a two-layer window as dependence candidates.
+        std::vector<InstrId> window = current;
+        const size_t keep = std::min<size_t>(previous.size(),
+                                             options.width);
+        window.insert(window.end(), previous.begin(),
+                      previous.begin() + keep);
+        previous = std::move(window);
+    }
+
+    return finishKernel(builder, options.preplaceClusters);
+}
+
+} // namespace csched

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Parameterised random layered DAGs, used by the compile-time
+ * scalability bench (Figure 10) and by the property-based tests.
+ */
+
+#ifndef CSCHED_WORKLOADS_RANDOM_DAG_HH
+#define CSCHED_WORKLOADS_RANDOM_DAG_HH
+
+#include <cstdint>
+
+#include "ir/graph.hh"
+
+namespace csched {
+
+/** Knobs of the random generator. */
+struct RandomDagOptions
+{
+    int numInstructions = 200;
+    /** Target instructions per level. */
+    int width = 8;
+    /** Fraction of memory operations (bank-preplaced loads/stores). */
+    double memFraction = 0.25;
+    /** Number of memory banks for the memory operations. */
+    int banks = 4;
+    /** Cluster count used to derive preplacement homes. */
+    int preplaceClusters = 4;
+    /** Fraction of floating-point compute ops. */
+    double floatFraction = 0.5;
+    uint64_t seed = 1;
+};
+
+/** Build a random layered DAG. */
+DependenceGraph makeRandomDag(const RandomDagOptions &options);
+
+} // namespace csched
+
+#endif // CSCHED_WORKLOADS_RANDOM_DAG_HH

@@ -1,0 +1,64 @@
+#include "workloads/workloads.hh"
+
+#include "support/logging.hh"
+
+namespace csched {
+
+const std::vector<WorkloadSpec> &
+allWorkloads()
+{
+    static const std::vector<WorkloadSpec> specs = {
+        {"cholesky", makeCholesky,
+         "Cholesky factorisation (Nasa7): sqrt/div backbone + updates"},
+        {"tomcatv", makeTomcatv,
+         "mesh-generation stencil (Spec95): deep FP expressions"},
+        {"vpenta", makeVpenta,
+         "pentadiagonal inversion (Nasa7): parallel recurrences"},
+        {"mxm", makeMxm,
+         "matrix multiply (Nasa7): load pairs + reduction trees"},
+        {"fpppp-kernel", makeFppppKernel,
+         "fpppp inner loop (Spec95): long, narrow, no preplacement"},
+        {"sha", makeSha,
+         "secure hash rounds: serial integer chains"},
+        {"swim", makeSwim,
+         "shallow-water stencil (Spec95)"},
+        {"jacobi", makeJacobi,
+         "4-point Jacobi relaxation (Raw suite)"},
+        {"life", makeLife,
+         "Conway's life, 8-point integer stencil (Raw suite)"},
+        {"vvmul", makeVvmul,
+         "element-wise vector multiply"},
+        {"rbsorf", makeRbsorf,
+         "red-black SOR relaxation"},
+        {"yuv", makeYuv,
+         "RGB to YUV conversion"},
+        {"fir", makeFir,
+         "FIR filter: per-output tap reductions"},
+    };
+    return specs;
+}
+
+const WorkloadSpec &
+findWorkload(const std::string &name)
+{
+    for (const auto &spec : allWorkloads())
+        if (spec.name == name)
+            return spec;
+    CSCHED_FATAL("unknown workload '", name, "'");
+}
+
+std::vector<std::string>
+rawSuiteNames()
+{
+    return {"cholesky", "tomcatv", "vpenta",       "mxm", "fpppp-kernel",
+            "sha",      "swim",    "jacobi",       "life"};
+}
+
+std::vector<std::string>
+vliwSuiteNames()
+{
+    return {"vvmul", "rbsorf", "yuv", "tomcatv", "mxm", "fir",
+            "cholesky"};
+}
+
+} // namespace csched

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Stencil benchmark generators: jacobi, life, swim, tomcatv, rbsorf.
+ *
+ * Stencils read a small neighbourhood of each point, so their loads
+ * touch adjacent banks; after bank preplacement this creates the
+ * "natural assignments" the paper observes convergent scheduling
+ * exploiting -- each point's computation is attracted between the
+ * banks it touches.
+ */
+
+#include "workloads/loop_kernel.hh"
+#include "workloads/workloads.hh"
+
+#include "support/logging.hh"
+
+namespace csched {
+
+namespace {
+
+/** Bank of column @p col under column interleaving, wrapping. */
+int
+columnBank(int col, int banks)
+{
+    return ((col % banks) + banks) % banks;
+}
+
+} // namespace
+
+DependenceGraph
+makeJacobi(int banks, int preplace_clusters)
+{
+    CSCHED_ASSERT(banks >= 1, "need at least one bank");
+    GraphBuilder builder;
+    ArrayRef a(builder, "a");
+    ArrayRef out(builder, "b");
+    const int rows = 4;
+    const InstrId quarter = builder.op(Opcode::Const, {}, "0.25");
+    for (int r = 0; r < rows; ++r) {
+        for (int i = 0; i < banks; ++i) {
+            const InstrId left = a.load(columnBank(i - 1, banks));
+            const InstrId right = a.load(columnBank(i + 1, banks));
+            const InstrId up = a.load(columnBank(i, banks));
+            const InstrId down = a.load(columnBank(i, banks));
+            const InstrId h = builder.op(Opcode::FAdd, {left, right});
+            const InstrId v = builder.op(Opcode::FAdd, {up, down});
+            const InstrId s = builder.op(Opcode::FAdd, {h, v});
+            const InstrId avg = builder.op(Opcode::FMul, {s, quarter});
+            out.store(columnBank(i, banks), avg);
+        }
+    }
+    return finishKernel(builder, preplace_clusters);
+}
+
+DependenceGraph
+makeLife(int banks, int preplace_clusters)
+{
+    CSCHED_ASSERT(banks >= 1, "need at least one bank");
+    GraphBuilder builder;
+    ArrayRef grid(builder, "grid");
+    ArrayRef out(builder, "out");
+    const int rows = 2;
+    const InstrId two = builder.op(Opcode::Const, {}, "2");
+    const InstrId three = builder.op(Opcode::Const, {}, "3");
+    for (int r = 0; r < rows; ++r) {
+        for (int i = 0; i < banks; ++i) {
+            std::vector<InstrId> neighbours;
+            for (int dc = -1; dc <= 1; ++dc) {
+                for (int dr = -1; dr <= 1; ++dr) {
+                    if (dc == 0 && dr == 0)
+                        continue;
+                    neighbours.push_back(
+                        grid.load(columnBank(i + dc, banks)));
+                }
+            }
+            const InstrId count =
+                reduceBalanced(builder, Opcode::IAdd, neighbours);
+            const InstrId self = grid.load(columnBank(i, banks));
+            const InstrId is3 = builder.op(Opcode::Cmp, {count, three});
+            const InstrId is2 = builder.op(Opcode::Cmp, {count, two});
+            const InstrId survives =
+                builder.op(Opcode::And, {is2, self});
+            const InstrId alive =
+                builder.op(Opcode::Or, {is3, survives});
+            out.store(columnBank(i, banks), alive);
+        }
+    }
+    return finishKernel(builder, preplace_clusters);
+}
+
+DependenceGraph
+makeSwim(int banks, int preplace_clusters)
+{
+    CSCHED_ASSERT(banks >= 1, "need at least one bank");
+    GraphBuilder builder;
+    ArrayRef p(builder, "p");
+    ArrayRef u(builder, "u");
+    ArrayRef v(builder, "v");
+    ArrayRef cuArr(builder, "cu");
+    ArrayRef cvArr(builder, "cv");
+    ArrayRef hArr(builder, "h");
+    const int rows = 2;
+    const InstrId half = builder.op(Opcode::Const, {}, "0.5");
+    for (int r = 0; r < rows; ++r) {
+        for (int i = 0; i < banks; ++i) {
+            const int here = columnBank(i, banks);
+            const int east = columnBank(i + 1, banks);
+            const InstrId p0 = p.load(here);
+            const InstrId p1 = p.load(east);
+            const InstrId u0 = u.load(here);
+            const InstrId u1 = u.load(east);
+            const InstrId v0 = v.load(here);
+            const InstrId v1 = v.load(east);
+            const InstrId psum = builder.op(Opcode::FAdd, {p0, p1});
+            const InstrId pavg = builder.op(Opcode::FMul, {psum, half});
+            const InstrId cu = builder.op(Opcode::FMul, {pavg, u1});
+            const InstrId cv = builder.op(Opcode::FMul, {pavg, v1});
+            const InstrId uu = builder.op(Opcode::FMul, {u0, u1});
+            const InstrId vv = builder.op(Opcode::FMul, {v0, v1});
+            const InstrId ke = builder.op(Opcode::FAdd, {uu, vv});
+            const InstrId h = builder.op(Opcode::FAdd, {p0, ke});
+            cuArr.store(here, cu);
+            cvArr.store(here, cv);
+            hArr.store(here, h);
+        }
+    }
+    return finishKernel(builder, preplace_clusters);
+}
+
+DependenceGraph
+makeTomcatv(int banks, int preplace_clusters)
+{
+    CSCHED_ASSERT(banks >= 1, "need at least one bank");
+    GraphBuilder builder;
+    ArrayRef x(builder, "x");
+    ArrayRef y(builder, "y");
+    ArrayRef rxArr(builder, "rx");
+    ArrayRef ryArr(builder, "ry");
+    const int rows = 2;
+    for (int r = 0; r < rows; ++r) {
+        for (int i = 0; i < banks; ++i) {
+            const int west = columnBank(i - 1, banks);
+            const int east = columnBank(i + 1, banks);
+            const int here = columnBank(i, banks);
+            const InstrId xw = x.load(west);
+            const InstrId xe = x.load(east);
+            const InstrId xn = x.load(here);
+            const InstrId xs = x.load(here);
+            const InstrId yw = y.load(west);
+            const InstrId ye = y.load(east);
+            const InstrId yn = y.load(here);
+            const InstrId ys = y.load(here);
+            const InstrId xx = builder.op(Opcode::FSub, {xe, xw});
+            const InstrId yx = builder.op(Opcode::FSub, {ye, yw});
+            const InstrId xy = builder.op(Opcode::FSub, {xn, xs});
+            const InstrId yy = builder.op(Opcode::FSub, {yn, ys});
+            const InstrId xx2 = builder.op(Opcode::FMul, {xx, xx});
+            const InstrId xy2 = builder.op(Opcode::FMul, {xy, xy});
+            const InstrId yx2 = builder.op(Opcode::FMul, {yx, yx});
+            const InstrId yy2 = builder.op(Opcode::FMul, {yy, yy});
+            const InstrId a = builder.op(Opcode::FAdd, {xx2, xy2});
+            const InstrId b = builder.op(Opcode::FAdd, {yx2, yy2});
+            const InstrId ab = builder.op(Opcode::FMul, {a, b});
+            const InstrId cross = builder.op(Opcode::FMul, {xx, yy});
+            const InstrId rx = builder.op(Opcode::FSub, {ab, cross});
+            const InstrId ry = builder.op(Opcode::FAdd, {ab, cross});
+            rxArr.store(here, rx);
+            ryArr.store(here, ry);
+        }
+    }
+    return finishKernel(builder, preplace_clusters);
+}
+
+DependenceGraph
+makeRbsorf(int banks, int preplace_clusters)
+{
+    CSCHED_ASSERT(banks >= 1, "need at least one bank");
+    GraphBuilder builder;
+    ArrayRef uArr(builder, "u");
+    const int rows = 3;
+    const InstrId omega = builder.op(Opcode::Const, {}, "omega");
+    for (int r = 0; r < rows; ++r) {
+        for (int i = 0; i < banks; ++i) {
+            // Red points only: neighbours are black, same array.
+            const InstrId west = uArr.load(columnBank(i - 1, banks));
+            const InstrId east = uArr.load(columnBank(i + 1, banks));
+            const InstrId north = uArr.load(columnBank(i, banks));
+            const InstrId south = uArr.load(columnBank(i, banks));
+            const InstrId centre = uArr.load(columnBank(i, banks));
+            const InstrId h = builder.op(Opcode::FAdd, {west, east});
+            const InstrId v = builder.op(Opcode::FAdd, {north, south});
+            const InstrId s = builder.op(Opcode::FAdd, {h, v});
+            const InstrId resid = builder.op(Opcode::FSub, {s, centre});
+            const InstrId scaled =
+                builder.op(Opcode::FMul, {resid, omega});
+            const InstrId out =
+                builder.op(Opcode::FAdd, {centre, scaled});
+            uArr.store(columnBank(i, banks), out);
+        }
+    }
+    return finishKernel(builder, preplace_clusters);
+}
+
+} // namespace csched

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Synthetic benchmark registry.
+ *
+ * Each generator mirrors one benchmark of the paper's Section 5.  A
+ * generator takes:
+ *
+ *  - @p banks: the number of memory banks to spread arrays over, equal
+ *    to the number of clusters/tiles of the target machine.  As in the
+ *    paper, the congruence pass "unrolls the loops by the number of
+ *    clusters or tiles", so graph size grows with this parameter.
+ *  - @p preplace_clusters: the cluster count used to derive
+ *    preplacement homes from banks (bank % preplace_clusters).  Pass
+ *    the target machine's cluster count normally, or 1 to prepare the
+ *    same kernel for the one-cluster normalisation run.
+ */
+
+#ifndef CSCHED_WORKLOADS_WORKLOADS_HH
+#define CSCHED_WORKLOADS_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/graph.hh"
+
+namespace csched {
+
+// ---- Dense-matrix kernels (dense_matrix.cc) ------------------------
+
+/** Element-wise vector multiply: wide, flat, fully bank-preplaced. */
+DependenceGraph makeVvmul(int banks, int preplace_clusters);
+
+/** Matrix multiply: load pairs, multiply, reduction trees, stores. */
+DependenceGraph makeMxm(int banks, int preplace_clusters);
+
+/** Cholesky factorisation: sqrt/divide backbone with rank-1 updates. */
+DependenceGraph makeCholesky(int banks, int preplace_clusters);
+
+/** Pentadiagonal inversion: many parallel serial recurrences. */
+DependenceGraph makeVpenta(int banks, int preplace_clusters);
+
+// ---- Stencil kernels (stencils.cc) ---------------------------------
+
+/** 4-point Jacobi relaxation. */
+DependenceGraph makeJacobi(int banks, int preplace_clusters);
+
+/** Conway's game of life: 8-point integer stencil. */
+DependenceGraph makeLife(int banks, int preplace_clusters);
+
+/** Shallow-water model: multi-array 6-point stencil. */
+DependenceGraph makeSwim(int banks, int preplace_clusters);
+
+/** Mesh-generation stencil with deep floating-point expressions. */
+DependenceGraph makeTomcatv(int banks, int preplace_clusters);
+
+/** Red-black successive over-relaxation. */
+DependenceGraph makeRbsorf(int banks, int preplace_clusters);
+
+// ---- Irregular kernels (irregular.cc) ------------------------------
+
+/**
+ * The fpppp inner loop: a long, narrow floating-point expression DAG
+ * with essentially no preplacement (Figure 2a's shape).  Size does not
+ * scale with banks.
+ */
+DependenceGraph makeFppppKernel(int banks, int preplace_clusters);
+
+/** Secure Hash Algorithm rounds: serial integer chains, no banks. */
+DependenceGraph makeSha(int banks, int preplace_clusters);
+
+/** FIR filter: per-output tap reductions. */
+DependenceGraph makeFir(int banks, int preplace_clusters);
+
+/** RGB-to-YUV conversion: wide, shallow, three stores per pixel. */
+DependenceGraph makeYuv(int banks, int preplace_clusters);
+
+// ---- Registry (registry.cc) ----------------------------------------
+
+/** A named generator. */
+struct WorkloadSpec
+{
+    std::string name;
+    DependenceGraph (*build)(int banks, int preplace_clusters);
+    std::string description;
+};
+
+/** Every benchmark generator, in a stable order. */
+const std::vector<WorkloadSpec> &allWorkloads();
+
+/** Lookup by name; fatal when unknown. */
+const WorkloadSpec &findWorkload(const std::string &name);
+
+/** The Raw evaluation suite of Table 2 / Figures 6-7 (9 benchmarks). */
+std::vector<std::string> rawSuiteNames();
+
+/** The VLIW evaluation suite of Figures 8-9 (7 benchmarks). */
+std::vector<std::string> vliwSuiteNames();
+
+} // namespace csched
+
+#endif // CSCHED_WORKLOADS_WORKLOADS_HH

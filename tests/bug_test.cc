@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the BUG baseline and brute-force optimality properties of
+ * the whole scheduling stack on tiny graphs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baseline/bug.hh"
+#include "eval/experiment.hh"
+#include "ir/graph_algorithms.hh"
+#include "ir/graph_builder.hh"
+#include "machine/clustered_vliw.hh"
+#include "machine/raw_machine.hh"
+#include "sched/list_scheduler.hh"
+#include "sched/priorities.hh"
+#include "sched/schedule_checker.hh"
+#include "support/rng.hh"
+#include "workloads/random_dag.hh"
+#include "workloads/workloads.hh"
+
+namespace csched {
+namespace {
+
+TEST(Bug, LegalOnSuites)
+{
+    const ClusteredVliwMachine vliw(4);
+    const BugScheduler bug(vliw);
+    for (const char *name : {"vvmul", "fir", "cholesky"}) {
+        const auto graph = findWorkload(name).build(4, 4);
+        const auto schedule = bug.run(graph);
+        const auto check = checkSchedule(graph, vliw, schedule);
+        EXPECT_TRUE(check.ok()) << name << ": " << check.message();
+    }
+}
+
+TEST(Bug, RespectsPreplacement)
+{
+    const auto raw = RawMachine::withTiles(4);
+    const BugScheduler bug(raw);
+    const auto graph = findWorkload("jacobi").build(4, 4);
+    const auto assignment = bug.assign(graph);
+    for (InstrId id = 0; id < graph.numInstructions(); ++id) {
+        const auto &instr = graph.instr(id);
+        if (instr.preplaced()) {
+            EXPECT_EQ(assignment[id], instr.homeCluster);
+        }
+    }
+}
+
+TEST(Bug, SpreadsIndependentWork)
+{
+    GraphBuilder builder;
+    for (int k = 0; k < 8; ++k)
+        builder.op(Opcode::FMul);
+    const auto graph = builder.build();
+    const ClusteredVliwMachine vliw(4);
+    const BugScheduler bug(vliw);
+    const auto assignment = bug.assign(graph);
+    int used[4] = {};
+    for (int c : assignment)
+        used[c] += 1;
+    for (int c = 0; c < 4; ++c)
+        EXPECT_GT(used[c], 0);
+}
+
+TEST(Bug, PullsFreeOpsTowardsPreplacedConsumers)
+{
+    GraphBuilder builder;
+    const InstrId a = builder.op(Opcode::IAdd);
+    const InstrId b = builder.op(Opcode::IAdd, {a});
+    builder.store(2, b);
+    preplaceMemoryByBank(builder.graph(), 4);
+    const auto graph = builder.build();
+    const ClusteredVliwMachine vliw(4);
+    const BugScheduler bug(vliw);
+    const auto assignment = bug.assign(graph);
+    // The greedy pass sees equal completion everywhere; the bottom-up
+    // preplacement affinity breaks the tie towards cluster 2.
+    EXPECT_EQ(assignment[a], 2);
+    EXPECT_EQ(assignment[b], 2);
+}
+
+/**
+ * Brute-force property: on tiny graphs, every production scheduler's
+ * makespan is bounded below by the best makespan over ALL cluster
+ * assignments (scheduled with the same list scheduler).  This checks
+ * that no scheduler ever reports an impossibly good result and that
+ * the heuristics stay within a small factor of optimal.
+ */
+TEST(BruteForce, SchedulersBoundedByExhaustiveOptimum)
+{
+    Rng rng(4242);
+    const ClusteredVliwMachine vliw(2);
+    for (int round = 0; round < 5; ++round) {
+        RandomDagOptions options;
+        options.numInstructions = 8;
+        options.width = 3;
+        options.banks = 2;
+        options.preplaceClusters = 2;
+        options.memFraction = 0.3;
+        options.seed = 1000 + round;
+        const auto graph = makeRandomDag(options);
+        const int n = graph.numInstructions();
+
+        // Exhaustive optimum over 2^8 assignments (respecting
+        // preplacement).
+        int best = 1 << 30;
+        const ListScheduler scheduler(vliw);
+        for (int code = 0; code < (1 << n); ++code) {
+            std::vector<int> assignment(n);
+            bool legal = true;
+            for (int k = 0; k < n; ++k) {
+                assignment[k] = (code >> k) & 1;
+                const auto &instr = graph.instr(k);
+                if (instr.preplaced() &&
+                    assignment[k] != instr.homeCluster) {
+                    legal = false;
+                    break;
+                }
+            }
+            if (!legal)
+                continue;
+            best = std::min(
+                best, scheduler
+                          .run(graph, assignment,
+                               criticalPathPriority(graph))
+                          .makespan());
+        }
+
+        for (auto kind : {AlgorithmKind::Convergent, AlgorithmKind::Uas,
+                          AlgorithmKind::Pcc, AlgorithmKind::Rawcc}) {
+            const auto algorithm = makeAlgorithm(kind, vliw);
+            const int makespan = algorithm->run(graph).makespan();
+            EXPECT_GE(makespan, graph.criticalPathLength());
+            // Never better than the exhaustive optimum...
+            EXPECT_GE(makespan + 1e-9, best);
+            // ...and within a small factor of it.
+            EXPECT_LE(makespan, 2 * best + 4)
+                << "seed " << options.seed << " kind "
+                << static_cast<int>(kind);
+        }
+    }
+}
+
+} // namespace
+} // namespace csched

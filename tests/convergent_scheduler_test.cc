@@ -1,0 +1,173 @@
+/**
+ * @file
+ * End-to-end tests for the convergent scheduler driver: sequences,
+ * extraction, correctness clamping, convergence tracing, determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "convergent/convergent_scheduler.hh"
+#include "convergent/sequences.hh"
+#include "ir/graph_algorithms.hh"
+#include "ir/graph_builder.hh"
+#include "machine/clustered_vliw.hh"
+#include "machine/raw_machine.hh"
+#include "machine/single_cluster.hh"
+#include "sched/schedule_checker.hh"
+#include "workloads/workloads.hh"
+
+namespace csched {
+namespace {
+
+DependenceGraph
+smallKernel(int banks)
+{
+    return makeJacobi(banks, banks);
+}
+
+TEST(Sequences, MatchTableOne)
+{
+    EXPECT_EQ(rawPassSequence(),
+              "INITTIME,PLACEPROP,LOAD,PLACE,PATH,PATHPROP,LEVEL,"
+              "PATHPROP,COMM,PATHPROP,EMPHCP");
+    EXPECT_EQ(vliwPassSequence(),
+              "INITTIME,NOISE,FIRST,PATH,COMM,PLACE,PLACEPROP,COMM,"
+              "EMPHCP");
+}
+
+TEST(ConvergentScheduler, PassNamesFollowSequence)
+{
+    const ClusteredVliwMachine vliw(4);
+    const ConvergentScheduler scheduler(vliw, "INITTIME,PLACE,COMM");
+    const auto names = scheduler.passNames();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "INITTIME");
+    EXPECT_EQ(names[2], "COMM");
+}
+
+TEST(ConvergentScheduler, ProducesLegalScheduleOnVliw)
+{
+    const ClusteredVliwMachine vliw(4);
+    const auto graph = smallKernel(4);
+    const auto scheduler = ConvergentScheduler::forMachine(vliw);
+    const auto result = scheduler.schedule(graph);
+    const auto check = checkSchedule(graph, vliw, result.schedule);
+    EXPECT_TRUE(check.ok()) << check.message();
+}
+
+TEST(ConvergentScheduler, ProducesLegalScheduleOnRaw)
+{
+    const auto raw = RawMachine::withTiles(4);
+    const auto graph = smallKernel(4);
+    const auto scheduler = ConvergentScheduler::forMachine(raw);
+    const auto result = scheduler.schedule(graph);
+    const auto check = checkSchedule(graph, raw, result.schedule);
+    EXPECT_TRUE(check.ok()) << check.message();
+}
+
+TEST(ConvergentScheduler, PreplacedInstructionsClampedToHomes)
+{
+    const ClusteredVliwMachine vliw(4);
+    const auto graph = smallKernel(4);
+    const auto scheduler = ConvergentScheduler::forMachine(vliw);
+    const auto result = scheduler.schedule(graph);
+    for (InstrId id = 0; id < graph.numInstructions(); ++id) {
+        const auto &instr = graph.instr(id);
+        if (instr.preplaced()) {
+            EXPECT_EQ(result.assignment[id], instr.homeCluster);
+        }
+    }
+}
+
+TEST(ConvergentScheduler, TraceCoversEveryPass)
+{
+    const ClusteredVliwMachine vliw(4);
+    const auto graph = smallKernel(4);
+    const auto scheduler = ConvergentScheduler::forMachine(vliw);
+    const auto result = scheduler.schedule(graph);
+    ASSERT_EQ(result.trace.size(), 9u);  // Table 1(b) length
+    for (const auto &step : result.trace) {
+        EXPECT_GE(step.fractionChanged, 0.0);
+        EXPECT_LE(step.fractionChanged, 1.0);
+    }
+    EXPECT_EQ(result.trace.front().pass, "INITTIME");
+    EXPECT_TRUE(result.trace.front().temporalOnly);
+    EXPECT_EQ(result.trace.back().pass, "EMPHCP");
+}
+
+TEST(ConvergentScheduler, TemporalOnlyPassesChangeNoClusters)
+{
+    const ClusteredVliwMachine vliw(4);
+    const auto graph = smallKernel(4);
+    const auto scheduler = ConvergentScheduler::forMachine(vliw);
+    const auto result = scheduler.schedule(graph);
+    for (const auto &step : result.trace) {
+        if (step.temporalOnly) {
+            EXPECT_DOUBLE_EQ(step.fractionChanged, 0.0);
+        }
+    }
+}
+
+TEST(ConvergentScheduler, DeterministicAcrossRuns)
+{
+    const ClusteredVliwMachine vliw(4);
+    const auto graph = smallKernel(4);
+    const auto scheduler = ConvergentScheduler::forMachine(vliw);
+    const auto first = scheduler.schedule(graph);
+    const auto second = scheduler.schedule(graph);
+    EXPECT_EQ(first.assignment, second.assignment);
+    EXPECT_EQ(first.schedule.makespan(), second.schedule.makespan());
+}
+
+TEST(ConvergentScheduler, NoiseSeedChangesVliwOutcome)
+{
+    const ClusteredVliwMachine vliw(4);
+    const auto graph = smallKernel(4);
+    PassParams a = vliwPassParams();
+    PassParams b = vliwPassParams();
+    b.noiseSeed = a.noiseSeed + 1;
+    const ConvergentScheduler first(vliw, vliwPassSequence(), a);
+    const ConvergentScheduler second(vliw, vliwPassSequence(), b);
+    // Different noise, (almost surely) different assignment somewhere.
+    EXPECT_NE(first.schedule(graph).assignment,
+              second.schedule(graph).assignment);
+}
+
+TEST(ConvergentScheduler, SingleClusterMachineTrivialAssignment)
+{
+    const ClusteredVliwMachine vliw(1);
+    GraphBuilder builder;
+    const InstrId a = builder.op(Opcode::IAdd);
+    builder.op(Opcode::IAdd, {a});
+    const auto graph = builder.build();
+    const auto scheduler = ConvergentScheduler::forMachine(vliw);
+    const auto result = scheduler.schedule(graph);
+    EXPECT_EQ(result.assignment, (std::vector<int>{0, 0}));
+}
+
+TEST(ConvergentScheduler, WorksOnReceiveOpMachines)
+{
+    // The Figure-1 style abstract machine: receives occupy consumer
+    // FUs.  forMachine() selects the VLIW sequence for it.
+    const UniformMachine machine(3, 1, 1);
+    const auto graph = smallKernel(3);
+    const auto scheduler = ConvergentScheduler::forMachine(machine);
+    const auto result = scheduler.schedule(graph);
+    const auto check = checkSchedule(graph, machine, result.schedule);
+    EXPECT_TRUE(check.ok()) << check.message();
+    EXPECT_GE(result.schedule.makespan(),
+              graph.criticalPathLength());
+}
+
+TEST(ConvergentScheduler, CustomSequenceRuns)
+{
+    const ClusteredVliwMachine vliw(2);
+    const auto graph = smallKernel(2);
+    const ConvergentScheduler scheduler(vliw, "INITTIME,PLACE,PLACEPROP");
+    const auto result = scheduler.schedule(graph);
+    const auto check = checkSchedule(graph, vliw, result.schedule);
+    EXPECT_TRUE(check.ok()) << check.message();
+}
+
+} // namespace
+} // namespace csched

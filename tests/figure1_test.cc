@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Reproduction of the paper's Figure 1: the locality-vs-parallelism
+ * tradeoff on a three-cluster machine with one FU per cluster and
+ * one-cycle communication via receive instructions.
+ *
+ * Conservative partitioning (everything local) takes 8 cycles,
+ * maximally aggressive partitioning takes 8 cycles, and the balanced
+ * tradeoff takes 7.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ir/graph_builder.hh"
+#include "machine/single_cluster.hh"
+#include "sched/list_scheduler.hh"
+#include "sched/priorities.hh"
+#include "sched/schedule_checker.hh"
+
+namespace csched {
+namespace {
+
+/**
+ * The Figure-1 style kernel: three 2-cycle multiplies feeding a tree
+ * of 1-cycle adds (ids: m1 a2 m3 a4 m5 a6 a7 a8).
+ */
+DependenceGraph
+figure1Graph()
+{
+    LatencyModel latencies;
+    latencies.setLatency(Opcode::IMul, 2);
+    GraphBuilder builder(latencies);
+    const InstrId m1 = builder.op(Opcode::IMul, {}, "1 MUL");
+    const InstrId a2 = builder.op(Opcode::IAdd, {m1}, "2 ADD");
+    const InstrId m3 = builder.op(Opcode::IMul, {}, "3 MUL");
+    const InstrId a4 = builder.op(Opcode::IAdd, {m3}, "4 ADD");
+    const InstrId m5 = builder.op(Opcode::IMul, {}, "5 MUL");
+    const InstrId a6 = builder.op(Opcode::IAdd, {m5}, "6 ADD");
+    const InstrId a7 = builder.op(Opcode::IAdd, {a2, a4}, "7 ADD");
+    builder.op(Opcode::IAdd, {a7, a6}, "8 ADD");
+    return builder.build();
+}
+
+int
+makespanOf(const DependenceGraph &graph, const MachineModel &machine,
+           const std::vector<int> &assignment)
+{
+    const ListScheduler scheduler(machine);
+    const auto schedule =
+        scheduler.run(graph, assignment, criticalPathPriority(graph));
+    const auto check = checkSchedule(graph, machine, schedule);
+    EXPECT_TRUE(check.ok()) << check.message();
+    return schedule.makespan();
+}
+
+TEST(Figure1, ConservativeTakesEight)
+{
+    const UniformMachine machine(3, 1, 1);
+    const auto graph = figure1Graph();
+    EXPECT_EQ(makespanOf(graph, machine,
+                         std::vector<int>(8, 0)),
+              8);
+}
+
+TEST(Figure1, AggressiveTakesEight)
+{
+    const UniformMachine machine(3, 1, 1);
+    const auto graph = figure1Graph();
+    // Round-robin spread: maximal parallelism, maximal communication.
+    EXPECT_EQ(makespanOf(graph, machine,
+                         {0, 1, 2, 0, 1, 2, 0, 1}),
+              8);
+}
+
+TEST(Figure1, BalancedTradeoffTakesSeven)
+{
+    const UniformMachine machine(3, 1, 1);
+    const auto graph = figure1Graph();
+    // Each multiply/add pair stays local; the combining adds join the
+    // first cluster: a careful tradeoff between locality and
+    // parallelism (the paper's Figure 1c).
+    EXPECT_EQ(makespanOf(graph, machine,
+                         {0, 0, 1, 1, 2, 2, 0, 0}),
+              7);
+}
+
+TEST(Figure1, SevenIsOptimalByExhaustion)
+{
+    const UniformMachine machine(3, 1, 1);
+    const auto graph = figure1Graph();
+    int best = 1 << 30;
+    std::vector<int> assignment(8, 0);
+    // All 3^8 assignments.
+    for (int code = 0; code < 6561; ++code) {
+        int rest = code;
+        for (int k = 0; k < 8; ++k) {
+            assignment[k] = rest % 3;
+            rest /= 3;
+        }
+        const ListScheduler scheduler(machine);
+        const auto schedule = scheduler.run(
+            graph, assignment, criticalPathPriority(graph));
+        best = std::min(best, schedule.makespan());
+    }
+    EXPECT_EQ(best, 7);
+}
+
+} // namespace
+} // namespace csched

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for the free-standing graph utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/graph_algorithms.hh"
+#include "ir/graph_builder.hh"
+
+namespace csched {
+namespace {
+
+TEST(PreplaceByBank, AssignsHomesModuloClusters)
+{
+    GraphBuilder builder;
+    const InstrId l0 = builder.load(0);
+    const InstrId l5 = builder.load(5);
+    const InstrId add = builder.op(Opcode::IAdd, {l0, l5});
+    const InstrId st = builder.store(2, add);
+    preplaceMemoryByBank(builder.graph(), 4);
+    const auto graph = builder.build();
+    EXPECT_EQ(graph.instr(l0).homeCluster, 0);
+    EXPECT_EQ(graph.instr(l5).homeCluster, 1);  // 5 % 4
+    EXPECT_EQ(graph.instr(st).homeCluster, 2);
+    EXPECT_FALSE(graph.instr(add).preplaced());
+}
+
+TEST(PreplaceByBank, SkipsUnanalysableAccesses)
+{
+    GraphBuilder builder;
+    const InstrId ld = builder.load(kNoCluster);
+    preplaceMemoryByBank(builder.graph(), 4);
+    const auto graph = builder.build();
+    EXPECT_FALSE(graph.instr(ld).preplaced());
+}
+
+TEST(PreplaceByBank, SingleClusterMapsEverythingHome)
+{
+    GraphBuilder builder;
+    builder.load(7);
+    builder.load(13);
+    preplaceMemoryByBank(builder.graph(), 1);
+    const auto graph = builder.build();
+    EXPECT_EQ(graph.instr(0).homeCluster, 0);
+    EXPECT_EQ(graph.instr(1).homeCluster, 0);
+}
+
+TEST(TotalWork, SumsLatencies)
+{
+    GraphBuilder builder;
+    builder.op(Opcode::IAdd);        // 1
+    builder.op(Opcode::FMul);        // 4
+    builder.load(0);                 // 2
+    const auto graph = builder.build();
+    EXPECT_EQ(totalWork(graph), 7);
+}
+
+TEST(UndirectedDistance, TraversesBothDirections)
+{
+    GraphBuilder builder;
+    const InstrId a = builder.op(Opcode::Const);
+    const InstrId b = builder.op(Opcode::IAdd, {a});
+    const InstrId c = builder.op(Opcode::IAdd, {a});
+    const InstrId d = builder.op(Opcode::IAdd, {b});
+    const auto graph = builder.build();
+    EXPECT_EQ(undirectedDistance(graph, a, a), 0);
+    EXPECT_EQ(undirectedDistance(graph, b, c), 2);  // via a
+    EXPECT_EQ(undirectedDistance(graph, d, c), 3);  // d-b-a-c
+}
+
+TEST(UndirectedDistance, DisconnectedReturnsMinusOne)
+{
+    GraphBuilder builder;
+    const InstrId a = builder.op(Opcode::Const);
+    const InstrId b = builder.op(Opcode::Const);
+    const auto graph = builder.build();
+    EXPECT_EQ(undirectedDistance(graph, a, b), -1);
+}
+
+TEST(DistanceToSet, NearestTargetWins)
+{
+    GraphBuilder builder;
+    const InstrId a = builder.op(Opcode::Const);
+    const InstrId b = builder.op(Opcode::IAdd, {a});
+    const InstrId c = builder.op(Opcode::IAdd, {b});
+    const InstrId d = builder.op(Opcode::IAdd, {c});
+    const auto graph = builder.build();
+    std::vector<bool> targets(graph.numInstructions(), false);
+    targets[a] = true;
+    targets[d] = true;
+    EXPECT_EQ(distanceToSet(graph, c, targets), 1);  // d is closer
+    EXPECT_EQ(distanceToSet(graph, b, targets), 1);  // a is closer
+}
+
+TEST(AnalyzeShape, ReportsBasicQuantities)
+{
+    GraphBuilder builder;
+    const InstrId a = builder.load(0);
+    const InstrId b = builder.load(1);
+    const InstrId m = builder.op(Opcode::FMul, {a, b});
+    builder.store(0, m);
+    preplaceMemoryByBank(builder.graph(), 2);
+    const auto graph = builder.build();
+    const auto shape = analyzeShape(graph);
+    EXPECT_EQ(shape.instructions, 4);
+    EXPECT_EQ(shape.edges, 3);
+    EXPECT_EQ(shape.preplaced, 3);
+    EXPECT_EQ(shape.criticalPathLength, 7);  // load2 + fmul4 + store1
+    EXPECT_GT(shape.parallelism, 1.0);
+}
+
+} // namespace
+} // namespace csched

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for GraphBuilder and the ArrayRef kernel helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/describe.hh"
+#include "ir/graph_builder.hh"
+#include "workloads/loop_kernel.hh"
+
+namespace csched {
+namespace {
+
+TEST(GraphBuilder, EmitsInstructionsWithDataEdges)
+{
+    GraphBuilder builder;
+    const InstrId a = builder.op(Opcode::Const, {}, "a");
+    const InstrId b = builder.op(Opcode::Const, {}, "b");
+    const InstrId sum = builder.op(Opcode::IAdd, {a, b});
+    const auto graph = builder.build();
+    EXPECT_EQ(graph.numInstructions(), 3);
+    EXPECT_EQ(graph.preds(sum).size(), 2u);
+    EXPECT_EQ(graph.instr(a).name, "a");
+}
+
+TEST(GraphBuilder, LoadStoreCarryBanks)
+{
+    GraphBuilder builder;
+    const InstrId ld = builder.load(3);
+    const InstrId st = builder.store(5, ld);
+    const auto graph = builder.build();
+    EXPECT_EQ(graph.instr(ld).op, Opcode::Load);
+    EXPECT_EQ(graph.instr(ld).memBank, 3);
+    EXPECT_EQ(graph.instr(st).op, Opcode::Store);
+    EXPECT_EQ(graph.instr(st).memBank, 5);
+    // Store depends on the stored value.
+    EXPECT_EQ(graph.preds(st), std::vector<InstrId>{ld});
+}
+
+TEST(GraphBuilder, ManualPreplacement)
+{
+    GraphBuilder builder;
+    const InstrId c = builder.op(Opcode::Const);
+    builder.preplace(c, 2);
+    const auto graph = builder.build();
+    EXPECT_TRUE(graph.instr(c).preplaced());
+    EXPECT_EQ(graph.instr(c).homeCluster, 2);
+}
+
+TEST(GraphBuilder, ExtraEdges)
+{
+    GraphBuilder builder;
+    const InstrId a = builder.op(Opcode::Store);
+    const InstrId b = builder.op(Opcode::Store);
+    builder.edge(a, b, DepKind::Output);
+    const auto graph = builder.build();
+    ASSERT_EQ(graph.edges().size(), 1u);
+    EXPECT_EQ(graph.edges()[0].kind, DepKind::Output);
+}
+
+TEST(GraphBuilderDeathTest, ReuseAfterBuild)
+{
+    GraphBuilder builder;
+    builder.op(Opcode::IAdd);
+    (void)builder.build();
+    EXPECT_DEATH(builder.op(Opcode::IAdd), "reused");
+}
+
+TEST(Describe, MentionsKeyFields)
+{
+    Instruction instr;
+    instr.id = 7;
+    instr.op = Opcode::Load;
+    instr.name = "x";
+    instr.memBank = 2;
+    instr.homeCluster = 1;
+    const std::string text = describe(instr);
+    EXPECT_NE(text.find("i7"), std::string::npos);
+    EXPECT_NE(text.find("load"), std::string::npos);
+    EXPECT_NE(text.find("bank=2"), std::string::npos);
+    EXPECT_NE(text.find("home=1"), std::string::npos);
+}
+
+TEST(ArrayRef, BaseIsLiveInOnClusterZero)
+{
+    GraphBuilder builder;
+    ArrayRef array(builder, "a");
+    const InstrId ld = array.load(3);
+    auto graph = builder.build();
+    EXPECT_EQ(graph.instr(array.base()).op, Opcode::Const);
+    EXPECT_EQ(graph.instr(array.base()).homeCluster, 0);
+    // The load consumes the live-in base.
+    EXPECT_EQ(graph.preds(ld), std::vector<InstrId>{array.base()});
+}
+
+TEST(ArrayRef, StoreConsumesValueAndBase)
+{
+    GraphBuilder builder;
+    ArrayRef array(builder, "a");
+    const InstrId v = builder.op(Opcode::Const);
+    const InstrId st = array.store(1, v);
+    auto graph = builder.build();
+    EXPECT_EQ(graph.preds(st).size(), 2u);
+}
+
+TEST(ReduceBalanced, BuildsLogDepthTree)
+{
+    GraphBuilder builder;
+    std::vector<InstrId> leaves;
+    for (int k = 0; k < 8; ++k)
+        leaves.push_back(builder.op(Opcode::Const));
+    const InstrId root =
+        reduceBalanced(builder, Opcode::FAdd, leaves);
+    auto graph = builder.build();
+    // 8 leaves -> 7 adds; root at node-level 3.
+    EXPECT_EQ(graph.numInstructions(), 15);
+    EXPECT_EQ(graph.level(root), 3);
+}
+
+TEST(ReduceChain, BuildsLinearDepth)
+{
+    GraphBuilder builder;
+    std::vector<InstrId> leaves;
+    for (int k = 0; k < 6; ++k)
+        leaves.push_back(builder.op(Opcode::Const));
+    const InstrId root = reduceChain(builder, Opcode::FAdd, leaves);
+    auto graph = builder.build();
+    EXPECT_EQ(graph.numInstructions(), 11);
+    EXPECT_EQ(graph.level(root), 5);
+}
+
+TEST(ReduceBalanced, SingleValueIsIdentity)
+{
+    GraphBuilder builder;
+    const InstrId only = builder.op(Opcode::Const);
+    EXPECT_EQ(reduceBalanced(builder, Opcode::FAdd, {only}), only);
+}
+
+} // namespace
+} // namespace csched

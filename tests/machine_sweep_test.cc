@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Parameterised sweeps across machine sizes: every algorithm must stay
+ * legal and sane from 1 to 16 clusters/tiles, speedups must be
+ * monotone-ish in machine size for parallel kernels, and the
+ * single-cluster degenerate cases must work everywhere.
+ */
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment.hh"
+#include "eval/speedup.hh"
+#include "machine/clustered_vliw.hh"
+#include "machine/raw_machine.hh"
+#include "workloads/workloads.hh"
+
+namespace csched {
+namespace {
+
+class TileSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TileSweep, RawSchedulersLegalAtEverySize)
+{
+    const int tiles = GetParam();
+    const auto raw = RawMachine::withTiles(tiles);
+    const auto graph = findWorkload("jacobi").build(tiles, tiles);
+    for (auto kind : {AlgorithmKind::Convergent, AlgorithmKind::Rawcc,
+                      AlgorithmKind::Uas}) {
+        const auto algorithm = makeAlgorithm(kind, raw);
+        const auto result = runAndCheck(*algorithm, graph, raw);
+        EXPECT_GE(result.makespan, graph.criticalPathLength());
+    }
+}
+
+TEST_P(TileSweep, VliwSchedulersLegalAtEverySize)
+{
+    const int clusters = GetParam();
+    const ClusteredVliwMachine vliw(clusters);
+    const auto graph = findWorkload("mxm").build(clusters, clusters);
+    for (auto kind : {AlgorithmKind::Convergent, AlgorithmKind::Uas,
+                      AlgorithmKind::Pcc}) {
+        const auto algorithm = makeAlgorithm(kind, vliw);
+        const auto result = runAndCheck(*algorithm, graph, vliw);
+        EXPECT_GE(result.makespan, graph.criticalPathLength());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TileSweep,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(MachineSweep, ParallelKernelSpeedupGrowsWithTiles)
+{
+    // Table-2 property: for a fat kernel, convergent speedup at 16
+    // tiles clearly exceeds the 2-tile speedup.
+    const auto &spec = findWorkload("life");
+    const auto small = RawMachine::withTiles(2);
+    const auto large = RawMachine::withTiles(16);
+    const auto algo_small =
+        makeAlgorithm(AlgorithmKind::Convergent, small);
+    const auto algo_large =
+        makeAlgorithm(AlgorithmKind::Convergent, large);
+    const double s2 = speedupOf(spec, small, *algo_small);
+    const double s16 = speedupOf(spec, large, *algo_large);
+    EXPECT_GT(s16, 2.0 * s2);
+}
+
+TEST(MachineSweep, SerialKernelSpeedupSaturates)
+{
+    // sha barely speeds up no matter how many tiles (Table 2).
+    const auto &spec = findWorkload("sha");
+    const auto large = RawMachine::withTiles(16);
+    const auto algorithm =
+        makeAlgorithm(AlgorithmKind::Convergent, large);
+    EXPECT_LT(speedupOf(spec, large, *algorithm), 3.0);
+}
+
+TEST(MachineSweep, OneClusterSpeedupIsApproximatelyOne)
+{
+    // On a single-cluster machine every scheduler degenerates to plain
+    // list scheduling, so "speedup" over the single-cluster baseline
+    // is ~1.
+    const ClusteredVliwMachine vliw(1);
+    const auto &spec = findWorkload("fir");
+    for (auto kind : {AlgorithmKind::Convergent, AlgorithmKind::Uas,
+                      AlgorithmKind::Pcc}) {
+        const auto algorithm = makeAlgorithm(kind, vliw);
+        const double speedup = speedupOf(spec, vliw, *algorithm);
+        EXPECT_NEAR(speedup, 1.0, 0.15)
+            << "algorithm kind " << static_cast<int>(kind);
+    }
+}
+
+TEST(MachineSweep, NonSquareMeshesWork)
+{
+    const RawMachine raw(2, 8);
+    const auto graph = findWorkload("vvmul").build(16, 16);
+    const auto algorithm =
+        makeAlgorithm(AlgorithmKind::Convergent, raw);
+    const auto result = runAndCheck(*algorithm, graph, raw);
+    EXPECT_GT(result.makespan, 0);
+}
+
+TEST(MachineSweep, SingleRowMeshWorks)
+{
+    const RawMachine raw(1, 4);
+    const auto graph = findWorkload("jacobi").build(4, 4);
+    const auto algorithm = makeAlgorithm(AlgorithmKind::Rawcc, raw);
+    const auto result = runAndCheck(*algorithm, graph, raw);
+    EXPECT_GT(result.makespan, 0);
+}
+
+} // namespace
+} // namespace csched

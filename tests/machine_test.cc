@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for the machine models: clustered VLIW, Raw mesh, and the
+ * uniform Figure-1 machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/clustered_vliw.hh"
+#include "machine/raw_machine.hh"
+#include "machine/single_cluster.hh"
+
+namespace csched {
+namespace {
+
+TEST(ClusteredVliw, HasFourFusPerCluster)
+{
+    const ClusteredVliwMachine vliw(4);
+    EXPECT_EQ(vliw.numClusters(), 4);
+    const auto &fus = vliw.clusterFus(0);
+    ASSERT_EQ(fus.size(), 4u);
+    EXPECT_EQ(fus[0], FuKind::IntAlu);
+    EXPECT_EQ(fus[1], FuKind::IntAluMem);
+    EXPECT_EQ(fus[2], FuKind::Fpu);
+    EXPECT_EQ(fus[3], FuKind::Transfer);
+}
+
+TEST(ClusteredVliw, Capabilities)
+{
+    const ClusteredVliwMachine vliw(2);
+    EXPECT_TRUE(vliw.canExecute(0, Opcode::FAdd));
+    EXPECT_TRUE(vliw.canExecute(1, Opcode::Load));
+    EXPECT_EQ(vliw.numFusFor(0, Opcode::IAdd), 2);  // IntAlu + IntAluMem
+    EXPECT_EQ(vliw.numFusFor(0, Opcode::Load), 1);
+    EXPECT_EQ(vliw.numFusFor(0, Opcode::FMul), 1);
+}
+
+TEST(ClusteredVliw, CommunicationModel)
+{
+    const ClusteredVliwMachine vliw(4);
+    EXPECT_EQ(vliw.commStyle(), CommStyle::TransferUnit);
+    EXPECT_EQ(vliw.commLatency(1, 1), 0);
+    EXPECT_EQ(vliw.commLatency(0, 3), 1);
+}
+
+TEST(ClusteredVliw, MemoryBankInterleaving)
+{
+    const ClusteredVliwMachine vliw(4);
+    EXPECT_EQ(vliw.homeOfBank(0), 0);
+    EXPECT_EQ(vliw.homeOfBank(7), 3);
+    EXPECT_EQ(vliw.memoryPenalty(2, 2), 0);
+    EXPECT_EQ(vliw.memoryPenalty(2, 1), 1);  // remote: one cycle
+    EXPECT_EQ(vliw.memoryPenalty(-1, 1), 0); // unanalysable: local
+}
+
+TEST(ClusteredVliw, SingleClusterSibling)
+{
+    const ClusteredVliwMachine vliw(4);
+    const auto single = vliw.makeSingleCluster();
+    EXPECT_EQ(single->numClusters(), 1);
+    EXPECT_EQ(single->commStyle(), CommStyle::TransferUnit);
+}
+
+TEST(RawMachine, MeshGeometry)
+{
+    const RawMachine raw(4, 4);
+    EXPECT_EQ(raw.numClusters(), 16);
+    EXPECT_EQ(raw.rowOf(5), 1);
+    EXPECT_EQ(raw.colOf(5), 1);
+    EXPECT_EQ(raw.tileAt(3, 2), 14);
+    EXPECT_EQ(raw.distance(0, 15), 6);
+    EXPECT_EQ(raw.distance(5, 6), 1);
+}
+
+TEST(RawMachine, WithTilesFactorisesSquarely)
+{
+    EXPECT_EQ(RawMachine::withTiles(16).rows(), 4);
+    EXPECT_EQ(RawMachine::withTiles(16).cols(), 4);
+    EXPECT_EQ(RawMachine::withTiles(8).rows(), 2);
+    EXPECT_EQ(RawMachine::withTiles(8).cols(), 4);
+    EXPECT_EQ(RawMachine::withTiles(2).rows(), 1);
+    EXPECT_EQ(RawMachine::withTiles(2).cols(), 2);
+    EXPECT_EQ(RawMachine::withTiles(1).numClusters(), 1);
+}
+
+TEST(RawMachine, StaticNetworkLatency)
+{
+    const RawMachine raw(4, 4);
+    EXPECT_EQ(raw.commStyle(), CommStyle::Network);
+    EXPECT_EQ(raw.commLatency(0, 0), 0);
+    // Three cycles between neighbours...
+    EXPECT_EQ(raw.commLatency(0, 1), 3);
+    // ...plus one per additional hop.
+    EXPECT_EQ(raw.commLatency(0, 2), 4);
+    EXPECT_EQ(raw.commLatency(0, 15), 8);
+}
+
+TEST(RawMachine, RoutesAreDimensionOrdered)
+{
+    const RawMachine raw(4, 4);
+    // 0 (0,0) -> 10 (2,2): two hops east then two south.
+    const auto route = raw.route(0, 10);
+    ASSERT_EQ(route.size(), 4u);
+    // Link ids encode (tile, direction): east = 0, south = 2.
+    EXPECT_EQ(route[0], 0 * 4 + 0);
+    EXPECT_EQ(route[1], 1 * 4 + 0);
+    EXPECT_EQ(route[2], 2 * 4 + 2);
+    EXPECT_EQ(route[3], 6 * 4 + 2);
+}
+
+TEST(RawMachine, RouteLengthEqualsManhattanDistance)
+{
+    const RawMachine raw(2, 4);
+    for (int a = 0; a < raw.numClusters(); ++a)
+        for (int b = 0; b < raw.numClusters(); ++b)
+            EXPECT_EQ(raw.route(a, b).size(),
+                      static_cast<size_t>(raw.distance(a, b)));
+}
+
+TEST(RawMachine, TilesAreUniversal)
+{
+    const RawMachine raw(2, 2);
+    ASSERT_EQ(raw.clusterFus(0).size(), 1u);
+    EXPECT_EQ(raw.clusterFus(0)[0], FuKind::Universal);
+    EXPECT_TRUE(raw.canExecute(3, Opcode::FSqrt));
+    EXPECT_TRUE(raw.canExecute(3, Opcode::Store));
+}
+
+TEST(RawMachine, RemoteMemoryIsExpensive)
+{
+    const RawMachine raw(4, 4);
+    EXPECT_EQ(raw.memoryPenalty(3, 3), 0);
+    // Dynamic-network round trip: base 6 plus 2 per hop.
+    EXPECT_EQ(raw.memoryPenalty(1, 0), 8);
+    EXPECT_GT(raw.memoryPenalty(15, 0), raw.memoryPenalty(1, 0));
+}
+
+TEST(RawMachine, SingleClusterSibling)
+{
+    const auto single = RawMachine(4, 4).makeSingleCluster();
+    EXPECT_EQ(single->numClusters(), 1);
+}
+
+TEST(UniformMachine, ReceiveStyleComm)
+{
+    const UniformMachine uniform(3, 1, 1);
+    EXPECT_EQ(uniform.numClusters(), 3);
+    EXPECT_EQ(uniform.commStyle(), CommStyle::ReceiveOp);
+    EXPECT_EQ(uniform.commLatency(0, 2), 1);
+    EXPECT_TRUE(uniform.canExecute(0, Opcode::Recv));
+    EXPECT_TRUE(uniform.canExecute(0, Opcode::FMul));
+}
+
+TEST(UniformMachine, Names)
+{
+    EXPECT_EQ(UniformMachine(3, 1, 1).name(), "uniform3x1");
+    EXPECT_EQ(ClusteredVliwMachine(4).name(), "vliw4");
+    EXPECT_EQ(RawMachine(4, 4).name(), "raw4x4");
+}
+
+TEST(MachineDeathTest, InvalidClusterQueries)
+{
+    const ClusteredVliwMachine vliw(2);
+    EXPECT_DEATH(vliw.clusterFus(2), "out of range");
+    const RawMachine raw(2, 2);
+    EXPECT_DEATH(raw.clusterFus(-1), "out of range");
+}
+
+} // namespace
+} // namespace csched

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for opcodes, FU capabilities, and the latency model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/latency_model.hh"
+#include "ir/opcode.hh"
+
+namespace csched {
+namespace {
+
+TEST(Opcode, NamesRoundTrip)
+{
+    for (int k = 0; k < kNumOpcodes; ++k) {
+        const auto op = static_cast<Opcode>(k);
+        EXPECT_EQ(opcodeFromName(opcodeName(op)), op);
+    }
+}
+
+TEST(Opcode, MemoryPredicate)
+{
+    EXPECT_TRUE(isMemory(Opcode::Load));
+    EXPECT_TRUE(isMemory(Opcode::Store));
+    EXPECT_FALSE(isMemory(Opcode::IAdd));
+    EXPECT_FALSE(isMemory(Opcode::FMul));
+}
+
+TEST(Opcode, FloatPredicate)
+{
+    EXPECT_TRUE(isFloat(Opcode::FAdd));
+    EXPECT_TRUE(isFloat(Opcode::FSqrt));
+    EXPECT_FALSE(isFloat(Opcode::IAdd));
+    EXPECT_FALSE(isFloat(Opcode::Load));
+}
+
+TEST(Opcode, CommPredicate)
+{
+    EXPECT_TRUE(isComm(Opcode::Copy));
+    EXPECT_TRUE(isComm(Opcode::Send));
+    EXPECT_TRUE(isComm(Opcode::Recv));
+    EXPECT_FALSE(isComm(Opcode::Move));
+}
+
+TEST(Opcode, ControlPredicate)
+{
+    EXPECT_TRUE(isControl(Opcode::Branch));
+    EXPECT_TRUE(isControl(Opcode::Jump));
+    EXPECT_FALSE(isControl(Opcode::Cmp));
+}
+
+TEST(FuKind, IntAluCapabilities)
+{
+    EXPECT_TRUE(fuCanExecute(FuKind::IntAlu, Opcode::IAdd));
+    EXPECT_TRUE(fuCanExecute(FuKind::IntAlu, Opcode::Rot));
+    EXPECT_FALSE(fuCanExecute(FuKind::IntAlu, Opcode::Load));
+    EXPECT_FALSE(fuCanExecute(FuKind::IntAlu, Opcode::FAdd));
+    EXPECT_FALSE(fuCanExecute(FuKind::IntAlu, Opcode::Copy));
+}
+
+TEST(FuKind, IntAluMemCapabilities)
+{
+    EXPECT_TRUE(fuCanExecute(FuKind::IntAluMem, Opcode::IAdd));
+    EXPECT_TRUE(fuCanExecute(FuKind::IntAluMem, Opcode::Load));
+    EXPECT_TRUE(fuCanExecute(FuKind::IntAluMem, Opcode::Store));
+    EXPECT_FALSE(fuCanExecute(FuKind::IntAluMem, Opcode::FMul));
+}
+
+TEST(FuKind, FpuCapabilities)
+{
+    EXPECT_TRUE(fuCanExecute(FuKind::Fpu, Opcode::FDiv));
+    EXPECT_FALSE(fuCanExecute(FuKind::Fpu, Opcode::IAdd));
+    EXPECT_FALSE(fuCanExecute(FuKind::Fpu, Opcode::Load));
+}
+
+TEST(FuKind, TransferOnlyCopies)
+{
+    EXPECT_TRUE(fuCanExecute(FuKind::Transfer, Opcode::Copy));
+    EXPECT_FALSE(fuCanExecute(FuKind::Transfer, Opcode::IAdd));
+    EXPECT_FALSE(fuCanExecute(FuKind::Transfer, Opcode::Recv));
+}
+
+TEST(FuKind, UniversalRunsEverythingExceptCopy)
+{
+    EXPECT_TRUE(fuCanExecute(FuKind::Universal, Opcode::Load));
+    EXPECT_TRUE(fuCanExecute(FuKind::Universal, Opcode::FSqrt));
+    EXPECT_TRUE(fuCanExecute(FuKind::Universal, Opcode::Recv));
+    EXPECT_FALSE(fuCanExecute(FuKind::Universal, Opcode::Copy));
+}
+
+TEST(LatencyModel, DefaultsAreSane)
+{
+    const LatencyModel model;
+    EXPECT_EQ(model.latency(Opcode::IAdd), 1);
+    EXPECT_EQ(model.latency(Opcode::IMul), 2);
+    EXPECT_EQ(model.latency(Opcode::Load), 2);
+    EXPECT_EQ(model.latency(Opcode::Store), 1);
+    EXPECT_EQ(model.latency(Opcode::FAdd), 4);
+    EXPECT_EQ(model.latency(Opcode::FDiv), 12);
+    EXPECT_EQ(model.latency(Opcode::FSqrt), 14);
+}
+
+TEST(LatencyModel, EveryOpcodeHasPositiveLatency)
+{
+    const LatencyModel model;
+    for (int k = 0; k < kNumOpcodes; ++k)
+        EXPECT_GE(model.latency(static_cast<Opcode>(k)), 1);
+}
+
+TEST(LatencyModel, Overridable)
+{
+    LatencyModel model;
+    model.setLatency(Opcode::Load, 5);
+    EXPECT_EQ(model.latency(Opcode::Load), 5);
+    EXPECT_EQ(model.latency(Opcode::Store), 1);  // untouched
+}
+
+TEST(LatencyModelDeathTest, RejectsZeroLatency)
+{
+    LatencyModel model;
+    EXPECT_DEATH(model.setLatency(Opcode::IAdd, 0), "latency");
+}
+
+} // namespace
+} // namespace csched

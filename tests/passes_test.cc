@@ -1,0 +1,434 @@
+/**
+ * @file
+ * Unit tests for every convergent-scheduling pass (Section 4),
+ * exercised on small hand-built graphs through the registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "convergent/pass_registry.hh"
+#include "ir/graph_algorithms.hh"
+#include "ir/graph_builder.hh"
+#include "machine/clustered_vliw.hh"
+#include "machine/raw_machine.hh"
+#include "support/rng.hh"
+
+namespace csched {
+namespace {
+
+/** Fixture bundling a graph, machine, matrix, and pass context. */
+class PassTest : public ::testing::Test
+{
+  protected:
+    void
+    init(DependenceGraph graph, int num_clusters)
+    {
+        graph_ = std::make_unique<DependenceGraph>(std::move(graph));
+        machine_ = std::make_unique<ClusteredVliwMachine>(num_clusters);
+        weights_ = std::make_unique<PreferenceMatrix>(
+            graph_->numInstructions(), graph_->criticalPathLength(),
+            num_clusters);
+        rng_ = std::make_unique<Rng>(1);
+    }
+
+    void
+    runPass(const std::string &name)
+    {
+        PassContext ctx{*graph_, *machine_, *weights_, params_, *rng_};
+        makePassByName(name)->run(ctx);
+    }
+
+    std::unique_ptr<DependenceGraph> graph_;
+    std::unique_ptr<ClusteredVliwMachine> machine_;
+    std::unique_ptr<PreferenceMatrix> weights_;
+    PassParams params_;
+    std::unique_ptr<Rng> rng_;
+};
+
+TEST_F(PassTest, InitTimeZeroesInfeasibleSlots)
+{
+    GraphBuilder builder;
+    const InstrId a = builder.op(Opcode::IAdd);
+    const InstrId b = builder.op(Opcode::IAdd, {a});
+    const InstrId c = builder.op(Opcode::IAdd, {b});
+    init(builder.build(), 2);
+
+    runPass("INITTIME");
+    // CPL = 3; each instruction is pinned to exactly its level slot.
+    for (int t = 0; t < 3; ++t) {
+        EXPECT_EQ(weights_->timeMarginal(a, t) > 0, t == 0);
+        EXPECT_EQ(weights_->timeMarginal(b, t) > 0, t == 1);
+        EXPECT_EQ(weights_->timeMarginal(c, t) > 0, t == 2);
+    }
+    EXPECT_EQ(weights_->preferredTime(b), 1);
+}
+
+TEST_F(PassTest, InitTimeLeavesSlackWindowsOpen)
+{
+    GraphBuilder builder;
+    const InstrId chain_a = builder.op(Opcode::IAdd);
+    const InstrId chain_b = builder.op(Opcode::IAdd, {chain_a});
+    builder.op(Opcode::IAdd, {chain_b});
+    const InstrId loose = builder.op(Opcode::IAdd);  // full slack
+    init(builder.build(), 2);
+
+    runPass("INITTIME");
+    int open_slots = 0;
+    for (int t = 0; t < graph_->criticalPathLength(); ++t)
+        open_slots += weights_->timeMarginal(loose, t) > 0 ? 1 : 0;
+    EXPECT_EQ(open_slots, 3);  // may sit at t = 0, 1, or 2
+}
+
+TEST_F(PassTest, NoiseBreaksTiesDeterministically)
+{
+    GraphBuilder builder;
+    for (int k = 0; k < 8; ++k)
+        builder.op(Opcode::IAdd);
+    init(builder.build(), 4);
+
+    runPass("NOISE");
+    // Different instructions end up preferring different clusters.
+    std::vector<int> seen(4, 0);
+    for (InstrId i = 0; i < 8; ++i)
+        seen[weights_->preferredCluster(i)] += 1;
+    int used = 0;
+    for (int count : seen)
+        used += count > 0 ? 1 : 0;
+    EXPECT_GE(used, 2);
+
+    // Same seed, same outcome.
+    PreferenceMatrix other(8, graph_->criticalPathLength(), 4);
+    Rng rng(1);
+    PassContext ctx{*graph_, *machine_, other, params_, rng};
+    makePassByName("NOISE")->run(ctx);
+    for (InstrId i = 0; i < 8; ++i)
+        EXPECT_EQ(other.preferredCluster(i),
+                  weights_->preferredCluster(i));
+}
+
+TEST_F(PassTest, NoiseRespectsSquashedSlots)
+{
+    GraphBuilder builder;
+    const InstrId a = builder.op(Opcode::IAdd);
+    builder.op(Opcode::IAdd, {a});
+    init(builder.build(), 2);
+    runPass("INITTIME");
+    runPass("NOISE");
+    // Slot t=1 stays impossible for the root.
+    EXPECT_NEAR(weights_->timeMarginal(a, 1), 0.0, 1e-12);
+}
+
+TEST_F(PassTest, PlaceBoostsHomeCluster)
+{
+    GraphBuilder builder;
+    builder.load(1);
+    builder.op(Opcode::IAdd);
+    preplaceMemoryByBank(builder.graph(), 2);
+    init(builder.build(), 2);
+
+    runPass("PLACE");
+    EXPECT_EQ(weights_->preferredCluster(0), 1);
+    EXPECT_GT(weights_->confidence(0), 50.0);
+    // Non-preplaced instruction untouched.
+    EXPECT_NEAR(weights_->spaceMarginal(1, 0),
+                weights_->spaceMarginal(1, 1), 1e-12);
+}
+
+TEST_F(PassTest, FirstPullsTowardsClusterZero)
+{
+    GraphBuilder builder;
+    builder.op(Opcode::IAdd);
+    init(builder.build(), 3);
+    params_.firstFactor = 1.2;
+    runPass("FIRST");
+    EXPECT_EQ(weights_->preferredCluster(0), 0);
+    EXPECT_GT(weights_->spaceMarginal(0, 0),
+              weights_->spaceMarginal(0, 1));
+}
+
+TEST_F(PassTest, PathKeepsCriticalChainTogether)
+{
+    GraphBuilder builder;
+    // Critical chain of multiplies plus a short side add.
+    InstrId prev = builder.op(Opcode::FMul);
+    const InstrId head = prev;
+    for (int k = 0; k < 3; ++k)
+        prev = builder.op(Opcode::FMul, {prev});
+    builder.op(Opcode::IAdd);
+    init(builder.build(), 4);
+
+    runPass("PATH");
+    const int chosen = weights_->preferredCluster(head);
+    InstrId node = head;
+    for (int k = 0; k < 3; ++k) {
+        node = graph_->succs(node)[0];
+        EXPECT_EQ(weights_->preferredCluster(node), chosen);
+    }
+}
+
+TEST_F(PassTest, PathSplitsAtConflictingPreplacedHomes)
+{
+    GraphBuilder builder;
+    const InstrId l0 = builder.load(0);
+    const InstrId mid = builder.op(Opcode::FMul, {l0});
+    const InstrId st = builder.store(1, mid);
+    (void)st;
+    preplaceMemoryByBank(builder.graph(), 2);
+    init(builder.build(), 2);
+
+    runPass("PATH");
+    // The load's segment sticks to cluster 0, the store's to 1; the
+    // middle instruction joins the leading segment.
+    EXPECT_EQ(weights_->preferredCluster(l0), 0);
+    EXPECT_EQ(weights_->preferredCluster(st), 1);
+}
+
+TEST_F(PassTest, CommAttractsTowardsNeighbourClusters)
+{
+    GraphBuilder builder;
+    const InstrId a = builder.op(Opcode::IAdd);
+    const InstrId b = builder.op(Opcode::IAdd);
+    const InstrId join = builder.op(Opcode::IAdd, {a, b});
+    init(builder.build(), 4);
+
+    // Bias both producers to cluster 2, then let COMM pull the join.
+    weights_->scaleCluster(a, 2, 50.0);
+    weights_->normalize(a);
+    weights_->scaleCluster(b, 2, 50.0);
+    weights_->normalize(b);
+    runPass("COMM");
+    EXPECT_EQ(weights_->preferredCluster(join), 2);
+}
+
+TEST_F(PassTest, CommIgnoresIsolatedInstructions)
+{
+    GraphBuilder builder;
+    builder.op(Opcode::IAdd);
+    init(builder.build(), 2);
+    // Disable the preferred-slot boost so only the neighbour
+    // attraction (which must skip isolated instructions) remains.
+    params_.commPreferredBoost = 1.0;
+    const double before = weights_->spaceMarginal(0, 0);
+    runPass("COMM");
+    EXPECT_NEAR(weights_->spaceMarginal(0, 0), before, 1e-9);
+}
+
+TEST_F(PassTest, PlacePropFollowsDistance)
+{
+    GraphBuilder builder;
+    const InstrId l0 = builder.load(0);
+    const InstrId near0 = builder.op(Opcode::IAdd, {l0});
+    const InstrId mid = builder.op(Opcode::IAdd, {near0});
+    const InstrId near1 = builder.op(Opcode::IAdd, {mid});
+    builder.store(1, near1);
+    preplaceMemoryByBank(builder.graph(), 2);
+    init(builder.build(), 2);
+
+    runPass("PLACEPROP");
+    EXPECT_EQ(weights_->preferredCluster(near0), 0);
+    EXPECT_EQ(weights_->preferredCluster(near1), 1);
+}
+
+TEST_F(PassTest, PlacePropIsNoOpWithoutPreplacement)
+{
+    GraphBuilder builder;
+    const InstrId a = builder.op(Opcode::IAdd);
+    builder.op(Opcode::IAdd, {a});
+    init(builder.build(), 2);
+    runPass("PLACEPROP");
+    EXPECT_NEAR(weights_->spaceMarginal(0, 0),
+                weights_->spaceMarginal(0, 1), 1e-12);
+}
+
+TEST_F(PassTest, PlacePropIgnoresHubPreplacement)
+{
+    GraphBuilder builder;
+    // A live-in hub on cluster 0 feeding many consumers, plus one
+    // regular preplaced load on cluster 1.
+    const InstrId hub = builder.op(Opcode::Const);
+    builder.preplace(hub, 0);
+    std::vector<InstrId> consumers;
+    for (int k = 0; k < 12; ++k)
+        consumers.push_back(builder.op(Opcode::IAdd, {hub}));
+    const InstrId ld = builder.load(1, {consumers[0]});
+    (void)ld;
+    preplaceMemoryByBank(builder.graph(), 2);
+    init(builder.build(), 2);
+    params_.placePropHubDegree = 10;
+
+    runPass("PLACEPROP");
+    // consumers[0] is adjacent to the hub (cluster 0) AND to the load
+    // (cluster 1); the hub must not count, so cluster 1 wins.
+    EXPECT_EQ(weights_->preferredCluster(consumers[0]), 1);
+}
+
+TEST_F(PassTest, LoadBalanceDrainsOverloadedCluster)
+{
+    GraphBuilder builder;
+    for (int k = 0; k < 6; ++k)
+        builder.op(Opcode::IAdd);
+    init(builder.build(), 2);
+
+    // Pile everything on cluster 0.
+    for (InstrId i = 0; i < 6; ++i) {
+        weights_->scaleCluster(i, 0, 3.0);
+        weights_->normalize(i);
+    }
+    runPass("LOAD");
+    // A uniform pile-up is exactly equalised in one application:
+    // dividing by the per-cluster load cancels the 3x skew.
+    for (InstrId i = 0; i < 6; ++i) {
+        EXPECT_NEAR(weights_->spaceMarginal(i, 1),
+                    weights_->spaceMarginal(i, 0), 1e-9);
+        EXPECT_LT(weights_->spaceMarginal(i, 0), 0.75 - 1e-9);
+    }
+}
+
+TEST_F(PassTest, LevelDistributeSpreadsIndependentWork)
+{
+    GraphBuilder builder;
+    // Eight independent chains: level 0 has eight far-apart
+    // instructions that should spread across clusters.
+    for (int k = 0; k < 8; ++k) {
+        const InstrId head = builder.op(Opcode::IAdd);
+        builder.op(Opcode::IAdd, {head});
+    }
+    init(builder.build(), 4);
+    params_.levelStride = 10;  // one band
+
+    runPass("LEVEL");
+    std::vector<int> seen(4, 0);
+    for (InstrId i = 0; i < 16; ++i)
+        seen[weights_->preferredCluster(i)] += 1;
+    for (int c = 0; c < 4; ++c)
+        EXPECT_GT(seen[c], 0) << "cluster " << c << " left empty";
+}
+
+TEST_F(PassTest, LevelDistributeKeepsNeighboursTogether)
+{
+    GraphBuilder builder;
+    // A confident seed and a direct dependent within granularity.
+    const InstrId seed = builder.op(Opcode::IAdd);
+    const InstrId child = builder.op(Opcode::IAdd, {seed});
+    init(builder.build(), 4);
+    weights_->scaleCluster(seed, 3, 100.0);
+    weights_->normalize(seed);
+    params_.levelStride = 10;
+    params_.levelGranularity = 2;
+
+    runPass("LEVEL");
+    EXPECT_EQ(weights_->preferredCluster(child), 3);
+}
+
+TEST_F(PassTest, PathPropSpreadsConfidenceDownstream)
+{
+    GraphBuilder builder;
+    const InstrId source = builder.op(Opcode::IAdd);
+    const InstrId child = builder.op(Opcode::IAdd, {source});
+    const InstrId grand = builder.op(Opcode::IAdd, {child});
+    init(builder.build(), 4);
+    weights_->scaleCluster(source, 2, 100.0);
+    weights_->normalize(source);
+
+    runPass("PATHPROP");
+    EXPECT_EQ(weights_->preferredCluster(child), 2);
+    EXPECT_EQ(weights_->preferredCluster(grand), 2);
+}
+
+TEST_F(PassTest, PathPropLeavesConfidentInstructionsAlone)
+{
+    GraphBuilder builder;
+    const InstrId source = builder.op(Opcode::IAdd);
+    const InstrId other = builder.op(Opcode::IAdd, {source});
+    init(builder.build(), 4);
+    weights_->scaleCluster(source, 2, 100.0);
+    weights_->normalize(source);
+    weights_->scaleCluster(other, 1, 100.0);
+    weights_->normalize(other);
+
+    runPass("PATHPROP");
+    // Both are above threshold: neither is dragged.
+    EXPECT_EQ(weights_->preferredCluster(other), 1);
+}
+
+TEST_F(PassTest, EmphCpBoostsInfiniteResourceSlot)
+{
+    GraphBuilder builder;
+    const InstrId a = builder.op(Opcode::IMul);  // latency 2
+    const InstrId b = builder.op(Opcode::IAdd, {a});
+    init(builder.build(), 2);
+
+    runPass("EMPHCP");
+    EXPECT_EQ(weights_->preferredTime(a), 0);
+    EXPECT_EQ(weights_->preferredTime(b), 2);
+}
+
+TEST(PassRegistry, KnowsAllPasses)
+{
+    // The paper's eleven plus the REGPRESS extension.
+    const auto names = knownPassNames();
+    EXPECT_EQ(names.size(), 12u);
+    for (const auto &name : names)
+        EXPECT_NE(makePassByName(name), nullptr);
+}
+
+TEST_F(PassTest, RegPressNoOpUnderBudget)
+{
+    GraphBuilder builder;
+    const InstrId a = builder.op(Opcode::IAdd);
+    builder.op(Opcode::IAdd, {a});
+    init(builder.build(), 2);
+    const double before = weights_->spaceMarginal(0, 0);
+    runPass("REGPRESS");
+    EXPECT_NEAR(weights_->spaceMarginal(0, 0), before, 1e-12);
+}
+
+TEST_F(PassTest, RegPressDrainsOverloadedCluster)
+{
+    // Many long-lived values (defined early, used very late) piled on
+    // one cluster exceed the 32-register budget, so REGPRESS must
+    // push weight away from it.
+    GraphBuilder builder;
+    std::vector<InstrId> values;
+    for (int k = 0; k < 48; ++k)
+        values.push_back(builder.op(Opcode::IAdd));
+    // A long serial delay chain, then one consumer reads everything.
+    InstrId delay = builder.op(Opcode::IDiv);  // latency 12
+    for (int k = 0; k < 4; ++k)
+        delay = builder.op(Opcode::IDiv, {delay});
+    values.push_back(delay);
+    builder.op(Opcode::Select, values);
+    init(builder.build(), 2);
+    for (int k = 0; k < 48; ++k) {
+        weights_->scaleCluster(k, 0, 30.0);
+        weights_->normalize(k);
+    }
+    const double before = weights_->spaceMarginal(0, 0);
+    runPass("REGPRESS");
+    EXPECT_LT(weights_->spaceMarginal(0, 0), before);
+}
+
+TEST(PassRegistry, ParseSequenceTrimsAndUppercases)
+{
+    const auto passes = parsePassSequence(" inittime , noise,COMM ");
+    ASSERT_EQ(passes.size(), 3u);
+    EXPECT_EQ(passes[0]->name(), "INITTIME");
+    EXPECT_EQ(passes[1]->name(), "NOISE");
+    EXPECT_EQ(passes[2]->name(), "COMM");
+}
+
+TEST(PassRegistry, TemporalOnlyFlags)
+{
+    EXPECT_TRUE(makePassByName("INITTIME")->temporalOnly());
+    EXPECT_TRUE(makePassByName("EMPHCP")->temporalOnly());
+    EXPECT_FALSE(makePassByName("COMM")->temporalOnly());
+    EXPECT_FALSE(makePassByName("PLACE")->temporalOnly());
+}
+
+TEST(PassRegistryDeathTest, UnknownPassIsFatal)
+{
+    EXPECT_DEATH(makePassByName("FROBNICATE"), "unknown");
+}
+
+} // namespace
+} // namespace csched

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the PCC baseline: component construction invariants, the
+ * schedule-length estimator, and end-to-end legality.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baseline/pcc.hh"
+#include "ir/graph_algorithms.hh"
+#include "ir/graph_builder.hh"
+#include "machine/clustered_vliw.hh"
+#include "sched/schedule_checker.hh"
+#include "workloads/workloads.hh"
+
+namespace csched {
+namespace {
+
+TEST(Pcc, ComponentsCoverEveryInstructionWithinCap)
+{
+    const ClusteredVliwMachine vliw(4);
+    PccScheduler::Options options;
+    options.componentCap = 5;
+    const PccScheduler pcc(vliw, options);
+    const auto graph = findWorkload("mxm").build(4, 4);
+    const auto component = pcc.buildComponents(graph);
+    ASSERT_EQ(component.size(),
+              static_cast<size_t>(graph.numInstructions()));
+    std::map<int, int> sizes;
+    for (int comp : component) {
+        EXPECT_GE(comp, 0);
+        sizes[comp] += 1;
+    }
+    for (const auto &[comp, size] : sizes)
+        EXPECT_LE(size, 5) << "component " << comp;
+}
+
+TEST(Pcc, ComponentsNeverMixPreplacementHomes)
+{
+    const ClusteredVliwMachine vliw(4);
+    const PccScheduler pcc(vliw);
+    const auto graph = findWorkload("fir").build(4, 4);
+    const auto component = pcc.buildComponents(graph);
+    std::map<int, int> home_of;
+    for (InstrId id = 0; id < graph.numInstructions(); ++id) {
+        const int home = graph.instr(id).homeCluster;
+        if (home == kNoCluster)
+            continue;
+        auto [it, inserted] = home_of.emplace(component[id], home);
+        if (!inserted) {
+            EXPECT_EQ(it->second, home)
+                << "component " << component[id];
+        }
+    }
+}
+
+TEST(Pcc, AutoCapScalesWithGraphSize)
+{
+    const ClusteredVliwMachine vliw(4);
+    const PccScheduler pcc(vliw);
+    EXPECT_EQ(pcc.effectiveCap(16), 4);   // floor
+    EXPECT_EQ(pcc.effectiveCap(1600), 100);
+}
+
+TEST(Pcc, ChainLandsInOneComponent)
+{
+    GraphBuilder builder;
+    InstrId prev = builder.op(Opcode::IAdd);
+    for (int k = 0; k < 3; ++k)
+        prev = builder.op(Opcode::IAdd, {prev});
+    const auto graph = builder.build();
+    const ClusteredVliwMachine vliw(4);
+    const PccScheduler pcc(vliw);
+    const auto component = pcc.buildComponents(graph);
+    for (int comp : component)
+        EXPECT_EQ(comp, component[0]);
+}
+
+TEST(Pcc, EstimatorLowerBoundsChains)
+{
+    GraphBuilder builder;
+    InstrId prev = builder.op(Opcode::FMul);  // latency 4
+    prev = builder.op(Opcode::FAdd, {prev});
+    const auto graph = builder.build();
+    const ClusteredVliwMachine vliw(4);
+    const PccScheduler pcc(vliw);
+    // Same-cluster chain: 4 + 4.
+    EXPECT_EQ(pcc.estimate(graph, {0, 0}), 8);
+    // Split chain pays the one-cycle copy.
+    EXPECT_EQ(pcc.estimate(graph, {0, 1}), 9);
+}
+
+TEST(Pcc, EstimatorModelsIssueWidth)
+{
+    GraphBuilder builder;
+    for (int k = 0; k < 8; ++k)
+        builder.op(Opcode::IAdd);
+    const auto graph = builder.build();
+    const ClusteredVliwMachine vliw(1);
+    const PccScheduler pcc(vliw);
+    // Width 4 per cluster: eight one-cycle adds need two issue
+    // rounds, finishing at cycle 2.
+    EXPECT_EQ(pcc.estimate(graph, std::vector<int>(8, 0)), 2);
+}
+
+TEST(Pcc, EstimatorChargesRemoteMemory)
+{
+    GraphBuilder builder;
+    builder.load(1);
+    const auto graph = builder.build();
+    const ClusteredVliwMachine vliw(4);
+    const PccScheduler pcc(vliw);
+    EXPECT_EQ(pcc.estimate(graph, {1}), 2);  // local bank
+    EXPECT_EQ(pcc.estimate(graph, {0}), 3);  // +1 remote
+}
+
+TEST(Pcc, EndToEndLegalAndPreplacementSafe)
+{
+    const ClusteredVliwMachine vliw(4);
+    const PccScheduler pcc(vliw);
+    for (const char *name : {"vvmul", "tomcatv", "cholesky"}) {
+        const auto graph = findWorkload(name).build(4, 4);
+        const auto schedule = pcc.run(graph);
+        const auto check = checkSchedule(graph, vliw, schedule);
+        EXPECT_TRUE(check.ok()) << name << ": " << check.message();
+        for (InstrId id = 0; id < graph.numInstructions(); ++id) {
+            const auto &instr = graph.instr(id);
+            if (instr.preplaced()) {
+                EXPECT_EQ(schedule.clusterOf(id), instr.homeCluster);
+            }
+        }
+    }
+}
+
+TEST(Pcc, DescentDoesNotRegressEstimate)
+{
+    // The descent only accepts improving moves, so the final estimate
+    // can never exceed the initial assignment's estimate.  We verify
+    // indirectly: PCC beats or matches the naive everything-on-the-
+    // home-or-cluster-0 assignment on a parallel kernel.
+    const ClusteredVliwMachine vliw(4);
+    const PccScheduler pcc(vliw);
+    const auto graph = findWorkload("vvmul").build(4, 4);
+    const auto schedule = pcc.run(graph);
+    std::vector<int> naive(graph.numInstructions(), 0);
+    for (InstrId id = 0; id < graph.numInstructions(); ++id)
+        if (graph.instr(id).preplaced())
+            naive[id] = graph.instr(id).homeCluster;
+    EXPECT_LE(pcc.estimate(graph, schedule.assignment()),
+              pcc.estimate(graph, naive));
+}
+
+} // namespace
+} // namespace csched

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Unit and property tests for the preference matrix: the paper's
+ * invariants, marginals, preferred slots, confidence, and the basic
+ * operations of Section 3.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "convergent/preference_matrix.hh"
+#include "support/rng.hh"
+
+namespace csched {
+namespace {
+
+/** Sum of all weights of instruction @p i. */
+double
+rowSum(const PreferenceMatrix &w, InstrId i)
+{
+    double sum = 0.0;
+    for (int t = 0; t < w.numTimes(); ++t)
+        for (int c = 0; c < w.numClusters(); ++c)
+            sum += w.at(i, t, c);
+    return sum;
+}
+
+TEST(PreferenceMatrix, StartsUniformAndNormalised)
+{
+    const PreferenceMatrix w(3, 5, 4);
+    const double expected = 1.0 / 20.0;
+    for (InstrId i = 0; i < 3; ++i) {
+        EXPECT_NEAR(rowSum(w, i), 1.0, 1e-12);
+        EXPECT_NEAR(w.at(i, 0, 0), expected, 1e-12);
+        EXPECT_NEAR(w.at(i, 4, 3), expected, 1e-12);
+    }
+}
+
+TEST(PreferenceMatrix, MarginalsMatchBruteForce)
+{
+    PreferenceMatrix w(1, 4, 3);
+    Rng rng(3);
+    for (int t = 0; t < 4; ++t)
+        for (int c = 0; c < 3; ++c)
+            w.set(0, t, c, rng.uniform());
+    for (int c = 0; c < 3; ++c) {
+        double expected = 0.0;
+        for (int t = 0; t < 4; ++t)
+            expected += w.at(0, t, c);
+        EXPECT_NEAR(w.spaceMarginal(0, c), expected, 1e-12);
+    }
+    for (int t = 0; t < 4; ++t) {
+        double expected = 0.0;
+        for (int c = 0; c < 3; ++c)
+            expected += w.at(0, t, c);
+        EXPECT_NEAR(w.timeMarginal(0, t), expected, 1e-12);
+    }
+}
+
+TEST(PreferenceMatrix, ScaleClusterAffectsWholeColumn)
+{
+    PreferenceMatrix w(1, 3, 2);
+    w.scaleCluster(0, 1, 4.0);
+    for (int t = 0; t < 3; ++t) {
+        EXPECT_NEAR(w.at(0, t, 1), 4.0 / 6.0, 1e-12);
+        EXPECT_NEAR(w.at(0, t, 0), 1.0 / 6.0, 1e-12);
+    }
+    EXPECT_EQ(w.preferredCluster(0), 1);
+}
+
+TEST(PreferenceMatrix, ScaleTimeAffectsWholeRow)
+{
+    PreferenceMatrix w(1, 3, 2);
+    w.scaleTime(0, 2, 5.0);
+    EXPECT_EQ(w.preferredTime(0), 2);
+    EXPECT_NEAR(w.at(0, 2, 0), 5.0 / 6.0, 1e-12);
+}
+
+TEST(PreferenceMatrix, NormalizeRestoresInvariant)
+{
+    PreferenceMatrix w(1, 2, 2);
+    w.set(0, 0, 0, 3.0);
+    w.set(0, 1, 1, 1.0);
+    w.normalize(0);
+    EXPECT_NEAR(rowSum(w, 0), 1.0, 1e-12);
+    EXPECT_GT(w.at(0, 0, 0), w.at(0, 1, 1));
+}
+
+TEST(PreferenceMatrix, NormalizeOfAllZeroResetsToUniform)
+{
+    PreferenceMatrix w(1, 2, 2);
+    for (int t = 0; t < 2; ++t)
+        for (int c = 0; c < 2; ++c)
+            w.set(0, t, c, 0.0);
+    w.normalize(0);
+    EXPECT_NEAR(w.at(0, 1, 1), 0.25, 1e-12);
+}
+
+TEST(PreferenceMatrix, PreferredAndRunnerUp)
+{
+    PreferenceMatrix w(1, 1, 3);
+    w.set(0, 0, 0, 0.2);
+    w.set(0, 0, 1, 0.5);
+    w.set(0, 0, 2, 0.3);
+    EXPECT_EQ(w.preferredCluster(0), 1);
+    EXPECT_EQ(w.runnerUpCluster(0), 2);
+    EXPECT_NEAR(w.confidence(0), 0.5 / 0.3, 1e-12);
+}
+
+TEST(PreferenceMatrix, ConfidenceOfSingleClusterMachineIsOne)
+{
+    const PreferenceMatrix w(1, 4, 1);
+    EXPECT_EQ(w.runnerUpCluster(0), 0);
+    EXPECT_DOUBLE_EQ(w.confidence(0), 1.0);
+}
+
+TEST(PreferenceMatrix, ConfidenceWithZeroRunnerUpIsLargeFinite)
+{
+    PreferenceMatrix w(1, 1, 2);
+    w.set(0, 0, 0, 1.0);
+    w.set(0, 0, 1, 0.0);
+    EXPECT_GT(w.confidence(0), 1e6);
+}
+
+TEST(PreferenceMatrix, BlendIsConvexCombination)
+{
+    PreferenceMatrix w(2, 1, 2);
+    w.set(0, 0, 0, 1.0);
+    w.set(0, 0, 1, 0.0);
+    w.set(1, 0, 0, 0.0);
+    w.set(1, 0, 1, 1.0);
+    w.blend(0, 1, 0.25);  // keep 25% of own weights
+    EXPECT_NEAR(w.at(0, 0, 0), 0.25, 1e-12);
+    EXPECT_NEAR(w.at(0, 0, 1), 0.75, 1e-12);
+    // The source row is untouched.
+    EXPECT_NEAR(w.at(1, 0, 1), 1.0, 1e-12);
+}
+
+TEST(PreferenceMatrix, BlendOfNormalisedRowsStaysNormalised)
+{
+    PreferenceMatrix w(2, 3, 3);
+    w.scaleCluster(0, 0, 9.0);
+    w.normalize(0);
+    w.scaleCluster(1, 2, 9.0);
+    w.normalize(1);
+    w.blend(0, 1, 0.5);
+    EXPECT_NEAR(rowSum(w, 0), 1.0, 1e-12);
+}
+
+TEST(PreferenceMatrix, ExpectedTimeOfSymmetricRowIsCentre)
+{
+    const PreferenceMatrix w(1, 5, 2);
+    EXPECT_EQ(w.expectedTime(0), 2);
+}
+
+TEST(PreferenceMatrix, ExpectedTimeFollowsMass)
+{
+    PreferenceMatrix w(1, 6, 1);
+    w.scaleTime(0, 5, 50.0);
+    EXPECT_EQ(w.preferredTime(0), 5);
+    EXPECT_GE(w.expectedTime(0), 4);
+}
+
+TEST(PreferenceMatrix, PreferredVectorsMatchScalars)
+{
+    PreferenceMatrix w(3, 2, 2);
+    w.scaleCluster(1, 1, 10.0);
+    w.scaleTime(2, 1, 10.0);
+    const auto clusters = w.preferredClusters();
+    const auto times = w.preferredTimes();
+    for (InstrId i = 0; i < 3; ++i) {
+        EXPECT_EQ(clusters[i], w.preferredCluster(i));
+        EXPECT_EQ(times[i], w.preferredTime(i));
+    }
+}
+
+/**
+ * Property test: any sequence of the Section-3 operations followed by
+ * normalization maintains the invariants.
+ */
+TEST(PreferenceMatrixProperty, RandomOperationsKeepInvariants)
+{
+    Rng rng(777);
+    for (int round = 0; round < 20; ++round) {
+        const int n = 1 + rng.range(6);
+        const int times = 1 + rng.range(8);
+        const int clusters = 1 + rng.range(5);
+        PreferenceMatrix w(n, times, clusters);
+        for (int step = 0; step < 50; ++step) {
+            const InstrId i = rng.range(n);
+            switch (rng.range(5)) {
+              case 0:
+                w.scale(i, rng.range(times), rng.range(clusters),
+                        rng.uniform() * 3.0);
+                break;
+              case 1:
+                w.scaleCluster(i, rng.range(clusters),
+                               rng.uniform() * 3.0);
+                break;
+              case 2:
+                w.scaleTime(i, rng.range(times), rng.uniform() * 3.0);
+                break;
+              case 3:
+                w.blend(i, rng.range(n), rng.uniform());
+                break;
+              case 4:
+                w.set(i, rng.range(times), rng.range(clusters),
+                      rng.uniform());
+                break;
+            }
+            w.normalize(i);
+        }
+        w.normalizeAll();
+        for (InstrId i = 0; i < n; ++i) {
+            EXPECT_NEAR(rowSum(w, i), 1.0, 1e-9);
+            double max_weight = 0.0;
+            for (int t = 0; t < times; ++t)
+                for (int c = 0; c < clusters; ++c) {
+                    EXPECT_GE(w.at(i, t, c), 0.0);
+                    max_weight = std::max(max_weight, w.at(i, t, c));
+                }
+            EXPECT_LE(max_weight, 1.0 + 1e-9);
+            // Preferred slots are consistent with marginals.
+            const int pc = w.preferredCluster(i);
+            for (int c = 0; c < clusters; ++c)
+                EXPECT_LE(w.spaceMarginal(i, c),
+                          w.spaceMarginal(i, pc) + 1e-12);
+        }
+    }
+}
+
+TEST(PreferenceMatrixDeathTest, RejectsNegativeWeight)
+{
+    PreferenceMatrix w(1, 1, 1);
+    EXPECT_DEATH(w.set(0, 0, 0, -0.5), "negative");
+}
+
+TEST(PreferenceMatrixDeathTest, RejectsOutOfRange)
+{
+    PreferenceMatrix w(1, 2, 2);
+    EXPECT_DEATH(w.at(0, 2, 0), "out of range");
+    EXPECT_DEATH(w.at(1, 0, 0), "out of range");
+}
+
+} // namespace
+} // namespace csched

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for multi-unit programs and cross-region live-value policies
+ * (the paper's Section-5 treatment of values live across scheduling
+ * regions).
+ */
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment.hh"
+#include "machine/clustered_vliw.hh"
+#include "machine/raw_machine.hh"
+#include "regions/region_scheduler.hh"
+
+namespace csched {
+namespace {
+
+/**
+ * Two-unit program: unit A computes a value near bank 3 and exports
+ * it; unit B imports it and stores it to bank 3.
+ */
+Program
+twoUnitProgram()
+{
+    ProgramBuilder builder;
+    builder.beginUnit("A");
+    const InstrId ld = builder.load(3);
+    const InstrId doubled = builder.op(Opcode::IAdd, {ld, ld});
+    builder.exportValue("v", doubled);
+
+    builder.beginUnit("B");
+    const InstrId in = builder.importValue("v");
+    const InstrId inc = builder.op(Opcode::IAdd, {in});
+    builder.store(3, inc);
+    return builder.build();
+}
+
+AlgorithmFactory
+convergentFactory()
+{
+    return [](const MachineModel &machine) {
+        return makeAlgorithm(AlgorithmKind::Convergent, machine);
+    };
+}
+
+TEST(Program, BuilderTracksBoundaries)
+{
+    auto program = twoUnitProgram();
+    EXPECT_EQ(program.numUnits(), 2);
+    EXPECT_EQ(program.unit(0).liveOuts.size(), 1u);
+    EXPECT_EQ(program.unit(1).liveIns.size(), 1u);
+    EXPECT_EQ(program.unit(0).name, "A");
+}
+
+TEST(Program, RepeatedImportShared)
+{
+    ProgramBuilder builder;
+    builder.beginUnit("A");
+    builder.exportValue("v", builder.op(Opcode::Const));
+    builder.beginUnit("B");
+    const InstrId first = builder.importValue("v");
+    const InstrId second = builder.importValue("v");
+    EXPECT_EQ(first, second);
+    builder.op(Opcode::IAdd, {first});
+    (void)builder.build();
+}
+
+TEST(ProgramDeathTest, ImportWithoutExportIsFatal)
+{
+    ProgramBuilder builder;
+    builder.beginUnit("A");
+    const InstrId in = builder.importValue("ghost");
+    builder.op(Opcode::IAdd, {in});
+    EXPECT_DEATH(builder.build(), "before any export");
+}
+
+TEST(RegionScheduler, FirstClusterPinsEverythingToZero)
+{
+    auto program = twoUnitProgram();
+    const ClusteredVliwMachine vliw(4);
+    const auto result =
+        scheduleProgram(program, vliw, convergentFactory(),
+                        LiveValuePolicy::FirstCluster);
+    ASSERT_EQ(result.schedules.size(), 2u);
+    EXPECT_EQ(result.valueCluster.at("v"), 0);
+    // The definition in unit A and the import in unit B both sit on
+    // cluster 0.
+    const InstrId def = program.unit(0).liveOuts.at("v");
+    const InstrId use = program.unit(1).liveIns.at("v");
+    EXPECT_EQ(result.schedules[0].clusterOf(def), 0);
+    EXPECT_EQ(result.schedules[1].clusterOf(use), 0);
+}
+
+TEST(RegionScheduler, FirstUseBindsToDefiningCluster)
+{
+    auto program = twoUnitProgram();
+    const auto raw = RawMachine::withTiles(4);
+    const auto result = scheduleProgram(
+        program, raw, convergentFactory(), LiveValuePolicy::FirstUse);
+    const int bound = result.valueCluster.at("v");
+    EXPECT_GE(bound, 0);
+    EXPECT_LT(bound, 4);
+    const InstrId def = program.unit(0).liveOuts.at("v");
+    const InstrId use = program.unit(1).liveIns.at("v");
+    EXPECT_EQ(result.schedules[0].clusterOf(def), bound);
+    EXPECT_EQ(result.schedules[1].clusterOf(use), bound);
+    // The value was computed next to bank 3: first-use binding keeps
+    // it there instead of dragging it to cluster 0.
+    EXPECT_EQ(bound, 3);
+}
+
+TEST(RegionScheduler, TotalCyclesIsSumOfUnits)
+{
+    auto program = twoUnitProgram();
+    const ClusteredVliwMachine vliw(2);
+    const auto result =
+        scheduleProgram(program, vliw, convergentFactory(),
+                        LiveValuePolicy::FirstCluster);
+    EXPECT_EQ(result.totalCycles,
+              result.schedules[0].makespan() +
+                  result.schedules[1].makespan());
+}
+
+TEST(RegionScheduler, ChainedUnitsPropagateBindings)
+{
+    // v flows A -> B -> C; B re-exports it under a new name.
+    ProgramBuilder builder;
+    builder.beginUnit("A");
+    builder.exportValue("v", builder.op(Opcode::Const));
+    builder.beginUnit("B");
+    const InstrId in_b = builder.importValue("v");
+    const InstrId w = builder.op(Opcode::IAdd, {in_b});
+    builder.exportValue("w", w);
+    builder.beginUnit("C");
+    const InstrId in_c = builder.importValue("w");
+    builder.store(1, in_c);
+    auto program = builder.build();
+
+    const ClusteredVliwMachine vliw(4);
+    const auto result =
+        scheduleProgram(program, vliw, convergentFactory(),
+                        LiveValuePolicy::FirstUse);
+    ASSERT_EQ(result.schedules.size(), 3u);
+    EXPECT_EQ(result.schedules[2].clusterOf(
+                  program.unit(2).liveIns.at("w")),
+              result.valueCluster.at("w"));
+}
+
+TEST(RegionSchedulerDeathTest, ProgramCannotBeScheduledTwice)
+{
+    auto program = twoUnitProgram();
+    const ClusteredVliwMachine vliw(2);
+    (void)scheduleProgram(program, vliw, convergentFactory(),
+                          LiveValuePolicy::FirstCluster);
+    EXPECT_DEATH(scheduleProgram(program, vliw, convergentFactory(),
+                                 LiveValuePolicy::FirstCluster),
+                 "twice");
+}
+
+TEST(RegionScheduler, WorksWithBaselineAlgorithms)
+{
+    auto program = twoUnitProgram();
+    const ClusteredVliwMachine vliw(4);
+    const auto factory = [](const MachineModel &machine) {
+        return makeAlgorithm(AlgorithmKind::Uas, machine);
+    };
+    const auto result = scheduleProgram(
+        program, vliw, factory, LiveValuePolicy::FirstCluster);
+    EXPECT_GT(result.totalCycles, 0);
+}
+
+} // namespace
+} // namespace csched

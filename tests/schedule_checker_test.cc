@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Negative tests for the schedule checker: corrupt schedules of every
+ * violation class must be detected.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/graph_algorithms.hh"
+#include "ir/graph_builder.hh"
+#include "machine/clustered_vliw.hh"
+#include "machine/raw_machine.hh"
+#include "sched/schedule_checker.hh"
+
+namespace csched {
+namespace {
+
+/** a -> b chain of integer adds. */
+DependenceGraph
+makeChain()
+{
+    GraphBuilder builder;
+    const InstrId a = builder.op(Opcode::IAdd);
+    builder.op(Opcode::IAdd, {a});
+    return builder.build();
+}
+
+TEST(Checker, AcceptsLegalLocalSchedule)
+{
+    const auto graph = makeChain();
+    const ClusteredVliwMachine vliw(2);
+    Schedule schedule(2, 2);
+    schedule.place(0, {0, 0, 0, 1});
+    schedule.place(1, {0, 1, 0, 2});
+    EXPECT_TRUE(checkSchedule(graph, vliw, schedule).ok());
+}
+
+TEST(Checker, DetectsMissingPlacement)
+{
+    const auto graph = makeChain();
+    const ClusteredVliwMachine vliw(2);
+    Schedule schedule(2, 2);
+    schedule.place(0, {0, 0, 0, 1});
+    const auto result = checkSchedule(graph, vliw, schedule);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.message().find("never placed"), std::string::npos);
+}
+
+TEST(Checker, DetectsDependenceViolation)
+{
+    const auto graph = makeChain();
+    const ClusteredVliwMachine vliw(2);
+    Schedule schedule(2, 2);
+    schedule.place(0, {0, 5, 0, 6});
+    schedule.place(1, {0, 2, 0, 3});  // consumer before producer
+    const auto result = checkSchedule(graph, vliw, schedule);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.message().find("data edge"), std::string::npos);
+}
+
+TEST(Checker, DetectsFuConflict)
+{
+    GraphBuilder builder;
+    builder.op(Opcode::IAdd);
+    builder.op(Opcode::IAdd);
+    const auto graph = builder.build();
+    const ClusteredVliwMachine vliw(1);
+    Schedule schedule(2, 1);
+    schedule.place(0, {0, 0, 0, 1});
+    schedule.place(1, {0, 0, 0, 1});  // same FU, same cycle
+    const auto result = checkSchedule(graph, vliw, schedule);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.message().find("FU conflict"), std::string::npos);
+}
+
+TEST(Checker, DetectsIncapableFu)
+{
+    GraphBuilder builder;
+    builder.op(Opcode::FMul);
+    const auto graph = builder.build();
+    const ClusteredVliwMachine vliw(1);
+    Schedule schedule(1, 1);
+    schedule.place(0, {0, 0, 0, 4});  // FU 0 is the IntAlu
+    const auto result = checkSchedule(graph, vliw, schedule);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.message().find("incapable"), std::string::npos);
+}
+
+TEST(Checker, DetectsPreplacementViolation)
+{
+    GraphBuilder builder;
+    builder.load(1);
+    preplaceMemoryByBank(builder.graph(), 2);
+    const auto graph = builder.build();
+    const ClusteredVliwMachine vliw(2);
+    Schedule schedule(1, 2);
+    schedule.place(0, {0, 0, 1, 3});  // home is cluster 1; penalty +1
+    const auto result = checkSchedule(graph, vliw, schedule);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.message().find("preplaced"), std::string::npos);
+}
+
+TEST(Checker, DetectsWrongFinish)
+{
+    GraphBuilder builder;
+    builder.op(Opcode::FMul);  // latency 4
+    const auto graph = builder.build();
+    const ClusteredVliwMachine vliw(1);
+    Schedule schedule(1, 1);
+    schedule.place(0, {0, 0, 2, 3});  // finish should be 4
+    const auto result = checkSchedule(graph, vliw, schedule);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.message().find("finish"), std::string::npos);
+}
+
+TEST(Checker, DetectsMissingCommunication)
+{
+    const auto graph = makeChain();
+    const ClusteredVliwMachine vliw(2);
+    Schedule schedule(2, 2);
+    schedule.place(0, {0, 0, 0, 1});
+    schedule.place(1, {1, 5, 0, 6});  // no copy delivers the value
+    const auto result = checkSchedule(graph, vliw, schedule);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.message().find("no communication"),
+              std::string::npos);
+}
+
+TEST(Checker, DetectsLateCommunication)
+{
+    const auto graph = makeChain();
+    const ClusteredVliwMachine vliw(2);
+    Schedule schedule(2, 2);
+    schedule.place(0, {0, 0, 0, 1});
+    schedule.place(1, {1, 2, 0, 3});
+    CommEvent copy;
+    copy.producer = 0;
+    copy.fromCluster = 0;
+    copy.toCluster = 1;
+    copy.start = 4;  // after the consumer issued
+    copy.arrive = 5;
+    copy.fu = 3;
+    schedule.addComm(copy);
+    const auto result = checkSchedule(graph, vliw, schedule);
+    EXPECT_FALSE(result.ok());
+}
+
+TEST(Checker, DetectsCommBeforeProducerFinish)
+{
+    const auto graph = makeChain();
+    const ClusteredVliwMachine vliw(2);
+    Schedule schedule(2, 2);
+    schedule.place(0, {0, 3, 0, 4});
+    schedule.place(1, {1, 6, 0, 7});
+    CommEvent copy;
+    copy.producer = 0;
+    copy.fromCluster = 0;
+    copy.toCluster = 1;
+    copy.start = 2;  // producer still executing
+    copy.arrive = 3;
+    copy.fu = 3;
+    schedule.addComm(copy);
+    const auto result = checkSchedule(graph, vliw, schedule);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.message().find("before producer finish"),
+              std::string::npos);
+}
+
+TEST(Checker, DetectsLinkConflictOnRaw)
+{
+    GraphBuilder builder;
+    const InstrId a = builder.op(Opcode::IAdd);
+    const InstrId b = builder.op(Opcode::IAdd);
+    builder.op(Opcode::IAdd, {a});
+    builder.op(Opcode::IAdd, {b});
+    const auto graph = builder.build();
+    const RawMachine raw(1, 2);
+    Schedule schedule(4, 2);
+    schedule.place(0, {0, 0, 0, 1});
+    schedule.place(1, {0, 1, 0, 2});
+    schedule.place(2, {1, 10, 0, 11});
+    schedule.place(3, {1, 11, 0, 12});
+    const auto route = raw.route(0, 1);
+    for (InstrId producer : {0, 1}) {
+        CommEvent event;
+        event.producer = producer;
+        event.fromCluster = 0;
+        event.toCluster = 1;
+        event.start = 2;  // both claim link at cycle 2
+        event.arrive = 5;
+        event.linkSlots = {{route[0], 2}};
+        schedule.addComm(event);
+    }
+    const auto result = checkSchedule(graph, raw, schedule);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.message().find("link conflict"), std::string::npos);
+}
+
+TEST(Checker, DetectsOrderingEdgeViolation)
+{
+    GraphBuilder builder;
+    const InstrId a = builder.op(Opcode::IAdd);
+    const InstrId b = builder.op(Opcode::IAdd);
+    builder.edge(a, b, DepKind::Anti);
+    const auto graph = builder.build();
+    const ClusteredVliwMachine vliw(1);
+    Schedule schedule(2, 1);
+    schedule.place(a, {0, 1, 0, 2});
+    schedule.place(b, {0, 1, 1, 2});  // same cycle: anti violated
+    const auto result = checkSchedule(graph, vliw, schedule);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.message().find("ordering edge"), std::string::npos);
+}
+
+} // namespace
+} // namespace csched

