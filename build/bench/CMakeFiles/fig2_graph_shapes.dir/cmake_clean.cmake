@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_graph_shapes.dir/fig2_graph_shapes.cc.o"
+  "CMakeFiles/fig2_graph_shapes.dir/fig2_graph_shapes.cc.o.d"
+  "fig2_graph_shapes"
+  "fig2_graph_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_graph_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

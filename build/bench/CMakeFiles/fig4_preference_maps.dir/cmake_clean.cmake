@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_preference_maps.dir/fig4_preference_maps.cc.o"
+  "CMakeFiles/fig4_preference_maps.dir/fig4_preference_maps.cc.o.d"
+  "fig4_preference_maps"
+  "fig4_preference_maps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_preference_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

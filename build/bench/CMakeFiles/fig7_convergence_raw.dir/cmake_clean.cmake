@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_convergence_raw.dir/fig7_convergence_raw.cc.o"
+  "CMakeFiles/fig7_convergence_raw.dir/fig7_convergence_raw.cc.o.d"
+  "fig7_convergence_raw"
+  "fig7_convergence_raw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_convergence_raw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

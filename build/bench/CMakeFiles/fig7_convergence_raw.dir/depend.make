@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_convergence_raw.
+# This may be replaced when dependencies are built.

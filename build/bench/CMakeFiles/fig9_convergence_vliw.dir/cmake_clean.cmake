@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_convergence_vliw.dir/fig9_convergence_vliw.cc.o"
+  "CMakeFiles/fig9_convergence_vliw.dir/fig9_convergence_vliw.cc.o.d"
+  "fig9_convergence_vliw"
+  "fig9_convergence_vliw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_convergence_vliw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_pass.dir/custom_pass.cpp.o"
+  "CMakeFiles/custom_pass.dir/custom_pass.cpp.o.d"
+  "custom_pass"
+  "custom_pass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_pass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

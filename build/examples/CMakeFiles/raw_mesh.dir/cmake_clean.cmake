@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raw_mesh.dir/raw_mesh.cpp.o"
+  "CMakeFiles/raw_mesh.dir/raw_mesh.cpp.o.d"
+  "raw_mesh"
+  "raw_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raw_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vliw_compare.dir/vliw_compare.cpp.o"
+  "CMakeFiles/vliw_compare.dir/vliw_compare.cpp.o.d"
+  "vliw_compare"
+  "vliw_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vliw_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

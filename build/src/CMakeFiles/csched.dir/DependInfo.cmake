@@ -1,0 +1,77 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/bug.cc" "src/CMakeFiles/csched.dir/baseline/bug.cc.o" "gcc" "src/CMakeFiles/csched.dir/baseline/bug.cc.o.d"
+  "/root/repo/src/baseline/pcc.cc" "src/CMakeFiles/csched.dir/baseline/pcc.cc.o" "gcc" "src/CMakeFiles/csched.dir/baseline/pcc.cc.o.d"
+  "/root/repo/src/baseline/rawcc_clusterer.cc" "src/CMakeFiles/csched.dir/baseline/rawcc_clusterer.cc.o" "gcc" "src/CMakeFiles/csched.dir/baseline/rawcc_clusterer.cc.o.d"
+  "/root/repo/src/baseline/rawcc_merger.cc" "src/CMakeFiles/csched.dir/baseline/rawcc_merger.cc.o" "gcc" "src/CMakeFiles/csched.dir/baseline/rawcc_merger.cc.o.d"
+  "/root/repo/src/baseline/rawcc_partitioner.cc" "src/CMakeFiles/csched.dir/baseline/rawcc_partitioner.cc.o" "gcc" "src/CMakeFiles/csched.dir/baseline/rawcc_partitioner.cc.o.d"
+  "/root/repo/src/baseline/rawcc_placer.cc" "src/CMakeFiles/csched.dir/baseline/rawcc_placer.cc.o" "gcc" "src/CMakeFiles/csched.dir/baseline/rawcc_placer.cc.o.d"
+  "/root/repo/src/baseline/single_cluster_scheduler.cc" "src/CMakeFiles/csched.dir/baseline/single_cluster_scheduler.cc.o" "gcc" "src/CMakeFiles/csched.dir/baseline/single_cluster_scheduler.cc.o.d"
+  "/root/repo/src/baseline/uas.cc" "src/CMakeFiles/csched.dir/baseline/uas.cc.o" "gcc" "src/CMakeFiles/csched.dir/baseline/uas.cc.o.d"
+  "/root/repo/src/convergent/convergent_scheduler.cc" "src/CMakeFiles/csched.dir/convergent/convergent_scheduler.cc.o" "gcc" "src/CMakeFiles/csched.dir/convergent/convergent_scheduler.cc.o.d"
+  "/root/repo/src/convergent/pass.cc" "src/CMakeFiles/csched.dir/convergent/pass.cc.o" "gcc" "src/CMakeFiles/csched.dir/convergent/pass.cc.o.d"
+  "/root/repo/src/convergent/pass_registry.cc" "src/CMakeFiles/csched.dir/convergent/pass_registry.cc.o" "gcc" "src/CMakeFiles/csched.dir/convergent/pass_registry.cc.o.d"
+  "/root/repo/src/convergent/passes/comm.cc" "src/CMakeFiles/csched.dir/convergent/passes/comm.cc.o" "gcc" "src/CMakeFiles/csched.dir/convergent/passes/comm.cc.o.d"
+  "/root/repo/src/convergent/passes/emph_cp.cc" "src/CMakeFiles/csched.dir/convergent/passes/emph_cp.cc.o" "gcc" "src/CMakeFiles/csched.dir/convergent/passes/emph_cp.cc.o.d"
+  "/root/repo/src/convergent/passes/first.cc" "src/CMakeFiles/csched.dir/convergent/passes/first.cc.o" "gcc" "src/CMakeFiles/csched.dir/convergent/passes/first.cc.o.d"
+  "/root/repo/src/convergent/passes/init_time.cc" "src/CMakeFiles/csched.dir/convergent/passes/init_time.cc.o" "gcc" "src/CMakeFiles/csched.dir/convergent/passes/init_time.cc.o.d"
+  "/root/repo/src/convergent/passes/level_distribute.cc" "src/CMakeFiles/csched.dir/convergent/passes/level_distribute.cc.o" "gcc" "src/CMakeFiles/csched.dir/convergent/passes/level_distribute.cc.o.d"
+  "/root/repo/src/convergent/passes/load_balance.cc" "src/CMakeFiles/csched.dir/convergent/passes/load_balance.cc.o" "gcc" "src/CMakeFiles/csched.dir/convergent/passes/load_balance.cc.o.d"
+  "/root/repo/src/convergent/passes/noise.cc" "src/CMakeFiles/csched.dir/convergent/passes/noise.cc.o" "gcc" "src/CMakeFiles/csched.dir/convergent/passes/noise.cc.o.d"
+  "/root/repo/src/convergent/passes/path.cc" "src/CMakeFiles/csched.dir/convergent/passes/path.cc.o" "gcc" "src/CMakeFiles/csched.dir/convergent/passes/path.cc.o.d"
+  "/root/repo/src/convergent/passes/path_prop.cc" "src/CMakeFiles/csched.dir/convergent/passes/path_prop.cc.o" "gcc" "src/CMakeFiles/csched.dir/convergent/passes/path_prop.cc.o.d"
+  "/root/repo/src/convergent/passes/place.cc" "src/CMakeFiles/csched.dir/convergent/passes/place.cc.o" "gcc" "src/CMakeFiles/csched.dir/convergent/passes/place.cc.o.d"
+  "/root/repo/src/convergent/passes/place_prop.cc" "src/CMakeFiles/csched.dir/convergent/passes/place_prop.cc.o" "gcc" "src/CMakeFiles/csched.dir/convergent/passes/place_prop.cc.o.d"
+  "/root/repo/src/convergent/passes/reg_press.cc" "src/CMakeFiles/csched.dir/convergent/passes/reg_press.cc.o" "gcc" "src/CMakeFiles/csched.dir/convergent/passes/reg_press.cc.o.d"
+  "/root/repo/src/convergent/preference_matrix.cc" "src/CMakeFiles/csched.dir/convergent/preference_matrix.cc.o" "gcc" "src/CMakeFiles/csched.dir/convergent/preference_matrix.cc.o.d"
+  "/root/repo/src/convergent/sequences.cc" "src/CMakeFiles/csched.dir/convergent/sequences.cc.o" "gcc" "src/CMakeFiles/csched.dir/convergent/sequences.cc.o.d"
+  "/root/repo/src/eval/convergence_trace.cc" "src/CMakeFiles/csched.dir/eval/convergence_trace.cc.o" "gcc" "src/CMakeFiles/csched.dir/eval/convergence_trace.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/CMakeFiles/csched.dir/eval/experiment.cc.o" "gcc" "src/CMakeFiles/csched.dir/eval/experiment.cc.o.d"
+  "/root/repo/src/eval/speedup.cc" "src/CMakeFiles/csched.dir/eval/speedup.cc.o" "gcc" "src/CMakeFiles/csched.dir/eval/speedup.cc.o.d"
+  "/root/repo/src/ir/dot_export.cc" "src/CMakeFiles/csched.dir/ir/dot_export.cc.o" "gcc" "src/CMakeFiles/csched.dir/ir/dot_export.cc.o.d"
+  "/root/repo/src/ir/graph.cc" "src/CMakeFiles/csched.dir/ir/graph.cc.o" "gcc" "src/CMakeFiles/csched.dir/ir/graph.cc.o.d"
+  "/root/repo/src/ir/graph_algorithms.cc" "src/CMakeFiles/csched.dir/ir/graph_algorithms.cc.o" "gcc" "src/CMakeFiles/csched.dir/ir/graph_algorithms.cc.o.d"
+  "/root/repo/src/ir/graph_builder.cc" "src/CMakeFiles/csched.dir/ir/graph_builder.cc.o" "gcc" "src/CMakeFiles/csched.dir/ir/graph_builder.cc.o.d"
+  "/root/repo/src/ir/instruction.cc" "src/CMakeFiles/csched.dir/ir/instruction.cc.o" "gcc" "src/CMakeFiles/csched.dir/ir/instruction.cc.o.d"
+  "/root/repo/src/ir/latency_model.cc" "src/CMakeFiles/csched.dir/ir/latency_model.cc.o" "gcc" "src/CMakeFiles/csched.dir/ir/latency_model.cc.o.d"
+  "/root/repo/src/ir/opcode.cc" "src/CMakeFiles/csched.dir/ir/opcode.cc.o" "gcc" "src/CMakeFiles/csched.dir/ir/opcode.cc.o.d"
+  "/root/repo/src/machine/clustered_vliw.cc" "src/CMakeFiles/csched.dir/machine/clustered_vliw.cc.o" "gcc" "src/CMakeFiles/csched.dir/machine/clustered_vliw.cc.o.d"
+  "/root/repo/src/machine/machine.cc" "src/CMakeFiles/csched.dir/machine/machine.cc.o" "gcc" "src/CMakeFiles/csched.dir/machine/machine.cc.o.d"
+  "/root/repo/src/machine/raw_machine.cc" "src/CMakeFiles/csched.dir/machine/raw_machine.cc.o" "gcc" "src/CMakeFiles/csched.dir/machine/raw_machine.cc.o.d"
+  "/root/repo/src/machine/single_cluster.cc" "src/CMakeFiles/csched.dir/machine/single_cluster.cc.o" "gcc" "src/CMakeFiles/csched.dir/machine/single_cluster.cc.o.d"
+  "/root/repo/src/regions/program.cc" "src/CMakeFiles/csched.dir/regions/program.cc.o" "gcc" "src/CMakeFiles/csched.dir/regions/program.cc.o.d"
+  "/root/repo/src/regions/region_scheduler.cc" "src/CMakeFiles/csched.dir/regions/region_scheduler.cc.o" "gcc" "src/CMakeFiles/csched.dir/regions/region_scheduler.cc.o.d"
+  "/root/repo/src/sched/list_scheduler.cc" "src/CMakeFiles/csched.dir/sched/list_scheduler.cc.o" "gcc" "src/CMakeFiles/csched.dir/sched/list_scheduler.cc.o.d"
+  "/root/repo/src/sched/priorities.cc" "src/CMakeFiles/csched.dir/sched/priorities.cc.o" "gcc" "src/CMakeFiles/csched.dir/sched/priorities.cc.o.d"
+  "/root/repo/src/sched/register_pressure.cc" "src/CMakeFiles/csched.dir/sched/register_pressure.cc.o" "gcc" "src/CMakeFiles/csched.dir/sched/register_pressure.cc.o.d"
+  "/root/repo/src/sched/reservation.cc" "src/CMakeFiles/csched.dir/sched/reservation.cc.o" "gcc" "src/CMakeFiles/csched.dir/sched/reservation.cc.o.d"
+  "/root/repo/src/sched/schedule.cc" "src/CMakeFiles/csched.dir/sched/schedule.cc.o" "gcc" "src/CMakeFiles/csched.dir/sched/schedule.cc.o.d"
+  "/root/repo/src/sched/schedule_checker.cc" "src/CMakeFiles/csched.dir/sched/schedule_checker.cc.o" "gcc" "src/CMakeFiles/csched.dir/sched/schedule_checker.cc.o.d"
+  "/root/repo/src/sched/schedule_printer.cc" "src/CMakeFiles/csched.dir/sched/schedule_printer.cc.o" "gcc" "src/CMakeFiles/csched.dir/sched/schedule_printer.cc.o.d"
+  "/root/repo/src/support/logging.cc" "src/CMakeFiles/csched.dir/support/logging.cc.o" "gcc" "src/CMakeFiles/csched.dir/support/logging.cc.o.d"
+  "/root/repo/src/support/rng.cc" "src/CMakeFiles/csched.dir/support/rng.cc.o" "gcc" "src/CMakeFiles/csched.dir/support/rng.cc.o.d"
+  "/root/repo/src/support/stats.cc" "src/CMakeFiles/csched.dir/support/stats.cc.o" "gcc" "src/CMakeFiles/csched.dir/support/stats.cc.o.d"
+  "/root/repo/src/support/str.cc" "src/CMakeFiles/csched.dir/support/str.cc.o" "gcc" "src/CMakeFiles/csched.dir/support/str.cc.o.d"
+  "/root/repo/src/support/table.cc" "src/CMakeFiles/csched.dir/support/table.cc.o" "gcc" "src/CMakeFiles/csched.dir/support/table.cc.o.d"
+  "/root/repo/src/workloads/dense_matrix.cc" "src/CMakeFiles/csched.dir/workloads/dense_matrix.cc.o" "gcc" "src/CMakeFiles/csched.dir/workloads/dense_matrix.cc.o.d"
+  "/root/repo/src/workloads/irregular.cc" "src/CMakeFiles/csched.dir/workloads/irregular.cc.o" "gcc" "src/CMakeFiles/csched.dir/workloads/irregular.cc.o.d"
+  "/root/repo/src/workloads/loop_kernel.cc" "src/CMakeFiles/csched.dir/workloads/loop_kernel.cc.o" "gcc" "src/CMakeFiles/csched.dir/workloads/loop_kernel.cc.o.d"
+  "/root/repo/src/workloads/random_dag.cc" "src/CMakeFiles/csched.dir/workloads/random_dag.cc.o" "gcc" "src/CMakeFiles/csched.dir/workloads/random_dag.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/csched.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/csched.dir/workloads/registry.cc.o.d"
+  "/root/repo/src/workloads/stencils.cc" "src/CMakeFiles/csched.dir/workloads/stencils.cc.o" "gcc" "src/CMakeFiles/csched.dir/workloads/stencils.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bug_test.cc" "tests/CMakeFiles/csched_tests.dir/bug_test.cc.o" "gcc" "tests/CMakeFiles/csched_tests.dir/bug_test.cc.o.d"
+  "/root/repo/tests/convergent_scheduler_test.cc" "tests/CMakeFiles/csched_tests.dir/convergent_scheduler_test.cc.o" "gcc" "tests/CMakeFiles/csched_tests.dir/convergent_scheduler_test.cc.o.d"
+  "/root/repo/tests/figure1_test.cc" "tests/CMakeFiles/csched_tests.dir/figure1_test.cc.o" "gcc" "tests/CMakeFiles/csched_tests.dir/figure1_test.cc.o.d"
+  "/root/repo/tests/graph_algorithms_test.cc" "tests/CMakeFiles/csched_tests.dir/graph_algorithms_test.cc.o" "gcc" "tests/CMakeFiles/csched_tests.dir/graph_algorithms_test.cc.o.d"
+  "/root/repo/tests/graph_builder_test.cc" "tests/CMakeFiles/csched_tests.dir/graph_builder_test.cc.o" "gcc" "tests/CMakeFiles/csched_tests.dir/graph_builder_test.cc.o.d"
+  "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/csched_tests.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/csched_tests.dir/graph_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/csched_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/csched_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/list_scheduler_test.cc" "tests/CMakeFiles/csched_tests.dir/list_scheduler_test.cc.o" "gcc" "tests/CMakeFiles/csched_tests.dir/list_scheduler_test.cc.o.d"
+  "/root/repo/tests/machine_sweep_test.cc" "tests/CMakeFiles/csched_tests.dir/machine_sweep_test.cc.o" "gcc" "tests/CMakeFiles/csched_tests.dir/machine_sweep_test.cc.o.d"
+  "/root/repo/tests/machine_test.cc" "tests/CMakeFiles/csched_tests.dir/machine_test.cc.o" "gcc" "tests/CMakeFiles/csched_tests.dir/machine_test.cc.o.d"
+  "/root/repo/tests/opcode_test.cc" "tests/CMakeFiles/csched_tests.dir/opcode_test.cc.o" "gcc" "tests/CMakeFiles/csched_tests.dir/opcode_test.cc.o.d"
+  "/root/repo/tests/passes_test.cc" "tests/CMakeFiles/csched_tests.dir/passes_test.cc.o" "gcc" "tests/CMakeFiles/csched_tests.dir/passes_test.cc.o.d"
+  "/root/repo/tests/pcc_test.cc" "tests/CMakeFiles/csched_tests.dir/pcc_test.cc.o" "gcc" "tests/CMakeFiles/csched_tests.dir/pcc_test.cc.o.d"
+  "/root/repo/tests/preference_matrix_test.cc" "tests/CMakeFiles/csched_tests.dir/preference_matrix_test.cc.o" "gcc" "tests/CMakeFiles/csched_tests.dir/preference_matrix_test.cc.o.d"
+  "/root/repo/tests/rawcc_test.cc" "tests/CMakeFiles/csched_tests.dir/rawcc_test.cc.o" "gcc" "tests/CMakeFiles/csched_tests.dir/rawcc_test.cc.o.d"
+  "/root/repo/tests/regions_test.cc" "tests/CMakeFiles/csched_tests.dir/regions_test.cc.o" "gcc" "tests/CMakeFiles/csched_tests.dir/regions_test.cc.o.d"
+  "/root/repo/tests/register_pressure_test.cc" "tests/CMakeFiles/csched_tests.dir/register_pressure_test.cc.o" "gcc" "tests/CMakeFiles/csched_tests.dir/register_pressure_test.cc.o.d"
+  "/root/repo/tests/reservation_test.cc" "tests/CMakeFiles/csched_tests.dir/reservation_test.cc.o" "gcc" "tests/CMakeFiles/csched_tests.dir/reservation_test.cc.o.d"
+  "/root/repo/tests/schedule_checker_test.cc" "tests/CMakeFiles/csched_tests.dir/schedule_checker_test.cc.o" "gcc" "tests/CMakeFiles/csched_tests.dir/schedule_checker_test.cc.o.d"
+  "/root/repo/tests/schedule_test.cc" "tests/CMakeFiles/csched_tests.dir/schedule_test.cc.o" "gcc" "tests/CMakeFiles/csched_tests.dir/schedule_test.cc.o.d"
+  "/root/repo/tests/support_test.cc" "tests/CMakeFiles/csched_tests.dir/support_test.cc.o" "gcc" "tests/CMakeFiles/csched_tests.dir/support_test.cc.o.d"
+  "/root/repo/tests/uas_test.cc" "tests/CMakeFiles/csched_tests.dir/uas_test.cc.o" "gcc" "tests/CMakeFiles/csched_tests.dir/uas_test.cc.o.d"
+  "/root/repo/tests/visualization_test.cc" "tests/CMakeFiles/csched_tests.dir/visualization_test.cc.o" "gcc" "tests/CMakeFiles/csched_tests.dir/visualization_test.cc.o.d"
+  "/root/repo/tests/workloads_test.cc" "tests/CMakeFiles/csched_tests.dir/workloads_test.cc.o" "gcc" "tests/CMakeFiles/csched_tests.dir/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/csched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

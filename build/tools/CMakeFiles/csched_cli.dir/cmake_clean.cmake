@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csched_cli.dir/csched_cli.cc.o"
+  "CMakeFiles/csched_cli.dir/csched_cli.cc.o.d"
+  "csched_cli"
+  "csched_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csched_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
