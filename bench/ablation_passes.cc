@@ -168,7 +168,7 @@ main()
                 values.push_back(speedupOf(spec, raw, conv));
                 const auto graph = spec.build(16, 16);
                 over_budget +=
-                    analyzePressure(graph, conv.run(graph))
+                    analyzePressure(graph, conv.schedule(graph))
                         .clustersOverBudget(
                             raw.registersPerCluster());
             }

@@ -43,14 +43,14 @@ graphOfSize(int size)
 }
 
 void
-runAlgorithm(benchmark::State &state, AlgorithmKind kind)
+runAlgorithm(benchmark::State &state, const char *spec)
 {
     const ClusteredVliwMachine vliw(4);
     const auto &graph = graphOfSize(static_cast<int>(state.range(0)));
-    const auto algorithm = makeAlgorithm(kind, vliw);
+    const auto algorithm = makeAlgorithm(*parseAlgorithmSpec(spec), vliw);
     int makespan = 0;
     for (auto _ : state) {
-        makespan = algorithm->run(graph).makespan();
+        makespan = algorithm->schedule(graph).makespan();
         benchmark::DoNotOptimize(makespan);
     }
     state.counters["instructions"] =
@@ -61,19 +61,19 @@ runAlgorithm(benchmark::State &state, AlgorithmKind kind)
 void
 BM_Convergent(benchmark::State &state)
 {
-    runAlgorithm(state, AlgorithmKind::Convergent);
+    runAlgorithm(state, "convergent");
 }
 
 void
 BM_Uas(benchmark::State &state)
 {
-    runAlgorithm(state, AlgorithmKind::Uas);
+    runAlgorithm(state, "uas");
 }
 
 void
 BM_Pcc(benchmark::State &state)
 {
-    runAlgorithm(state, AlgorithmKind::Pcc);
+    runAlgorithm(state, "pcc");
 }
 
 } // namespace

@@ -38,7 +38,7 @@ main()
 
     for (const auto &name : rawSuiteNames()) {
         const auto graph = findWorkload(name).build(16, 16);
-        const auto result = conv.runFull(graph);
+        const auto result = conv.run(graph);
         const auto steps = spatialSteps(result.trace);
         if (!header_done) {
             for (const auto &step : steps)

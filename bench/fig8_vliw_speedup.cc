@@ -2,14 +2,14 @@
  * @file
  * Figure 8: PCC vs UAS vs convergent scheduling on the four-cluster
  * VLIW, speedups relative to a single-cluster machine, with the
- * paper's approximate bar heights alongside.
+ * paper's approximate bar heights alongside.  The grid itself runs
+ * through the parallel experiment runner (src/runner/).
  */
 
 #include <iostream>
+#include <map>
 
-#include "eval/experiment.hh"
-#include "eval/speedup.hh"
-#include "machine/clustered_vliw.hh"
+#include "runner/grid_runner.hh"
 #include "support/stats.hh"
 #include "support/str.hh"
 #include "support/table.hh"
@@ -20,7 +20,19 @@ using namespace csched;
 int
 main()
 {
-    const ClusteredVliwMachine vliw(4);
+    GridSpec grid;
+    grid.workloads = vliwSuiteNames();
+    grid.machines = {"vliw4"};
+    grid.algorithms = {*parseAlgorithmSpec("pcc"),
+                       *parseAlgorithmSpec("uas"),
+                       *parseAlgorithmSpec("convergent")};
+    grid.jobs = 0;  // hardware concurrency
+    const GridReport report = runGrid(grid);
+
+    // speedup[workload][algorithm]
+    std::map<std::string, std::map<std::string, double>> speedup;
+    for (const auto &job : report.results)
+        speedup[job.workload][job.algorithm] = job.speedup;
 
     std::cout << "Figure 8: speedup over one cluster on a "
               << "four-cluster VLIW\n\n";
@@ -29,15 +41,10 @@ main()
          "conv/PCC"});
 
     std::vector<double> pcc_v, uas_v, conv_v;
-    for (const auto &name : vliwSuiteNames()) {
-        const auto &spec = findWorkload(name);
-        const auto pcc = makeAlgorithm(AlgorithmKind::Pcc, vliw);
-        const auto uas = makeAlgorithm(AlgorithmKind::Uas, vliw);
-        const auto conv =
-            makeAlgorithm(AlgorithmKind::Convergent, vliw);
-        const double p = speedupOf(spec, vliw, *pcc);
-        const double u = speedupOf(spec, vliw, *uas);
-        const double c = speedupOf(spec, vliw, *conv);
+    for (const auto &name : grid.workloads) {
+        const double p = speedup.at(name).at("pcc");
+        const double u = speedup.at(name).at("uas");
+        const double c = speedup.at(name).at("convergent");
         pcc_v.push_back(p);
         uas_v.push_back(u);
         conv_v.push_back(c);

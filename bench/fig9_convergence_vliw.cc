@@ -31,7 +31,7 @@ main()
     bool header_done = false;
     for (const auto &name : vliwSuiteNames()) {
         const auto graph = findWorkload(name).build(4, 4);
-        const auto result = conv.runFull(graph);
+        const auto result = conv.run(graph);
         const auto steps = spatialSteps(result.trace);
         if (!header_done) {
             for (const auto &step : steps)

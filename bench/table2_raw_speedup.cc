@@ -7,14 +7,15 @@
  * single tile) of the Rawcc-style baseline partitioner ("Base") and of
  * convergent scheduling, exactly mirroring the paper's Table 2.  The
  * 16-tile columns are then re-printed as the Figure-6 series, with the
- * paper's reference numbers alongside.
+ * paper's reference numbers alongside.  The whole
+ * (workload x machine x algorithm) grid runs through the parallel
+ * experiment runner (src/runner/).
  */
 
 #include <iostream>
+#include <map>
 
-#include "eval/experiment.hh"
-#include "eval/speedup.hh"
-#include "machine/raw_machine.hh"
+#include "runner/grid_runner.hh"
 #include "support/stats.hh"
 #include "support/str.hh"
 #include "support/table.hh"
@@ -45,42 +46,44 @@ const PaperRow kPaper[] = {
 int
 main()
 {
-    const std::vector<int> tile_counts{2, 4, 8, 16};
+    GridSpec grid;
+    grid.workloads = rawSuiteNames();
+    grid.machines = {"raw2", "raw4", "raw8", "raw16"};
+    grid.algorithms = {*parseAlgorithmSpec("rawcc"),
+                       *parseAlgorithmSpec("convergent")};
+    grid.jobs = 0;  // hardware concurrency
+    const GridReport report = runGrid(grid);
+
+    // speedup[workload][machine][algorithm]
+    std::map<std::string,
+             std::map<std::string, std::map<std::string, double>>>
+        speedup;
+    for (const auto &job : report.results)
+        speedup[job.workload][job.machine][job.algorithm] = job.speedup;
 
     std::cout << "Table 2: speedup over one tile on Raw "
               << "(Base = Rawcc-style partitioner)\n\n";
     std::vector<std::string> headers{"benchmark"};
-    for (int tiles : tile_counts)
-        headers.push_back("base/" + std::to_string(tiles));
-    for (int tiles : tile_counts)
-        headers.push_back("conv/" + std::to_string(tiles));
+    for (const auto &machine : grid.machines)
+        headers.push_back("base/" + machine.substr(3));
+    for (const auto &machine : grid.machines)
+        headers.push_back("conv/" + machine.substr(3));
     TablePrinter table(headers);
 
     std::vector<double> base16;
     std::vector<double> conv16;
-    for (const auto &name : rawSuiteNames()) {
-        const auto &spec = findWorkload(name);
+    for (const auto &name : grid.workloads) {
         std::vector<std::string> row{name};
-        std::vector<double> base_cols;
-        std::vector<double> conv_cols;
-        for (int tiles : tile_counts) {
-            const auto raw = RawMachine::withTiles(tiles);
-            const auto algo = makeAlgorithm(AlgorithmKind::Rawcc, raw);
-            base_cols.push_back(speedupOf(spec, raw, *algo));
-        }
-        for (int tiles : tile_counts) {
-            const auto raw = RawMachine::withTiles(tiles);
-            const auto algo =
-                makeAlgorithm(AlgorithmKind::Convergent, raw);
-            conv_cols.push_back(speedupOf(spec, raw, *algo));
-        }
-        for (double v : base_cols)
-            row.push_back(formatDouble(v, 2));
-        for (double v : conv_cols)
-            row.push_back(formatDouble(v, 2));
+        for (const auto &machine : grid.machines)
+            row.push_back(formatDouble(
+                speedup.at(name).at(machine).at("rawcc"), 2));
+        for (const auto &machine : grid.machines)
+            row.push_back(formatDouble(
+                speedup.at(name).at(machine).at("convergent"), 2));
         table.addRow(row);
-        base16.push_back(base_cols.back());
-        conv16.push_back(conv_cols.back());
+        base16.push_back(speedup.at(name).at("raw16").at("rawcc"));
+        conv16.push_back(
+            speedup.at(name).at("raw16").at("convergent"));
     }
     table.print(std::cout);
 
@@ -88,7 +91,7 @@ main()
     TablePrinter fig6({"benchmark", "base (ours)", "conv (ours)",
                        "conv/base", "base (paper)", "conv (paper)",
                        "conv/base (paper)"});
-    for (size_t k = 0; k < rawSuiteNames().size(); ++k) {
+    for (size_t k = 0; k < grid.workloads.size(); ++k) {
         const auto &paper = kPaper[k];
         fig6.addRow({paper.name, formatDouble(base16[k], 2),
                      formatDouble(conv16[k], 2),

@@ -41,12 +41,11 @@ main(int argc, char **argv)
 
     TablePrinter table({"scheduler", "makespan", "speedup", "comms",
                         "max load", "peak regs", "time (ms)"});
-    for (const auto kind :
-         {AlgorithmKind::Pcc, AlgorithmKind::Uas,
-          AlgorithmKind::Convergent}) {
-        const auto algorithm = makeAlgorithm(kind, machine);
+    for (const char *spec_text : {"pcc", "uas", "convergent"}) {
+        const auto algorithm =
+            makeAlgorithm(*parseAlgorithmSpec(spec_text), machine);
         const auto run = runAndCheck(*algorithm, graph, machine);
-        const auto schedule = algorithm->run(graph);
+        const Schedule &schedule = run.result.schedule;
         const auto pressure = analyzePressure(graph, schedule);
         int max_load = 0;
         for (int c = 0; c < clusters; ++c)

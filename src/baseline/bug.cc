@@ -84,12 +84,13 @@ BugScheduler::assign(const DependenceGraph &graph) const
     return assignment;
 }
 
-Schedule
+ScheduleResult
 BugScheduler::run(const DependenceGraph &graph) const
 {
     const ListScheduler scheduler(machine_);
-    return scheduler.run(graph, assign(graph),
-                         criticalPathPriority(graph));
+    return {scheduler.run(graph, assign(graph),
+                          criticalPathPriority(graph)),
+            {}};
 }
 
 } // namespace csched

@@ -35,7 +35,7 @@ class BugScheduler : public SchedulingAlgorithm
     explicit BugScheduler(const MachineModel &machine);
 
     std::string name() const override { return "BUG"; }
-    Schedule run(const DependenceGraph &graph) const override;
+    ScheduleResult run(const DependenceGraph &graph) const override;
 
     /** The assignment BUG's two traversals produce (for tests). */
     std::vector<int> assign(const DependenceGraph &graph) const;

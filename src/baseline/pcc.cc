@@ -142,7 +142,7 @@ PccScheduler::buildComponents(const DependenceGraph &graph) const
     return component;
 }
 
-Schedule
+ScheduleResult
 PccScheduler::run(const DependenceGraph &graph) const
 {
     const int n = graph.numInstructions();
@@ -264,7 +264,7 @@ PccScheduler::run(const DependenceGraph &graph) const
     }
 
     materialize();
-    return scheduler.run(graph, assignment, priority);
+    return {scheduler.run(graph, assignment, priority), {}};
 }
 
 } // namespace csched

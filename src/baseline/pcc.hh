@@ -64,7 +64,7 @@ class PccScheduler : public SchedulingAlgorithm
     PccScheduler(const MachineModel &machine, Options options);
 
     std::string name() const override { return "PCC"; }
-    Schedule run(const DependenceGraph &graph) const override;
+    ScheduleResult run(const DependenceGraph &graph) const override;
 
     /**
      * Component id per instruction (exposed for tests).  Ids are dense

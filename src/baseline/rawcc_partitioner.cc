@@ -28,12 +28,13 @@ RawccPartitioner::assign(const DependenceGraph &graph) const
     return placeClusters(graph, machine_, merged);
 }
 
-Schedule
+ScheduleResult
 RawccPartitioner::run(const DependenceGraph &graph) const
 {
     const ListScheduler scheduler(machine_);
-    return scheduler.run(graph, assign(graph),
-                         criticalPathPriority(graph));
+    return {scheduler.run(graph, assign(graph),
+                          criticalPathPriority(graph)),
+            {}};
 }
 
 } // namespace csched

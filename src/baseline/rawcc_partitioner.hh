@@ -22,7 +22,7 @@ class RawccPartitioner : public SchedulingAlgorithm
     explicit RawccPartitioner(const MachineModel &machine);
 
     std::string name() const override { return "Rawcc"; }
-    Schedule run(const DependenceGraph &graph) const override;
+    ScheduleResult run(const DependenceGraph &graph) const override;
 
     /** The assignment the three phases produce (exposed for tests). */
     std::vector<int> assign(const DependenceGraph &graph) const;

@@ -10,12 +10,13 @@ SingleClusterScheduler::SingleClusterScheduler(const MachineModel &machine)
 {
 }
 
-Schedule
+ScheduleResult
 SingleClusterScheduler::run(const DependenceGraph &graph) const
 {
     const std::vector<int> assignment(graph.numInstructions(), 0);
     const ListScheduler scheduler(machine_);
-    return scheduler.run(graph, assignment, criticalPathPriority(graph));
+    return {scheduler.run(graph, assignment, criticalPathPriority(graph)),
+            {}};
 }
 
 } // namespace csched

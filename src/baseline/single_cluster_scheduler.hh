@@ -25,7 +25,7 @@ class SingleClusterScheduler : public SchedulingAlgorithm
     explicit SingleClusterScheduler(const MachineModel &machine);
 
     std::string name() const override { return "single"; }
-    Schedule run(const DependenceGraph &graph) const override;
+    ScheduleResult run(const DependenceGraph &graph) const override;
 
   private:
     const MachineModel &machine_;

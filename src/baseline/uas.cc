@@ -173,7 +173,7 @@ UasScheduler::UasScheduler(const MachineModel &machine)
 {
 }
 
-Schedule
+ScheduleResult
 UasScheduler::run(const DependenceGraph &graph) const
 {
     const int n = graph.numInstructions();
@@ -273,7 +273,7 @@ UasScheduler::run(const DependenceGraph &graph) const
         CSCHED_ASSERT(cycle < kInfinity, "UAS failed to make progress");
     }
 
-    return state.schedule;
+    return {std::move(state.schedule), {}};
 }
 
 } // namespace csched

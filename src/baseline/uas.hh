@@ -37,7 +37,7 @@ class UasScheduler : public SchedulingAlgorithm
     explicit UasScheduler(const MachineModel &machine);
 
     std::string name() const override { return "UAS"; }
-    Schedule run(const DependenceGraph &graph) const override;
+    ScheduleResult run(const DependenceGraph &graph) const override;
 
   private:
     const MachineModel &machine_;

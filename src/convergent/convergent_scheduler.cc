@@ -1,5 +1,7 @@
 #include "convergent/convergent_scheduler.hh"
 
+#include <chrono>
+
 #include "convergent/pass_registry.hh"
 #include "convergent/sequences.hh"
 #include "sched/list_scheduler.hh"
@@ -52,7 +54,9 @@ ConvergentScheduler::schedule(const DependenceGraph &graph) const
 
     std::vector<int> before = weights.preferredClusters();
     for (const auto &pass : passes_) {
+        const auto begin = std::chrono::steady_clock::now();
         pass->run(ctx);
+        const auto end = std::chrono::steady_clock::now();
         const std::vector<int> after = weights.preferredClusters();
         int changed = 0;
         for (InstrId i = 0; i < n; ++i)
@@ -60,7 +64,8 @@ ConvergentScheduler::schedule(const DependenceGraph &graph) const
                 ++changed;
         result.trace.push_back(
             {pass->name(), static_cast<double>(changed) / n,
-             pass->temporalOnly()});
+             pass->temporalOnly(),
+             std::chrono::duration<double>(end - begin).count()});
         before = after;
     }
 

@@ -18,19 +18,10 @@
 #include <vector>
 
 #include "convergent/pass.hh"
+#include "sched/algorithm.hh"
 #include "sched/schedule.hh"
 
 namespace csched {
-
-/** Spatial-convergence record of one pass application. */
-struct PassStep
-{
-    std::string pass;
-    /** Fraction of instructions whose preferred cluster changed. */
-    double fractionChanged = 0.0;
-    /** True when the pass only modifies temporal preferences. */
-    bool temporalOnly = false;
-};
 
 /** Everything a convergent-scheduling run produces. */
 struct ConvergentResult

@@ -1,13 +1,19 @@
 #include "eval/experiment.hh"
 
+#include <algorithm>
+#include <cctype>
 #include <chrono>
 
+#include "baseline/bug.hh"
 #include "baseline/pcc.hh"
 #include "baseline/rawcc_partitioner.hh"
 #include "baseline/single_cluster_scheduler.hh"
 #include "baseline/uas.hh"
+#include "convergent/pass_registry.hh"
+#include "convergent/sequences.hh"
 #include "sched/schedule_checker.hh"
 #include "support/logging.hh"
+#include "support/str.hh"
 
 namespace csched {
 
@@ -23,34 +29,104 @@ ConvergentAlgorithm::ConvergentAlgorithm(const MachineModel &machine,
 {
 }
 
-Schedule
+ScheduleResult
 ConvergentAlgorithm::run(const DependenceGraph &graph) const
 {
-    return scheduler_.schedule(graph).schedule;
+    ConvergentResult full = scheduler_.schedule(graph);
+    return {std::move(full.schedule), std::move(full.trace)};
 }
 
 ConvergentResult
-ConvergentAlgorithm::runFull(const DependenceGraph &graph) const
+ConvergentAlgorithm::runDetailed(const DependenceGraph &graph) const
 {
     return scheduler_.schedule(graph);
 }
 
-std::unique_ptr<SchedulingAlgorithm>
-makeAlgorithm(AlgorithmKind kind, const MachineModel &machine)
+std::string
+AlgorithmSpec::text() const
 {
-    switch (kind) {
-      case AlgorithmKind::Convergent:
-        return std::make_unique<ConvergentAlgorithm>(machine);
-      case AlgorithmKind::Uas:
-        return std::make_unique<UasScheduler>(machine);
-      case AlgorithmKind::Pcc:
-        return std::make_unique<PccScheduler>(machine);
-      case AlgorithmKind::Rawcc:
-        return std::make_unique<RawccPartitioner>(machine);
-      case AlgorithmKind::Single:
-        return std::make_unique<SingleClusterScheduler>(machine);
+    return sequence.empty() ? name : name + ":" + sequence;
+}
+
+const std::vector<std::string> &
+knownAlgorithmNames()
+{
+    static const std::vector<std::string> names{
+        "convergent", "uas", "pcc", "rawcc", "single", "bug"};
+    return names;
+}
+
+std::optional<AlgorithmSpec>
+parseAlgorithmSpec(const std::string &text, std::string *error)
+{
+    auto fail = [&](const std::string &why) -> std::optional<AlgorithmSpec> {
+        if (error != nullptr)
+            *error = why;
+        return std::nullopt;
+    };
+
+    const auto colon = text.find(':');
+    AlgorithmSpec spec;
+    spec.name = trim(text.substr(0, colon));
+    std::transform(spec.name.begin(), spec.name.end(),
+                   spec.name.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (colon != std::string::npos)
+        spec.sequence = trim(text.substr(colon + 1));
+
+    const auto &names = knownAlgorithmNames();
+    if (std::find(names.begin(), names.end(), spec.name) == names.end())
+        return fail("unknown algorithm '" + spec.name + "' (expected " +
+                    join(names, "|") + ")");
+
+    if (!spec.sequence.empty() && spec.name != "convergent")
+        return fail("algorithm '" + spec.name +
+                    "' does not take a pass sequence");
+
+    if (!spec.sequence.empty()) {
+        const auto known = knownPassNames();
+        for (const auto &part : split(spec.sequence, ',')) {
+            const std::string pass = toUpper(trim(part));
+            if (pass.empty())
+                return fail("empty pass name in sequence '" +
+                            spec.sequence + "'");
+            if (std::find(known.begin(), known.end(), pass) ==
+                known.end())
+                return fail("unknown pass '" + pass + "' (expected " +
+                            join(known, "|") + ")");
+        }
     }
-    CSCHED_PANIC("unknown algorithm kind ", static_cast<int>(kind));
+    return spec;
+}
+
+std::unique_ptr<SchedulingAlgorithm>
+makeAlgorithm(const AlgorithmSpec &spec, const MachineModel &machine)
+{
+    if (spec.name == "convergent") {
+        if (spec.sequence.empty() && !spec.params.has_value())
+            return std::make_unique<ConvergentAlgorithm>(machine);
+        const bool is_raw = machine.commStyle() == CommStyle::Network;
+        const std::string sequence =
+            spec.sequence.empty()
+                ? (is_raw ? rawPassSequence() : vliwPassSequence())
+                : spec.sequence;
+        const PassParams params = spec.params.value_or(
+            is_raw ? rawPassParams() : vliwPassParams());
+        return std::make_unique<ConvergentAlgorithm>(machine, sequence,
+                                                     params);
+    }
+    if (spec.name == "uas")
+        return std::make_unique<UasScheduler>(machine);
+    if (spec.name == "pcc")
+        return std::make_unique<PccScheduler>(machine);
+    if (spec.name == "rawcc")
+        return std::make_unique<RawccPartitioner>(machine);
+    if (spec.name == "single")
+        return std::make_unique<SingleClusterScheduler>(machine);
+    if (spec.name == "bug")
+        return std::make_unique<BugScheduler>(machine);
+    CSCHED_FATAL("unknown algorithm '", spec.name,
+                 "' (specs must come from parseAlgorithmSpec)");
 }
 
 RunResult
@@ -58,22 +134,20 @@ runAndCheck(const SchedulingAlgorithm &algorithm,
             const DependenceGraph &graph, const MachineModel &machine)
 {
     const auto begin = std::chrono::steady_clock::now();
-    const Schedule schedule = algorithm.run(graph);
+    ScheduleResult produced = algorithm.run(graph);
     const auto end = std::chrono::steady_clock::now();
 
-    const auto check = checkSchedule(graph, machine, schedule);
+    const auto check = checkSchedule(graph, machine, produced.schedule);
     if (!check.ok()) {
         CSCHED_FATAL(algorithm.name(), " produced an illegal schedule: ",
                      check.message());
     }
 
-    RunResult result;
-    result.algorithm = algorithm.name();
-    result.instructions = graph.numInstructions();
-    result.makespan = schedule.makespan();
-    result.seconds =
-        std::chrono::duration<double>(end - begin).count();
-    return result;
+    return RunResult{
+        algorithm.name(), graph.numInstructions(),
+        produced.schedule.makespan(),
+        std::chrono::duration<double>(end - begin).count(),
+        std::move(produced)};
 }
 
 } // namespace csched

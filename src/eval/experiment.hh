@@ -1,15 +1,23 @@
 /**
  * @file
- * Experiment driver: constructs algorithms by name, runs them on
- * workloads, verifies every produced schedule with the checker, and
- * reports makespans and wall-clock scheduling times.
+ * Experiment driver: constructs algorithms from declarative specs,
+ * runs them on workloads, verifies every produced schedule with the
+ * checker, and reports makespans and wall-clock scheduling times.
+ *
+ * The single source of truth for "which algorithm is this?" is
+ * AlgorithmSpec, parsed in exactly one place (parseAlgorithmSpec) from
+ * strings such as "uas" or "convergent:INITTIME,PLACE,COMM".  Every
+ * driver -- csched_cli, csched_bench, the per-figure bench binaries,
+ * and the grid runner -- goes through it.
  */
 
 #ifndef CSCHED_EVAL_EXPERIMENT_HH
 #define CSCHED_EVAL_EXPERIMENT_HH
 
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "convergent/convergent_scheduler.hh"
 #include "machine/machine.hh"
@@ -30,21 +38,53 @@ class ConvergentAlgorithm : public SchedulingAlgorithm
                         PassParams params = PassParams());
 
     std::string name() const override { return "Convergent"; }
-    Schedule run(const DependenceGraph &graph) const override;
 
-    /** Full result including the convergence trace. */
-    ConvergentResult runFull(const DependenceGraph &graph) const;
+    /** Full result: schedule plus the convergence/timing trace. */
+    ScheduleResult run(const DependenceGraph &graph) const override;
+
+    /** Assignment/preferred-time detail beyond ScheduleResult. */
+    ConvergentResult runDetailed(const DependenceGraph &graph) const;
 
   private:
     ConvergentScheduler scheduler_;
 };
 
-/** The scheduling algorithms the experiments compare. */
-enum class AlgorithmKind { Convergent, Uas, Pcc, Rawcc, Single };
+/**
+ * Declarative description of one scheduling algorithm, the unit the
+ * experiment grid iterates over.  `name` is one of "convergent",
+ * "uas", "pcc", "rawcc", "single", or "bug".  For "convergent",
+ * `sequence` optionally overrides the Table-1 pass pipeline and
+ * `params` optionally overrides the family-tuned heuristic weights;
+ * both default to the machine-family presets of sequences.hh.
+ */
+struct AlgorithmSpec
+{
+    std::string name = "convergent";
+    std::string sequence;
+    std::optional<PassParams> params;
 
-/** Construct algorithm @p kind bound to @p machine. */
+    /**
+     * The spec in its parseable text form, e.g.
+     * "convergent:INITTIME,PLACE".  Used as the stable identity of
+     * the algorithm in reports and JSON output.
+     */
+    std::string text() const;
+};
+
+/** Algorithm names accepted by parseAlgorithmSpec, in display order. */
+const std::vector<std::string> &knownAlgorithmNames();
+
+/**
+ * Parse "name[:PASS,PASS,...]" into a spec.  The only place algorithm
+ * spellings are interpreted.  On malformed input returns std::nullopt
+ * and, when @p error is non-null, stores a human-readable reason.
+ */
+std::optional<AlgorithmSpec>
+parseAlgorithmSpec(const std::string &text, std::string *error = nullptr);
+
+/** Construct the algorithm described by @p spec bound to @p machine. */
 std::unique_ptr<SchedulingAlgorithm>
-makeAlgorithm(AlgorithmKind kind, const MachineModel &machine);
+makeAlgorithm(const AlgorithmSpec &spec, const MachineModel &machine);
 
 /** One algorithm-on-workload measurement. */
 struct RunResult
@@ -53,6 +93,8 @@ struct RunResult
     int instructions = 0;
     int makespan = 0;
     double seconds = 0.0;  ///< wall-clock scheduling time
+    /** Schedule plus pass trace; no longer thrown away. */
+    ScheduleResult result;
 };
 
 /**

@@ -1,0 +1,85 @@
+#include "machine/machine_spec.hh"
+
+#include <cctype>
+
+#include "machine/clustered_vliw.hh"
+#include "machine/raw_machine.hh"
+
+namespace csched {
+
+namespace {
+
+/** Parse a strictly positive decimal integer; -1 on anything else. */
+int
+parsePositiveInt(const std::string &text)
+{
+    if (text.empty() || text.size() > 6)
+        return -1;
+    long value = 0;
+    for (char c : text) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return -1;
+        value = value * 10 + (c - '0');
+    }
+    return value >= 1 ? static_cast<int>(value) : -1;
+}
+
+std::unique_ptr<MachineModel>
+fail(const std::string &why, std::string *error)
+{
+    if (error != nullptr)
+        *error = why;
+    return nullptr;
+}
+
+} // namespace
+
+std::unique_ptr<MachineModel>
+parseMachineSpec(const std::string &spec, std::string *error)
+{
+    if (spec == "single")
+        return std::make_unique<ClusteredVliwMachine>(1);
+
+    if (spec.rfind("vliw", 0) == 0) {
+        const int clusters = parsePositiveInt(spec.substr(4));
+        if (clusters < 1)
+            return fail("malformed machine spec '" + spec +
+                            "': expected vliwN with N >= 1",
+                        error);
+        return std::make_unique<ClusteredVliwMachine>(clusters);
+    }
+
+    if (spec.rfind("raw", 0) == 0) {
+        const std::string dims = spec.substr(3);
+        const auto x = dims.find('x');
+        if (x == std::string::npos) {
+            const int tiles = parsePositiveInt(dims);
+            if (tiles < 1)
+                return fail("malformed machine spec '" + spec +
+                                "': expected rawN or rawRxC with "
+                                "positive dimensions",
+                            error);
+            return std::make_unique<RawMachine>(
+                RawMachine::withTiles(tiles));
+        }
+        const int rows = parsePositiveInt(dims.substr(0, x));
+        const int cols = parsePositiveInt(dims.substr(x + 1));
+        if (rows < 1 || cols < 1)
+            return fail("malformed machine spec '" + spec +
+                            "': expected rawRxC with positive R and C",
+                        error);
+        return std::make_unique<RawMachine>(rows, cols);
+    }
+
+    return fail("unknown machine spec '" + spec +
+                    "' (expected vliwN, rawN, rawRxC, or single)",
+                error);
+}
+
+bool
+isValidMachineSpec(const std::string &spec)
+{
+    return parseMachineSpec(spec) != nullptr;
+}
+
+} // namespace csched

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Machine-spec parsing with input validation, shared by csched_cli,
+ * csched_bench, and the grid runner.  A spec is one of
+ *
+ *   vliwN    -- an N-cluster clustered VLIW (N >= 1), e.g. "vliw4"
+ *   rawN     -- a square-ish Raw mesh with N tiles, e.g. "raw16"
+ *   rawRxC   -- an explicit R x C Raw mesh, e.g. "raw4x4"
+ *   single   -- shorthand for vliw1
+ *
+ * Malformed specs ("vliw0", "raw4x", "vliwabc") are rejected with a
+ * diagnostic instead of silently defaulting.
+ */
+
+#ifndef CSCHED_MACHINE_MACHINE_SPEC_HH
+#define CSCHED_MACHINE_MACHINE_SPEC_HH
+
+#include <memory>
+#include <string>
+
+#include "machine/machine.hh"
+
+namespace csched {
+
+/**
+ * Parse @p spec into a machine model.  Returns nullptr on malformed
+ * input and, when @p error is non-null, stores the reason.
+ */
+std::unique_ptr<MachineModel>
+parseMachineSpec(const std::string &spec, std::string *error = nullptr);
+
+/** True when @p spec parses cleanly. */
+bool isValidMachineSpec(const std::string &spec);
+
+} // namespace csched
+
+#endif // CSCHED_MACHINE_MACHINE_SPEC_HH

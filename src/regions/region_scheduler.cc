@@ -46,7 +46,7 @@ scheduleProgram(Program &program, const MachineModel &machine,
         unit.graph.finalize();
 
         const auto algorithm = factory(machine);
-        Schedule schedule = algorithm->run(unit.graph);
+        Schedule schedule = algorithm->schedule(unit.graph);
         const auto check =
             checkSchedule(unit.graph, machine, schedule);
         CSCHED_ASSERT(check.ok(), "unit '", unit.name,

@@ -1,0 +1,130 @@
+#include "runner/grid_runner.hh"
+
+#include <chrono>
+
+#include "eval/speedup.hh"
+#include "machine/machine_spec.hh"
+#include "runner/thread_pool.hh"
+#include "support/logging.hh"
+#include "workloads/workloads.hh"
+
+namespace csched {
+
+JobResult
+runJob(const JobSpec &spec)
+{
+    std::string machine_error;
+    const auto machine = parseMachineSpec(spec.machine, &machine_error);
+    if (machine == nullptr)
+        CSCHED_FATAL("grid job: ", machine_error);
+
+    const WorkloadSpec &workload = findWorkload(spec.workload);
+    const DependenceGraph graph = workload.build(
+        machine->numClusters(), machine->numClusters());
+
+    const auto algorithm = makeAlgorithm(spec.algorithm, *machine);
+    RunResult run = runAndCheck(*algorithm, graph, *machine);
+
+    JobResult result;
+    result.workload = spec.workload;
+    result.machine = spec.machine;
+    result.algorithm = spec.algorithm.text();
+    result.algorithmName = run.algorithm;
+    result.instructions = run.instructions;
+    result.makespan = run.makespan;
+    result.criticalPathLength = graph.criticalPathLength();
+    result.assignment = run.result.schedule.assignment();
+    result.seconds = run.seconds;
+    result.trace = std::move(run.result.trace);
+
+    if (spec.computeSpeedup) {
+        result.singleClusterMakespan =
+            singleClusterMakespan(workload, *machine);
+        CSCHED_ASSERT(result.makespan > 0, "zero makespan");
+        result.speedup =
+            static_cast<double>(result.singleClusterMakespan) /
+            static_cast<double>(result.makespan);
+    }
+    return result;
+}
+
+std::vector<JobSpec>
+expandGrid(const GridSpec &grid)
+{
+    std::vector<JobSpec> jobs;
+    jobs.reserve(grid.workloads.size() * grid.machines.size() *
+                 grid.algorithms.size());
+    for (const auto &workload : grid.workloads)
+        for (const auto &machine : grid.machines)
+            for (const auto &algorithm : grid.algorithms)
+                jobs.push_back({workload, machine, algorithm,
+                                grid.computeSpeedup});
+    return jobs;
+}
+
+bool
+validateGrid(const GridSpec &grid, std::string *error)
+{
+    auto fail = [&](const std::string &why) {
+        if (error != nullptr)
+            *error = why;
+        return false;
+    };
+
+    if (grid.jobs < 0)
+        return fail("--jobs must be >= 0 (0 = hardware concurrency)");
+    if (grid.workloads.empty() || grid.machines.empty() ||
+        grid.algorithms.empty())
+        return fail("empty grid: need at least one workload, machine, "
+                    "and algorithm");
+
+    for (const auto &name : grid.workloads) {
+        bool known = false;
+        for (const auto &spec : allWorkloads())
+            known |= spec.name == name;
+        if (!known)
+            return fail("unknown workload '" + name + "'");
+    }
+    for (const auto &machine : grid.machines) {
+        std::string why;
+        if (parseMachineSpec(machine, &why) == nullptr)
+            return fail(why);
+    }
+    for (const auto &algorithm : grid.algorithms) {
+        std::string why;
+        if (!parseAlgorithmSpec(algorithm.text(), &why))
+            return fail(why);
+    }
+    return true;
+}
+
+GridReport
+runGrid(const GridSpec &grid)
+{
+    std::string error;
+    if (!validateGrid(grid, &error))
+        CSCHED_FATAL("invalid grid: ", error);
+
+    const auto jobs = expandGrid(grid);
+    GridReport report;
+    report.results.resize(jobs.size());
+
+    const auto begin = std::chrono::steady_clock::now();
+    {
+        // Each task writes only its own pre-assigned slot; the pool
+        // imposes no ordering, the slot layout does.
+        ThreadPool pool(grid.jobs);
+        report.threads = pool.numThreads();
+        for (size_t k = 0; k < jobs.size(); ++k)
+            pool.submit([&jobs, &report, k] {
+                report.results[k] = runJob(jobs[k]);
+            });
+        pool.wait();
+    }
+    const auto end = std::chrono::steady_clock::now();
+    report.wallSeconds =
+        std::chrono::duration<double>(end - begin).count();
+    return report;
+}
+
+} // namespace csched

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The batch experiment runner: expands a (workload x machine x
+ * algorithm) grid into independent jobs and executes them on a
+ * fixed-size thread pool.  This is the substrate behind csched_bench
+ * and the per-figure bench binaries -- the paper's Section-5
+ * evaluation grid as a parallel job pool.
+ *
+ * Determinism: each job is self-contained (see job.hh) and writes its
+ * result into a pre-assigned slot of the result vector, so the report
+ * -- including its order -- is bit-identical for any thread count.
+ */
+
+#ifndef CSCHED_RUNNER_GRID_RUNNER_HH
+#define CSCHED_RUNNER_GRID_RUNNER_HH
+
+#include <string>
+#include <vector>
+
+#include "runner/job.hh"
+
+namespace csched {
+
+/** Declarative description of a whole experiment grid. */
+struct GridSpec
+{
+    std::vector<std::string> workloads;
+    std::vector<std::string> machines;   ///< validated machine specs
+    std::vector<AlgorithmSpec> algorithms;
+    /** Worker threads; 1 = serial, 0 = hardware concurrency. */
+    int jobs = 1;
+    /** Run the one-cluster normalisation for each (workload, machine). */
+    bool computeSpeedup = true;
+};
+
+/** All grid results plus end-to-end wall-clock. */
+struct GridReport
+{
+    std::vector<JobResult> results;  ///< grid order: w-major, a-minor
+    int threads = 1;                 ///< pool size actually used
+    double wallSeconds = 0.0;
+};
+
+/**
+ * Expand @p grid into jobs in deterministic (workload, machine,
+ * algorithm) lexicographic-by-index order.
+ */
+std::vector<JobSpec> expandGrid(const GridSpec &grid);
+
+/**
+ * Validate every workload, machine, and algorithm of @p grid.
+ * Returns false and fills @p error on the first invalid entry.
+ */
+bool validateGrid(const GridSpec &grid, std::string *error);
+
+/** Run the whole grid; fatal on invalid specs (validate first). */
+GridReport runGrid(const GridSpec &grid);
+
+} // namespace csched
+
+#endif // CSCHED_RUNNER_GRID_RUNNER_HH

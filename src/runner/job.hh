@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The unit of work of the experiment grid: one (workload, machine,
+ * algorithm) cell, and the structured record one such run produces.
+ *
+ * A JobSpec is fully self-describing -- strings plus an AlgorithmSpec
+ * -- so a job can be executed on any thread with no shared mutable
+ * state: the worker parses its own machine, builds its own graph, and
+ * constructs its own algorithm (whose RNG is seeded from the spec's
+ * PassParams, a pure function of the spec).  That is what makes grid
+ * results bit-identical regardless of thread count.
+ */
+
+#ifndef CSCHED_RUNNER_JOB_HH
+#define CSCHED_RUNNER_JOB_HH
+
+#include <string>
+#include <vector>
+
+#include "eval/experiment.hh"
+#include "sched/algorithm.hh"
+
+namespace csched {
+
+/** One cell of the (workload x machine x algorithm) grid. */
+struct JobSpec
+{
+    std::string workload;
+    std::string machine;  ///< validated machine spec, e.g. "raw4x4"
+    AlgorithmSpec algorithm;
+    /** Also run the one-cluster normalisation to compute speedup. */
+    bool computeSpeedup = true;
+};
+
+/** Structured result of one job (everything the paper's tables need). */
+struct JobResult
+{
+    // Identity (echoed from the spec so a result is self-describing).
+    std::string workload;
+    std::string machine;
+    std::string algorithm;      ///< AlgorithmSpec::text()
+    std::string algorithmName;  ///< display name, e.g. "Convergent"
+
+    // Deterministic measurements.
+    int instructions = 0;
+    int makespan = 0;
+    int criticalPathLength = 0;
+    /** One-cluster makespan; 0 when speedup was not requested. */
+    int singleClusterMakespan = 0;
+    /** makespan(1 cluster) / makespan; 0 when not requested. */
+    double speedup = 0.0;
+    /** Cluster per instruction (the spatial assignment). */
+    std::vector<int> assignment;
+
+    // Wall-clock observability (excluded from deterministic output).
+    double seconds = 0.0;  ///< scheduling time of the measured run
+    /** Per-pass convergence + timing; empty for one-shot baselines. */
+    std::vector<PassStep> trace;
+};
+
+/** Execute one job; fatal on illegal schedules (checker-verified). */
+JobResult runJob(const JobSpec &spec);
+
+} // namespace csched
+
+#endif // CSCHED_RUNNER_JOB_HH

@@ -1,0 +1,76 @@
+#include "runner/json_report.hh"
+
+#include <sstream>
+
+#include "support/json.hh"
+
+namespace csched {
+
+namespace {
+
+void
+writeJob(JsonWriter &w, const JobResult &job, const ReportOptions &options)
+{
+    w.beginObject();
+    w.key("workload").value(job.workload);
+    w.key("machine").value(job.machine);
+    w.key("algorithm").value(job.algorithm);
+    w.key("algorithmName").value(job.algorithmName);
+    w.key("instructions").value(job.instructions);
+    w.key("makespan").value(job.makespan);
+    w.key("criticalPathLength").value(job.criticalPathLength);
+    if (job.singleClusterMakespan > 0) {
+        w.key("singleClusterMakespan")
+            .value(job.singleClusterMakespan);
+        w.key("speedup").value(job.speedup);
+    }
+    if (options.assignments)
+        w.key("assignment").value(job.assignment);
+    if (options.timings)
+        w.key("seconds").value(job.seconds);
+    if (options.trace && !job.trace.empty()) {
+        w.key("trace").beginArray();
+        for (const auto &step : job.trace) {
+            w.beginObject();
+            w.key("pass").value(step.pass);
+            w.key("fractionChanged").value(step.fractionChanged);
+            w.key("temporalOnly").value(step.temporalOnly);
+            if (options.timings)
+                w.key("seconds").value(step.seconds);
+            w.endObject();
+        }
+        w.endArray();
+    }
+    w.endObject();
+}
+
+} // namespace
+
+void
+writeGridReport(std::ostream &out, const GridReport &report,
+                const ReportOptions &options)
+{
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("schema").value(kGridReportSchema);
+    if (options.timings) {
+        w.key("threads").value(report.threads);
+        w.key("wallSeconds").value(report.wallSeconds);
+    }
+    w.key("results").beginArray();
+    for (const auto &job : report.results)
+        writeJob(w, job, options);
+    w.endArray();
+    w.endObject();
+    out << "\n";
+}
+
+std::string
+gridReportToJson(const GridReport &report, const ReportOptions &options)
+{
+    std::ostringstream out;
+    writeGridReport(out, report, options);
+    return out.str();
+}
+
+} // namespace csched

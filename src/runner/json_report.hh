@@ -1,0 +1,50 @@
+/**
+ * @file
+ * JSON serialization of grid reports -- the machine-readable output
+ * every downstream perf/ablation analysis consumes.
+ *
+ * Two layers of fields:
+ *  - deterministic results (makespans, speedups, assignments,
+ *    convergence fractions): always written, bit-identical for any
+ *    thread count and across runs;
+ *  - wall-clock observability (per-run and per-pass seconds, pool
+ *    size): written unless options.timings is false, so reports meant
+ *    for byte-wise comparison use `--no-timings`.
+ */
+
+#ifndef CSCHED_RUNNER_JSON_REPORT_HH
+#define CSCHED_RUNNER_JSON_REPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "runner/grid_runner.hh"
+
+namespace csched {
+
+/** What goes into a serialized report. */
+struct ReportOptions
+{
+    /** Include wall-clock fields (seconds, per-pass seconds, pool). */
+    bool timings = true;
+    /** Include the per-instruction assignment vectors. */
+    bool assignments = true;
+    /** Include the per-pass convergence trace. */
+    bool trace = true;
+};
+
+/** Schema identifier written into every report. */
+inline const char *kGridReportSchema = "csched-grid-report-v1";
+
+/** Serialize @p report as JSON (trailing newline included). */
+void writeGridReport(std::ostream &out, const GridReport &report,
+                     const ReportOptions &options = ReportOptions());
+
+/** Convenience: serialize to a string (used by tests and the CLI). */
+std::string gridReportToJson(const GridReport &report,
+                             const ReportOptions &options =
+                                 ReportOptions());
+
+} // namespace csched
+
+#endif // CSCHED_RUNNER_JSON_REPORT_HH

@@ -4,17 +4,50 @@
  * scheduling), implemented by the convergent scheduler adapter and by
  * every baseline (UAS, PCC, the Rawcc partitioner, single-cluster).
  * The evaluation harness iterates algorithms through this interface.
+ *
+ * run() returns a ScheduleResult: the schedule itself plus whatever
+ * introspection the algorithm produces along the way (the convergent
+ * scheduler's per-pass convergence trace and wall-clock timings; empty
+ * for the one-shot baselines).  Callers that only want the schedule
+ * use the schedule() convenience wrapper.
  */
 
 #ifndef CSCHED_SCHED_ALGORITHM_HH
 #define CSCHED_SCHED_ALGORITHM_HH
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "ir/graph.hh"
 #include "sched/schedule.hh"
 
 namespace csched {
+
+/**
+ * Record of one pass application inside a pass-based algorithm: the
+ * spatial-convergence measurement behind the paper's Figures 7 and 9,
+ * plus the pass's wall-clock cost (the data behind Figure 10's
+ * compile-time decomposition).
+ */
+struct PassStep
+{
+    std::string pass;
+    /** Fraction of instructions whose preferred cluster changed. */
+    double fractionChanged = 0.0;
+    /** True when the pass only modifies temporal preferences. */
+    bool temporalOnly = false;
+    /** Wall-clock seconds spent inside the pass. */
+    double seconds = 0.0;
+};
+
+/** Everything one algorithm run produces. */
+struct ScheduleResult
+{
+    Schedule schedule;
+    /** Per-pass trace; empty for algorithms without a pass pipeline. */
+    std::vector<PassStep> trace;
+};
 
 /** A complete space-time scheduler bound to one machine. */
 class SchedulingAlgorithm
@@ -25,8 +58,14 @@ class SchedulingAlgorithm
     /** Display name used in result tables, e.g. "UAS". */
     virtual std::string name() const = 0;
 
-    /** Produce a legal schedule of @p graph. */
-    virtual Schedule run(const DependenceGraph &graph) const = 0;
+    /** Produce a legal schedule of @p graph plus its run trace. */
+    virtual ScheduleResult run(const DependenceGraph &graph) const = 0;
+
+    /** Convenience for callers that only want the schedule. */
+    Schedule schedule(const DependenceGraph &graph) const
+    {
+        return std::move(run(graph).schedule);
+    }
 };
 
 } // namespace csched

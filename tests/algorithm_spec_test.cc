@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the declarative algorithm/machine spec layer: the one
+ * place algorithm spellings are parsed (parseAlgorithmSpec) and the
+ * validated machine-spec parser that replaced silent defaulting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment.hh"
+#include "machine/clustered_vliw.hh"
+#include "machine/machine_spec.hh"
+#include "workloads/workloads.hh"
+
+namespace csched {
+namespace {
+
+TEST(AlgorithmSpec, ParsesKnownNames)
+{
+    for (const auto &name : knownAlgorithmNames()) {
+        std::string error;
+        const auto spec = parseAlgorithmSpec(name, &error);
+        ASSERT_TRUE(spec.has_value()) << name << ": " << error;
+        EXPECT_EQ(spec->name, name);
+        EXPECT_TRUE(spec->sequence.empty());
+        EXPECT_EQ(spec->text(), name);
+    }
+}
+
+TEST(AlgorithmSpec, IsCaseInsensitiveOnTheName)
+{
+    const auto spec = parseAlgorithmSpec("Convergent");
+    ASSERT_TRUE(spec.has_value());
+    EXPECT_EQ(spec->name, "convergent");
+}
+
+TEST(AlgorithmSpec, ParsesConvergentSequences)
+{
+    const auto spec =
+        parseAlgorithmSpec("convergent:INITTIME,PLACE,COMM");
+    ASSERT_TRUE(spec.has_value());
+    EXPECT_EQ(spec->name, "convergent");
+    EXPECT_EQ(spec->sequence, "INITTIME,PLACE,COMM");
+    EXPECT_EQ(spec->text(), "convergent:INITTIME,PLACE,COMM");
+}
+
+TEST(AlgorithmSpec, RejectsUnknownNames)
+{
+    std::string error;
+    EXPECT_FALSE(parseAlgorithmSpec("simulated-annealing", &error)
+                     .has_value());
+    EXPECT_NE(error.find("simulated-annealing"), std::string::npos);
+    EXPECT_FALSE(parseAlgorithmSpec("", &error).has_value());
+}
+
+TEST(AlgorithmSpec, RejectsUnknownPasses)
+{
+    std::string error;
+    EXPECT_FALSE(parseAlgorithmSpec("convergent:INITTIME,BOGUS", &error)
+                     .has_value());
+    EXPECT_NE(error.find("BOGUS"), std::string::npos);
+}
+
+TEST(AlgorithmSpec, RejectsSequencesOnBaselines)
+{
+    std::string error;
+    EXPECT_FALSE(parseAlgorithmSpec("uas:INITTIME", &error).has_value());
+    EXPECT_FALSE(parseAlgorithmSpec("pcc:PLACE", &error).has_value());
+}
+
+TEST(AlgorithmSpec, TextRoundTripsThroughTheParser)
+{
+    for (const char *text :
+         {"uas", "pcc", "rawcc", "bug", "single", "convergent",
+          "convergent:INITTIME,NOISE,PLACE,COMM,PLACEPROP"}) {
+        const auto spec = parseAlgorithmSpec(text);
+        ASSERT_TRUE(spec.has_value()) << text;
+        const auto again = parseAlgorithmSpec(spec->text());
+        ASSERT_TRUE(again.has_value()) << spec->text();
+        EXPECT_EQ(again->name, spec->name);
+        EXPECT_EQ(again->sequence, spec->sequence);
+    }
+}
+
+TEST(AlgorithmSpec, MakeAlgorithmHonoursTheSpec)
+{
+    const ClusteredVliwMachine vliw(4);
+    const auto graph = findWorkload("fir").build(4, 4);
+    for (const char *text : {"convergent", "uas", "pcc"}) {
+        const auto algorithm =
+            makeAlgorithm(*parseAlgorithmSpec(text), vliw);
+        ASSERT_NE(algorithm, nullptr) << text;
+        EXPECT_FALSE(algorithm->name().empty());
+        EXPECT_GE(algorithm->schedule(graph).makespan(),
+                  graph.criticalPathLength());
+    }
+}
+
+TEST(MachineSpec, ParsesValidSpecs)
+{
+    struct Case
+    {
+        const char *spec;
+        int clusters;
+    };
+    for (const auto &c : {Case{"vliw4", 4}, Case{"vliw1", 1},
+                          Case{"single", 1}, Case{"raw16", 16},
+                          Case{"raw4x4", 16}, Case{"raw2x8", 16},
+                          Case{"raw2", 2}}) {
+        std::string error;
+        const auto machine = parseMachineSpec(c.spec, &error);
+        ASSERT_NE(machine, nullptr) << c.spec << ": " << error;
+        EXPECT_EQ(machine->numClusters(), c.clusters) << c.spec;
+        EXPECT_TRUE(isValidMachineSpec(c.spec));
+    }
+}
+
+TEST(MachineSpec, RejectsMalformedSpecs)
+{
+    for (const char *spec :
+         {"", "vliw", "vliw0", "vliw-2", "vliwabc", "vliw4x4", "raw",
+          "raw0", "raw4x", "rawx4", "raw0x4", "raw4x0", "raw4xx4",
+          "mesh4", "singular", "raw9999999"}) {
+        std::string error;
+        EXPECT_EQ(parseMachineSpec(spec, &error), nullptr) << spec;
+        EXPECT_FALSE(error.empty()) << spec;
+        EXPECT_FALSE(isValidMachineSpec(spec)) << spec;
+    }
+}
+
+} // namespace
+} // namespace csched

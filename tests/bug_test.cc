@@ -30,7 +30,7 @@ TEST(Bug, LegalOnSuites)
     const BugScheduler bug(vliw);
     for (const char *name : {"vvmul", "fir", "cholesky"}) {
         const auto graph = findWorkload(name).build(4, 4);
-        const auto schedule = bug.run(graph);
+        const auto schedule = bug.schedule(graph);
         const auto check = checkSchedule(graph, vliw, schedule);
         EXPECT_TRUE(check.ok()) << name << ": " << check.message();
     }
@@ -130,17 +130,16 @@ TEST(BruteForce, SchedulersBoundedByExhaustiveOptimum)
                           .makespan());
         }
 
-        for (auto kind : {AlgorithmKind::Convergent, AlgorithmKind::Uas,
-                          AlgorithmKind::Pcc, AlgorithmKind::Rawcc}) {
-            const auto algorithm = makeAlgorithm(kind, vliw);
-            const int makespan = algorithm->run(graph).makespan();
+        for (const char *name : {"convergent", "uas", "pcc", "rawcc"}) {
+            const auto algorithm =
+                makeAlgorithm(*parseAlgorithmSpec(name), vliw);
+            const int makespan = algorithm->schedule(graph).makespan();
             EXPECT_GE(makespan, graph.criticalPathLength());
             // Never better than the exhaustive optimum...
             EXPECT_GE(makespan + 1e-9, best);
             // ...and within a small factor of it.
             EXPECT_LE(makespan, 2 * best + 4)
-                << "seed " << options.seed << " kind "
-                << static_cast<int>(kind);
+                << "seed " << options.seed << " algorithm " << name;
         }
     }
 }

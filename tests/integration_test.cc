@@ -28,7 +28,7 @@ struct Combo
 {
     std::string workload;
     bool raw = false;  // false = clustered VLIW
-    AlgorithmKind kind = AlgorithmKind::Convergent;
+    std::string algorithm = "convergent";
 };
 
 std::string
@@ -39,13 +39,7 @@ comboName(const ::testing::TestParamInfo<Combo> &info)
         if (ch == '-')
             ch = '_';
     name += info.param.raw ? "_raw" : "_vliw";
-    switch (info.param.kind) {
-      case AlgorithmKind::Convergent: name += "_conv"; break;
-      case AlgorithmKind::Uas: name += "_uas"; break;
-      case AlgorithmKind::Pcc: name += "_pcc"; break;
-      case AlgorithmKind::Rawcc: name += "_rawcc"; break;
-      case AlgorithmKind::Single: name += "_single"; break;
-    }
+    name += "_" + info.param.algorithm;
     return name;
 }
 
@@ -68,7 +62,9 @@ TEST_P(ScheduleEverything, LegalScheduleWithSaneMakespan)
     const auto &spec = findWorkload(GetParam().workload);
     const auto graph = spec.build(machine->numClusters(),
                                   machine->numClusters());
-    const auto algorithm = makeAlgorithm(GetParam().kind, *machine);
+    const auto algorithm =
+        makeAlgorithm(*parseAlgorithmSpec(GetParam().algorithm),
+                      *machine);
 
     // runAndCheck is fatal on checker violations.
     const auto result = runAndCheck(*algorithm, graph, *machine);
@@ -85,13 +81,11 @@ allCombos()
 {
     std::vector<Combo> out;
     for (const auto &name : vliwSuiteNames())
-        for (auto kind : {AlgorithmKind::Convergent, AlgorithmKind::Uas,
-                          AlgorithmKind::Pcc})
-            out.push_back({name, false, kind});
+        for (const char *algorithm : {"convergent", "uas", "pcc"})
+            out.push_back({name, false, algorithm});
     for (const auto &name : rawSuiteNames())
-        for (auto kind :
-             {AlgorithmKind::Convergent, AlgorithmKind::Rawcc})
-            out.push_back({name, true, kind});
+        for (const char *algorithm : {"convergent", "rawcc"})
+            out.push_back({name, true, algorithm});
     return out;
 }
 
@@ -113,9 +107,9 @@ TEST_P(RandomDagProperty, AllSchedulersLegalOnRandomGraphs)
     const auto graph = makeRandomDag(options);
 
     const ClusteredVliwMachine vliw(4);
-    for (auto kind : {AlgorithmKind::Convergent, AlgorithmKind::Uas,
-                      AlgorithmKind::Pcc, AlgorithmKind::Rawcc}) {
-        const auto algorithm = makeAlgorithm(kind, vliw);
+    for (const char *name : {"convergent", "uas", "pcc", "rawcc"}) {
+        const auto algorithm =
+            makeAlgorithm(*parseAlgorithmSpec(name), vliw);
         const auto result = runAndCheck(*algorithm, graph, vliw);
         EXPECT_GE(result.makespan, graph.criticalPathLength());
     }
@@ -134,7 +128,7 @@ TEST(Speedup, SingleClusterBaselineMatchesDirectRun)
     // machine is exactly 1 by construction.
     const auto single = vliw.makeSingleCluster();
     const auto algorithm =
-        makeAlgorithm(AlgorithmKind::Single, *single);
+        makeAlgorithm(*parseAlgorithmSpec("single"), *single);
     const auto graph = spec.build(4, 1);
     const auto result = runAndCheck(*algorithm, graph, *single);
     EXPECT_EQ(result.makespan, baseline);
@@ -145,7 +139,7 @@ TEST(Speedup, MultiClusterBeatsOneClusterOnParallelKernel)
     const ClusteredVliwMachine vliw(4);
     const auto &spec = findWorkload("vvmul");
     const auto algorithm =
-        makeAlgorithm(AlgorithmKind::Convergent, vliw);
+        makeAlgorithm(*parseAlgorithmSpec("convergent"), vliw);
     EXPECT_GT(speedupOf(spec, vliw, *algorithm), 1.5);
 }
 
@@ -154,7 +148,7 @@ TEST(Speedup, SerialKernelGainsLittle)
     const auto raw = RawMachine::withTiles(16);
     const auto &spec = findWorkload("sha");
     const auto algorithm =
-        makeAlgorithm(AlgorithmKind::Convergent, raw);
+        makeAlgorithm(*parseAlgorithmSpec("convergent"), raw);
     const double speedup = speedupOf(spec, raw, *algorithm);
     EXPECT_GT(speedup, 0.5);
     EXPECT_LT(speedup, 4.0);
@@ -165,7 +159,7 @@ TEST(ConvergenceTrace, SpatialStepsExcludeTemporalPasses)
     const ClusteredVliwMachine vliw(4);
     const ConvergentAlgorithm conv(vliw);
     const auto graph = findWorkload("mxm").build(4, 4);
-    const auto result = conv.runFull(graph);
+    const auto result = conv.run(graph);
     const auto steps = spatialSteps(result.trace);
     EXPECT_LT(steps.size(), result.trace.size());
     for (const auto &step : steps)
@@ -183,7 +177,7 @@ TEST(ConvergenceTrace, LatePassesQuiesce)
     const auto raw = RawMachine::withTiles(16);
     const ConvergentAlgorithm conv(raw);
     const auto graph = findWorkload("mxm").build(16, 16);
-    const auto steps = spatialSteps(conv.runFull(graph).trace);
+    const auto steps = spatialSteps(conv.run(graph).trace);
     ASSERT_GE(steps.size(), 3u);
     const double first_half = std::max(steps[0].fractionChanged,
                                        steps[1].fractionChanged);
@@ -194,7 +188,7 @@ TEST(ConvergenceTrace, LatePassesQuiesce)
 TEST(Experiment, RunAndCheckReportsTimings)
 {
     const ClusteredVliwMachine vliw(4);
-    const auto algorithm = makeAlgorithm(AlgorithmKind::Uas, vliw);
+    const auto algorithm = makeAlgorithm(*parseAlgorithmSpec("uas"), vliw);
     const auto graph = findWorkload("fir").build(4, 4);
     const auto result = runAndCheck(*algorithm, graph, vliw);
     EXPECT_EQ(result.algorithm, "UAS");
@@ -212,8 +206,9 @@ TEST(Experiment, ConvergentBeatsUasOnVliwSuite)
     double uas_product = 1.0;
     for (const auto &name : vliwSuiteNames()) {
         const auto &spec = findWorkload(name);
-        const auto conv = makeAlgorithm(AlgorithmKind::Convergent, vliw);
-        const auto uas = makeAlgorithm(AlgorithmKind::Uas, vliw);
+        const auto conv =
+            makeAlgorithm(*parseAlgorithmSpec("convergent"), vliw);
+        const auto uas = makeAlgorithm(*parseAlgorithmSpec("uas"), vliw);
         conv_product *= speedupOf(spec, vliw, *conv);
         uas_product *= speedupOf(spec, vliw, *uas);
     }

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the JSON support layer: string escaping, the streaming
+ * writer's exact output format, and writer -> parser round trips
+ * (the property the grid-report serialization relies on).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/json.hh"
+
+namespace csched {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough)
+{
+    EXPECT_EQ(escapeJson("convergent"), "convergent");
+    EXPECT_EQ(escapeJson("raw4x4"), "raw4x4");
+    EXPECT_EQ(escapeJson(""), "");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslashes)
+{
+    EXPECT_EQ(escapeJson("a\"b"), "a\\\"b");
+    EXPECT_EQ(escapeJson("a\\b"), "a\\\\b");
+    EXPECT_EQ(escapeJson("\"\\\""), "\\\"\\\\\\\"");
+}
+
+TEST(JsonEscape, EscapesControlCharacters)
+{
+    EXPECT_EQ(escapeJson("a\nb"), "a\\nb");
+    EXPECT_EQ(escapeJson("a\tb"), "a\\tb");
+    EXPECT_EQ(escapeJson("a\rb"), "a\\rb");
+    EXPECT_EQ(escapeJson(std::string(1, '\0')), "\\u0000");
+    EXPECT_EQ(escapeJson("\x01\x1f"), "\\u0001\\u001f");
+}
+
+TEST(JsonEscape, LeavesUtf8BytesAlone)
+{
+    // Multi-byte UTF-8 is valid inside JSON strings unescaped.
+    EXPECT_EQ(escapeJson("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(JsonWriter, WritesIndentedObject)
+{
+    std::ostringstream out;
+    {
+        JsonWriter w(out);
+        w.beginObject();
+        w.key("name").value("fir");
+        w.key("makespan").value(42);
+        w.key("ok").value(true);
+        w.endObject();
+    }
+    EXPECT_EQ(out.str(), "{\n"
+                         "  \"name\": \"fir\",\n"
+                         "  \"makespan\": 42,\n"
+                         "  \"ok\": true\n"
+                         "}");
+}
+
+TEST(JsonWriter, WritesCompactNumericArrays)
+{
+    std::ostringstream out;
+    {
+        JsonWriter w(out);
+        w.beginObject();
+        w.key("assignment").value(std::vector<int>{0, 1, 1, 2});
+        w.endObject();
+    }
+    EXPECT_EQ(out.str(), "{\n"
+                         "  \"assignment\": [0, 1, 1, 2]\n"
+                         "}");
+}
+
+TEST(JsonWriter, FormatsDoublesShortestRoundTrip)
+{
+    std::ostringstream out;
+    {
+        JsonWriter w(out);
+        w.beginArray();
+        w.value(2.5);
+        w.value(1.0 / 3.0);
+        w.value(-0.0);
+        w.endArray();
+    }
+    const auto parsed = parseJson(out.str());
+    ASSERT_TRUE(parsed.has_value());
+    ASSERT_EQ(parsed->array.size(), 3u);
+    EXPECT_EQ(parsed->array[0].asDouble(), 2.5);
+    EXPECT_EQ(parsed->array[1].asDouble(), 1.0 / 3.0);
+    EXPECT_EQ(parsed->array[2].asDouble(), -0.0);
+}
+
+TEST(JsonWriter, RoundTripsEscapedStrings)
+{
+    std::ostringstream out;
+    {
+        JsonWriter w(out);
+        w.beginObject();
+        w.key("text").value("line1\nline2\t\"quoted\" \\slash\\");
+        w.endObject();
+    }
+    const auto parsed = parseJson(out.str());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->at("text").string,
+              "line1\nline2\t\"quoted\" \\slash\\");
+}
+
+TEST(JsonParser, ParsesScalars)
+{
+    EXPECT_EQ(parseJson("null")->kind, JsonValue::Kind::Null);
+    EXPECT_EQ(parseJson("true")->boolean, true);
+    EXPECT_EQ(parseJson("false")->boolean, false);
+    EXPECT_EQ(parseJson("42")->asInt(), 42);
+    EXPECT_EQ(parseJson("-17")->asInt(), -17);
+    EXPECT_EQ(parseJson("2.5e1")->asDouble(), 25.0);
+    EXPECT_EQ(parseJson("\"hi\"")->string, "hi");
+}
+
+TEST(JsonParser, ParsesUnicodeEscapes)
+{
+    const auto parsed = parseJson("\"\\u0041\\u00e9\"");
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->string, "A\xc3\xa9");
+}
+
+TEST(JsonParser, ParsesNestedStructures)
+{
+    const auto parsed = parseJson(
+        "{\"results\": [{\"makespan\": 18, \"assignment\": [0, 1]},"
+        " {\"makespan\": 20}], \"threads\": 4}");
+    ASSERT_TRUE(parsed.has_value());
+    const auto &results = parsed->at("results");
+    ASSERT_EQ(results.array.size(), 2u);
+    EXPECT_EQ(results.array[0].at("makespan").asInt(), 18);
+    EXPECT_EQ(results.array[0].at("assignment").array.size(), 2u);
+    EXPECT_EQ(results.array[1].at("makespan").asInt(), 20);
+    EXPECT_EQ(parsed->at("threads").asInt(), 4);
+    EXPECT_EQ(parsed->find("missing"), nullptr);
+}
+
+TEST(JsonParser, RejectsMalformedInput)
+{
+    std::string error;
+    EXPECT_FALSE(parseJson("", &error).has_value());
+    EXPECT_FALSE(parseJson("{", &error).has_value());
+    EXPECT_FALSE(parseJson("[1, 2,]", &error).has_value());
+    EXPECT_FALSE(parseJson("{\"a\" 1}", &error).has_value());
+    EXPECT_FALSE(parseJson("\"unterminated", &error).has_value());
+    EXPECT_FALSE(parseJson("{} trailing", &error).has_value());
+    EXPECT_FALSE(error.empty());
+}
+
+} // namespace
+} // namespace csched

@@ -26,9 +26,9 @@ TEST_P(TileSweep, RawSchedulersLegalAtEverySize)
     const int tiles = GetParam();
     const auto raw = RawMachine::withTiles(tiles);
     const auto graph = findWorkload("jacobi").build(tiles, tiles);
-    for (auto kind : {AlgorithmKind::Convergent, AlgorithmKind::Rawcc,
-                      AlgorithmKind::Uas}) {
-        const auto algorithm = makeAlgorithm(kind, raw);
+    for (const char *name : {"convergent", "rawcc", "uas"}) {
+        const auto algorithm =
+            makeAlgorithm(*parseAlgorithmSpec(name), raw);
         const auto result = runAndCheck(*algorithm, graph, raw);
         EXPECT_GE(result.makespan, graph.criticalPathLength());
     }
@@ -39,9 +39,9 @@ TEST_P(TileSweep, VliwSchedulersLegalAtEverySize)
     const int clusters = GetParam();
     const ClusteredVliwMachine vliw(clusters);
     const auto graph = findWorkload("mxm").build(clusters, clusters);
-    for (auto kind : {AlgorithmKind::Convergent, AlgorithmKind::Uas,
-                      AlgorithmKind::Pcc}) {
-        const auto algorithm = makeAlgorithm(kind, vliw);
+    for (const char *name : {"convergent", "uas", "pcc"}) {
+        const auto algorithm =
+            makeAlgorithm(*parseAlgorithmSpec(name), vliw);
         const auto result = runAndCheck(*algorithm, graph, vliw);
         EXPECT_GE(result.makespan, graph.criticalPathLength());
     }
@@ -58,9 +58,9 @@ TEST(MachineSweep, ParallelKernelSpeedupGrowsWithTiles)
     const auto small = RawMachine::withTiles(2);
     const auto large = RawMachine::withTiles(16);
     const auto algo_small =
-        makeAlgorithm(AlgorithmKind::Convergent, small);
+        makeAlgorithm(*parseAlgorithmSpec("convergent"), small);
     const auto algo_large =
-        makeAlgorithm(AlgorithmKind::Convergent, large);
+        makeAlgorithm(*parseAlgorithmSpec("convergent"), large);
     const double s2 = speedupOf(spec, small, *algo_small);
     const double s16 = speedupOf(spec, large, *algo_large);
     EXPECT_GT(s16, 2.0 * s2);
@@ -72,7 +72,7 @@ TEST(MachineSweep, SerialKernelSpeedupSaturates)
     const auto &spec = findWorkload("sha");
     const auto large = RawMachine::withTiles(16);
     const auto algorithm =
-        makeAlgorithm(AlgorithmKind::Convergent, large);
+        makeAlgorithm(*parseAlgorithmSpec("convergent"), large);
     EXPECT_LT(speedupOf(spec, large, *algorithm), 3.0);
 }
 
@@ -83,12 +83,11 @@ TEST(MachineSweep, OneClusterSpeedupIsApproximatelyOne)
     // is ~1.
     const ClusteredVliwMachine vliw(1);
     const auto &spec = findWorkload("fir");
-    for (auto kind : {AlgorithmKind::Convergent, AlgorithmKind::Uas,
-                      AlgorithmKind::Pcc}) {
-        const auto algorithm = makeAlgorithm(kind, vliw);
+    for (const char *name : {"convergent", "uas", "pcc"}) {
+        const auto algorithm =
+            makeAlgorithm(*parseAlgorithmSpec(name), vliw);
         const double speedup = speedupOf(spec, vliw, *algorithm);
-        EXPECT_NEAR(speedup, 1.0, 0.15)
-            << "algorithm kind " << static_cast<int>(kind);
+        EXPECT_NEAR(speedup, 1.0, 0.15) << "algorithm " << name;
     }
 }
 
@@ -97,7 +96,7 @@ TEST(MachineSweep, NonSquareMeshesWork)
     const RawMachine raw(2, 8);
     const auto graph = findWorkload("vvmul").build(16, 16);
     const auto algorithm =
-        makeAlgorithm(AlgorithmKind::Convergent, raw);
+        makeAlgorithm(*parseAlgorithmSpec("convergent"), raw);
     const auto result = runAndCheck(*algorithm, graph, raw);
     EXPECT_GT(result.makespan, 0);
 }
@@ -106,7 +105,8 @@ TEST(MachineSweep, SingleRowMeshWorks)
 {
     const RawMachine raw(1, 4);
     const auto graph = findWorkload("jacobi").build(4, 4);
-    const auto algorithm = makeAlgorithm(AlgorithmKind::Rawcc, raw);
+    const auto algorithm =
+        makeAlgorithm(*parseAlgorithmSpec("rawcc"), raw);
     const auto result = runAndCheck(*algorithm, graph, raw);
     EXPECT_GT(result.makespan, 0);
 }

@@ -122,7 +122,7 @@ TEST(Pcc, EndToEndLegalAndPreplacementSafe)
     const PccScheduler pcc(vliw);
     for (const char *name : {"vvmul", "tomcatv", "cholesky"}) {
         const auto graph = findWorkload(name).build(4, 4);
-        const auto schedule = pcc.run(graph);
+        const auto schedule = pcc.schedule(graph);
         const auto check = checkSchedule(graph, vliw, schedule);
         EXPECT_TRUE(check.ok()) << name << ": " << check.message();
         for (InstrId id = 0; id < graph.numInstructions(); ++id) {
@@ -143,7 +143,7 @@ TEST(Pcc, DescentDoesNotRegressEstimate)
     const ClusteredVliwMachine vliw(4);
     const PccScheduler pcc(vliw);
     const auto graph = findWorkload("vvmul").build(4, 4);
-    const auto schedule = pcc.run(graph);
+    const auto schedule = pcc.schedule(graph);
     std::vector<int> naive(graph.numInstructions(), 0);
     for (InstrId id = 0; id < graph.numInstructions(); ++id)
         if (graph.instr(id).preplaced())

@@ -137,7 +137,7 @@ TEST(RawccPartitioner, LegalSchedulesAcrossTileCounts)
         const auto raw = RawMachine::withTiles(tiles);
         const RawccPartitioner rawcc(raw);
         const auto graph = findWorkload("mxm").build(tiles, tiles);
-        const auto schedule = rawcc.run(graph);
+        const auto schedule = rawcc.schedule(graph);
         const auto check = checkSchedule(graph, raw, schedule);
         EXPECT_TRUE(check.ok()) << tiles << " tiles: "
                                 << check.message();
@@ -149,7 +149,7 @@ TEST(RawccPartitioner, SpeedsUpParallelKernel)
     const auto raw = RawMachine::withTiles(4);
     const RawccPartitioner rawcc(raw);
     const auto graph = findWorkload("vvmul").build(4, 4);
-    const auto schedule = rawcc.run(graph);
+    const auto schedule = rawcc.schedule(graph);
     // All four tiles carry work.
     for (int tile = 0; tile < 4; ++tile)
         EXPECT_GT(schedule.clusterLoad(tile), 0);

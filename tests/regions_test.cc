@@ -39,7 +39,7 @@ AlgorithmFactory
 convergentFactory()
 {
     return [](const MachineModel &machine) {
-        return makeAlgorithm(AlgorithmKind::Convergent, machine);
+        return makeAlgorithm(*parseAlgorithmSpec("convergent"), machine);
     };
 }
 
@@ -162,7 +162,7 @@ TEST(RegionScheduler, WorksWithBaselineAlgorithms)
     auto program = twoUnitProgram();
     const ClusteredVliwMachine vliw(4);
     const auto factory = [](const MachineModel &machine) {
-        return makeAlgorithm(AlgorithmKind::Uas, machine);
+        return makeAlgorithm(*parseAlgorithmSpec("uas"), machine);
     };
     const auto result = scheduleProgram(
         program, vliw, factory, LiveValuePolicy::FirstCluster);

@@ -23,7 +23,7 @@ TEST(Uas, LegalOnVliwKernels)
     const UasScheduler uas(vliw);
     for (const char *name : {"vvmul", "fir", "yuv"}) {
         const auto graph = findWorkload(name).build(4, 4);
-        const auto schedule = uas.run(graph);
+        const auto schedule = uas.schedule(graph);
         const auto check = checkSchedule(graph, vliw, schedule);
         EXPECT_TRUE(check.ok()) << name << ": " << check.message();
     }
@@ -34,7 +34,7 @@ TEST(Uas, LegalOnRawKernels)
     const auto raw = RawMachine::withTiles(4);
     const UasScheduler uas(raw);
     const auto graph = findWorkload("jacobi").build(4, 4);
-    const auto schedule = uas.run(graph);
+    const auto schedule = uas.schedule(graph);
     const auto check = checkSchedule(graph, raw, schedule);
     EXPECT_TRUE(check.ok()) << check.message();
 }
@@ -44,7 +44,7 @@ TEST(Uas, RespectsPreplacement)
     const ClusteredVliwMachine vliw(4);
     const UasScheduler uas(vliw);
     const auto graph = findWorkload("mxm").build(4, 4);
-    const auto schedule = uas.run(graph);
+    const auto schedule = uas.schedule(graph);
     for (InstrId id = 0; id < graph.numInstructions(); ++id) {
         const auto &instr = graph.instr(id);
         if (instr.preplaced()) {
@@ -62,7 +62,7 @@ TEST(Uas, SerialChainStaysLocal)
     const auto graph = builder.build();
     const ClusteredVliwMachine vliw(4);
     const UasScheduler uas(vliw);
-    const auto schedule = uas.run(graph);
+    const auto schedule = uas.schedule(graph);
     // A pure chain gains nothing from spreading: no communication.
     EXPECT_TRUE(schedule.comms().empty());
     EXPECT_EQ(schedule.makespan(), 6);
@@ -73,7 +73,7 @@ TEST(Uas, CopiesAreForwardInTime)
     const ClusteredVliwMachine vliw(4);
     const UasScheduler uas(vliw);
     const auto graph = findWorkload("fir").build(4, 4);
-    const auto schedule = uas.run(graph);
+    const auto schedule = uas.schedule(graph);
     for (const auto &event : schedule.comms()) {
         // A UAS copy departs no earlier than its producer's finish and
         // arrives before (or when) some consumer needs it; the checker
@@ -97,7 +97,7 @@ TEST(Uas, ExploitsParallelismAcrossClusters)
     const auto graph = builder.build();
     const ClusteredVliwMachine vliw(4);
     const UasScheduler uas(vliw);
-    const auto schedule = uas.run(graph);
+    const auto schedule = uas.schedule(graph);
     EXPECT_LE(schedule.makespan(), 6);  // 2 rounds of 4, latency 4
     int used = 0;
     for (int c = 0; c < 4; ++c)

@@ -21,8 +21,8 @@ TEST(SchedulePrinter, GanttMentionsEveryClusterAndMakespan)
     const ClusteredVliwMachine vliw(2);
     const auto graph = findWorkload("vvmul").build(2, 2);
     const auto algorithm =
-        makeAlgorithm(AlgorithmKind::Convergent, vliw);
-    const auto schedule = algorithm->run(graph);
+        makeAlgorithm(*parseAlgorithmSpec("convergent"), vliw);
+    const auto schedule = algorithm->schedule(graph);
 
     std::ostringstream os;
     printGantt(os, graph, vliw, schedule);
@@ -43,8 +43,8 @@ TEST(SchedulePrinter, GanttHonoursCycleCap)
     const ClusteredVliwMachine vliw(1);
     const auto graph = findWorkload("vvmul").build(1, 1);
     const auto algorithm =
-        makeAlgorithm(AlgorithmKind::Convergent, vliw);
-    const auto schedule = algorithm->run(graph);
+        makeAlgorithm(*parseAlgorithmSpec("convergent"), vliw);
+    const auto schedule = algorithm->schedule(graph);
 
     std::ostringstream full;
     printGantt(full, graph, vliw, schedule);
@@ -57,8 +57,8 @@ TEST(SchedulePrinter, PlacementsListEveryInstruction)
 {
     const ClusteredVliwMachine vliw(2);
     const auto graph = findWorkload("fir").build(2, 2);
-    const auto algorithm = makeAlgorithm(AlgorithmKind::Uas, vliw);
-    const auto schedule = algorithm->run(graph);
+    const auto algorithm = makeAlgorithm(*parseAlgorithmSpec("uas"), vliw);
+    const auto schedule = algorithm->schedule(graph);
 
     std::ostringstream os;
     printPlacements(os, graph, schedule);
@@ -96,8 +96,8 @@ TEST(DotExport, ColoursByAssignmentAndMarksPreplaced)
 {
     const auto graph = findWorkload("vvmul").build(2, 2);
     const ClusteredVliwMachine vliw(2);
-    const auto algorithm = makeAlgorithm(AlgorithmKind::Uas, vliw);
-    const auto schedule = algorithm->run(graph);
+    const auto algorithm = makeAlgorithm(*parseAlgorithmSpec("uas"), vliw);
+    const auto schedule = algorithm->schedule(graph);
 
     std::ostringstream os;
     exportDot(os, graph, schedule.assignment());

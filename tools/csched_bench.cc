@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Batch experiment driver: run a (workload x machine x algorithm)
+ * grid on a thread pool and report a table and/or structured JSON.
+ * This subsumes the hand-rolled serial loops of the per-figure bench
+ * binaries; e.g. Figure 8 is
+ *
+ *   csched_bench --suite vliw --machines vliw4 \
+ *                --algorithms pcc,uas,convergent
+ *
+ * and Table 2 is
+ *
+ *   csched_bench --suite raw --machines raw2,raw4,raw8,raw16 \
+ *                --algorithms rawcc,convergent
+ *
+ *   csched_bench [options]
+ *     --workloads A,B,...   explicit workload list
+ *     --suite raw|vliw|all  named workload suite (default: all)
+ *     --machines S,S,...    machine specs (default vliw4)
+ *     --algorithms A,A,...  algorithm specs (default convergent);
+ *                           "convergent:PASS,PASS" selects a custom
+ *                           pass sequence
+ *     --jobs N              worker threads; 0 = hardware concurrency
+ *                           (default 0).  Results are bit-identical
+ *                           for every N.
+ *     --json FILE           write the structured report ("-" = stdout)
+ *     --no-timings          omit wall-clock fields from the JSON so
+ *                           reports are byte-identical across runs
+ *     --no-assignments      omit per-instruction assignment vectors
+ *     --no-speedup          skip the one-cluster normalisation runs
+ *     --quiet               suppress the human-readable table
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "runner/grid_runner.hh"
+#include "runner/json_report.hh"
+#include "support/str.hh"
+#include "support/table.hh"
+#include "workloads/workloads.hh"
+
+using namespace csched;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0, const std::string &why = "")
+{
+    if (!why.empty())
+        std::cerr << argv0 << ": " << why << "\n";
+    std::cerr << "usage: " << argv0
+              << " [--workloads A,B|--suite raw|vliw|all]"
+              << " [--machines S,S]\n"
+              << "  [--algorithms A,A] [--jobs N] [--json FILE]"
+              << " [--no-timings]\n"
+              << "  [--no-assignments] [--no-speedup] [--quiet]\n";
+    std::exit(2);
+}
+
+std::vector<std::string>
+suiteWorkloads(const std::string &suite)
+{
+    if (suite == "raw")
+        return rawSuiteNames();
+    if (suite == "vliw")
+        return vliwSuiteNames();
+    if (suite == "all") {
+        std::vector<std::string> names;
+        for (const auto &spec : allWorkloads())
+            names.push_back(spec.name);
+        return names;
+    }
+    return {};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    GridSpec grid;
+    grid.machines = {"vliw4"};
+    grid.jobs = 0;
+    std::string suite = "all";
+    std::string workloads_arg;
+    std::string algorithms_arg = "convergent";
+    std::string json_file;
+    ReportOptions report_options;
+    bool quiet = false;
+
+    for (int k = 1; k < argc; ++k) {
+        const std::string arg = argv[k];
+        auto next = [&]() -> std::string {
+            if (k + 1 >= argc)
+                usage(argv[0], arg + " needs a value");
+            return argv[++k];
+        };
+        if (arg == "--workloads") {
+            workloads_arg = next();
+        } else if (arg == "--suite") {
+            suite = next();
+        } else if (arg == "--machines" || arg == "--machine") {
+            grid.machines = split(next(), ',');
+        } else if (arg == "--algorithms" || arg == "--algorithm") {
+            algorithms_arg = next();
+        } else if (arg == "--jobs") {
+            const std::string text = next();
+            try {
+                grid.jobs = std::stoi(text);
+            } catch (...) {
+                usage(argv[0], "--jobs expects an integer, got '" +
+                                   text + "'");
+            }
+            if (grid.jobs < 0)
+                usage(argv[0], "--jobs must be >= 0");
+        } else if (arg == "--json") {
+            json_file = next();
+        } else if (arg == "--no-timings") {
+            report_options.timings = false;
+        } else if (arg == "--no-assignments") {
+            report_options.assignments = false;
+        } else if (arg == "--no-speedup") {
+            grid.computeSpeedup = false;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            usage(argv[0], "unknown option '" + arg + "'");
+        }
+    }
+
+    grid.workloads = workloads_arg.empty()
+                         ? suiteWorkloads(suite)
+                         : split(workloads_arg, ',');
+    if (grid.workloads.empty())
+        usage(argv[0], "unknown suite '" + suite +
+                           "' (expected raw|vliw|all)");
+
+    // Algorithm specs may contain colons+commas ("convergent:A,B"),
+    // so split on commas only outside a sequence: a part that names a
+    // known algorithm starts a new spec, otherwise it continues the
+    // previous spec's pass list.
+    for (const auto &part : split(algorithms_arg, ',')) {
+        std::string error;
+        const auto parsed = parseAlgorithmSpec(part, &error);
+        if (parsed.has_value()) {
+            grid.algorithms.push_back(*parsed);
+        } else if (!grid.algorithms.empty() &&
+                   !grid.algorithms.back().sequence.empty()) {
+            grid.algorithms.back().sequence += "," + trim(part);
+        } else {
+            usage(argv[0], error);
+        }
+    }
+    // Re-validate the stitched-together sequences.
+    for (auto &spec : grid.algorithms) {
+        std::string error;
+        const auto parsed = parseAlgorithmSpec(spec.text(), &error);
+        if (!parsed.has_value())
+            usage(argv[0], error);
+        spec = *parsed;
+    }
+
+    std::string error;
+    if (!validateGrid(grid, &error))
+        usage(argv[0], error);
+
+    const GridReport report = runGrid(grid);
+
+    if (!quiet) {
+        TablePrinter table({"workload", "machine", "algorithm",
+                            "instrs", "makespan", "speedup", "ms"});
+        for (const auto &job : report.results)
+            table.addRow(
+                {job.workload, job.machine, job.algorithm,
+                 std::to_string(job.instructions),
+                 std::to_string(job.makespan),
+                 grid.computeSpeedup ? formatDouble(job.speedup, 2)
+                                     : "-",
+                 formatDouble(job.seconds * 1e3, 2)});
+        table.print(std::cout);
+        std::cout << "\n" << report.results.size() << " jobs on "
+                  << report.threads << " thread"
+                  << (report.threads == 1 ? "" : "s") << " in "
+                  << formatDouble(report.wallSeconds, 2) << " s\n";
+    }
+
+    if (!json_file.empty()) {
+        if (json_file == "-") {
+            writeGridReport(std::cout, report, report_options);
+        } else {
+            std::ofstream out(json_file);
+            if (!out) {
+                std::cerr << argv[0] << ": cannot write '" << json_file
+                          << "'\n";
+                return 1;
+            }
+            writeGridReport(out, report, report_options);
+            if (!quiet)
+                std::cout << "wrote " << json_file << "\n";
+        }
+    }
+    return 0;
+}

@@ -6,11 +6,18 @@
  *   csched_cli [options]
  *     --workload NAME     benchmark to schedule (default tomcatv;
  *                         "list" prints the registry)
- *     --machine SPEC      vliwN | rawRxC | rawN (default vliw4)
- *     --algorithm NAME    convergent | uas | pcc | rawcc (default
+ *     --machine SPEC      vliwN | rawN | rawRxC | single (default
+ *                         vliw4); malformed specs are rejected
+ *     --algorithm SPEC    convergent | uas | pcc | rawcc | single |
+ *                         bug, optionally with a pass sequence as in
+ *                         "convergent:INITTIME,PLACE,COMM" (default
  *                         convergent)
- *     --sequence PASSES   custom convergent pass list, e.g.
- *                         "INITTIME,PLACE,PLACEPROP,COMM,EMPHCP"
+ *     --sequence PASSES   custom convergent pass list (equivalent to
+ *                         the --algorithm suffix form)
+ *     --json FILE         write the structured run report ("-" =
+ *                         stdout)
+ *     --jobs N            worker threads for the --json report path
+ *                         (0 = hardware concurrency)
  *     --gantt             print the per-FU timeline
  *     --placements        print one line per instruction
  *     --trace             print the convergence trace
@@ -24,12 +31,12 @@
 #include <memory>
 #include <string>
 
-#include "convergent/sequences.hh"
 #include "eval/experiment.hh"
 #include "eval/speedup.hh"
 #include "ir/dot_export.hh"
-#include "machine/clustered_vliw.hh"
-#include "machine/raw_machine.hh"
+#include "machine/machine_spec.hh"
+#include "runner/grid_runner.hh"
+#include "runner/json_report.hh"
 #include "sched/register_pressure.hh"
 #include "sched/schedule_printer.hh"
 #include "support/str.hh"
@@ -40,33 +47,16 @@ using namespace csched;
 namespace {
 
 [[noreturn]] void
-usage(const char *argv0)
+usage(const char *argv0, const std::string &why = "")
 {
+    if (!why.empty())
+        std::cerr << argv0 << ": " << why << "\n";
     std::cerr << "usage: " << argv0
-              << " [--workload NAME] [--machine vliwN|rawRxC]"
-              << " [--algorithm convergent|uas|pcc|rawcc]\n"
-              << "  [--sequence PASSES] [--gantt] [--placements]"
-              << " [--trace] [--dot FILE] [--pressure] [--speedup]\n";
-    std::exit(2);
-}
-
-std::unique_ptr<MachineModel>
-parseMachine(const std::string &spec)
-{
-    if (spec.rfind("vliw", 0) == 0)
-        return std::make_unique<ClusteredVliwMachine>(
-            std::stoi(spec.substr(4)));
-    if (spec.rfind("raw", 0) == 0) {
-        const std::string dims = spec.substr(3);
-        const auto x = dims.find('x');
-        if (x == std::string::npos) {
-            return std::make_unique<RawMachine>(
-                RawMachine::withTiles(std::stoi(dims)));
-        }
-        return std::make_unique<RawMachine>(
-            std::stoi(dims.substr(0, x)), std::stoi(dims.substr(x + 1)));
-    }
-    std::cerr << "unknown machine spec '" << spec << "'\n";
+              << " [--workload NAME] [--machine vliwN|rawN|rawRxC]"
+              << " [--algorithm SPEC]\n"
+              << "  [--sequence PASSES] [--json FILE] [--jobs N]"
+              << " [--gantt] [--placements]\n"
+              << "  [--trace] [--dot FILE] [--pressure] [--speedup]\n";
     std::exit(2);
 }
 
@@ -77,9 +67,11 @@ main(int argc, char **argv)
 {
     std::string workload = "tomcatv";
     std::string machine_spec = "vliw4";
-    std::string algorithm_name = "convergent";
+    std::string algorithm_arg = "convergent";
     std::string sequence;
     std::string dot_file;
+    std::string json_file;
+    int jobs = 1;
     bool want_gantt = false;
     bool want_placements = false;
     bool want_trace = false;
@@ -90,7 +82,7 @@ main(int argc, char **argv)
         const std::string arg = argv[k];
         auto next = [&]() -> std::string {
             if (k + 1 >= argc)
-                usage(argv[0]);
+                usage(argv[0], arg + " needs a value");
             return argv[++k];
         };
         if (arg == "--workload") {
@@ -98,9 +90,21 @@ main(int argc, char **argv)
         } else if (arg == "--machine") {
             machine_spec = next();
         } else if (arg == "--algorithm") {
-            algorithm_name = next();
+            algorithm_arg = next();
         } else if (arg == "--sequence") {
             sequence = next();
+        } else if (arg == "--json") {
+            json_file = next();
+        } else if (arg == "--jobs") {
+            const std::string text = next();
+            try {
+                jobs = std::stoi(text);
+            } catch (...) {
+                usage(argv[0], "--jobs expects an integer, got '" +
+                                   text + "'");
+            }
+            if (jobs < 0)
+                usage(argv[0], "--jobs must be >= 0");
         } else if (arg == "--dot") {
             dot_file = next();
         } else if (arg == "--gantt") {
@@ -114,7 +118,7 @@ main(int argc, char **argv)
         } else if (arg == "--speedup") {
             want_speedup = true;
         } else {
-            usage(argv[0]);
+            usage(argv[0], "unknown option '" + arg + "'");
         }
     }
 
@@ -125,40 +129,40 @@ main(int argc, char **argv)
         return 0;
     }
 
-    const auto machine = parseMachine(machine_spec);
+    std::string error;
+    const auto machine = parseMachineSpec(machine_spec, &error);
+    if (machine == nullptr)
+        usage(argv[0], error);
+
+    auto parsed = parseAlgorithmSpec(algorithm_arg, &error);
+    if (!parsed.has_value())
+        usage(argv[0], error);
+    AlgorithmSpec algorithm_spec = *parsed;
+    if (!sequence.empty()) {
+        if (!algorithm_spec.sequence.empty())
+            usage(argv[0], "--sequence conflicts with the --algorithm "
+                           "pass suffix");
+        algorithm_spec.sequence = sequence;
+        parsed = parseAlgorithmSpec(algorithm_spec.text(), &error);
+        if (!parsed.has_value())
+            usage(argv[0], error);
+        algorithm_spec = *parsed;
+    }
+
     const auto &spec = findWorkload(workload);
     const auto graph = spec.build(machine->numClusters(),
                                   machine->numClusters());
 
-    std::unique_ptr<SchedulingAlgorithm> algorithm;
-    const ConvergentAlgorithm *convergent = nullptr;
-    if (algorithm_name == "convergent") {
-        auto conv =
-            sequence.empty()
-                ? std::make_unique<ConvergentAlgorithm>(*machine)
-                : std::make_unique<ConvergentAlgorithm>(*machine,
-                                                        sequence);
-        convergent = conv.get();
-        algorithm = std::move(conv);
-    } else if (algorithm_name == "uas") {
-        algorithm = makeAlgorithm(AlgorithmKind::Uas, *machine);
-    } else if (algorithm_name == "pcc") {
-        algorithm = makeAlgorithm(AlgorithmKind::Pcc, *machine);
-    } else if (algorithm_name == "rawcc") {
-        algorithm = makeAlgorithm(AlgorithmKind::Rawcc, *machine);
-    } else {
-        usage(argv[0]);
-    }
-
+    const auto algorithm = makeAlgorithm(algorithm_spec, *machine);
     const auto run = runAndCheck(*algorithm, graph, *machine);
+    const Schedule &schedule = run.result.schedule;
+
     std::cout << workload << " on " << machine->name() << " via "
               << algorithm->name() << ": " << run.instructions
               << " instructions, makespan " << run.makespan
               << " cycles (CPL " << graph.criticalPathLength()
               << "), scheduled in " << formatDouble(run.seconds * 1e3, 2)
               << " ms\n";
-
-    const auto schedule = algorithm->run(graph);
 
     if (want_speedup) {
         std::cout << "speedup vs one cluster: "
@@ -175,12 +179,16 @@ main(int argc, char **argv)
                          machine->registersPerCluster())
                   << ")\n";
     }
-    if (want_trace && convergent != nullptr) {
-        for (const auto &step : convergent->runFull(graph).trace)
+    if (want_trace) {
+        if (run.result.trace.empty())
+            std::cout << "(no convergence trace: " << algorithm->name()
+                      << " has no pass pipeline)\n";
+        for (const auto &step : run.result.trace)
             std::cout << "  " << step.pass << ": "
                       << formatDouble(step.fractionChanged, 3)
                       << (step.temporalOnly ? " (temporal)" : "")
-                      << "\n";
+                      << "  [" << formatDouble(step.seconds * 1e3, 2)
+                      << " ms]\n";
     }
     if (want_gantt) {
         std::cout << "\n";
@@ -194,6 +202,27 @@ main(int argc, char **argv)
         std::ofstream out(dot_file);
         exportDot(out, graph, schedule.assignment());
         std::cout << "wrote " << dot_file << "\n";
+    }
+    if (!json_file.empty()) {
+        GridSpec grid;
+        grid.workloads = {workload};
+        grid.machines = {machine_spec};
+        grid.algorithms = {algorithm_spec};
+        grid.jobs = jobs;
+        grid.computeSpeedup = want_speedup;
+        const GridReport report = runGrid(grid);
+        if (json_file == "-") {
+            writeGridReport(std::cout, report);
+        } else {
+            std::ofstream out(json_file);
+            if (!out) {
+                std::cerr << argv[0] << ": cannot write '" << json_file
+                          << "'\n";
+                return 1;
+            }
+            writeGridReport(out, report);
+            std::cout << "wrote " << json_file << "\n";
+        }
     }
     return 0;
 }
