@@ -6,6 +6,7 @@
 
 #include "sched/list_scheduler.hh"
 #include "sched/priorities.hh"
+#include "support/fault_injection.hh"
 #include "support/logging.hh"
 
 namespace csched {
@@ -242,6 +243,9 @@ PccScheduler::run(const DependenceGraph &graph) const
     for (int round = 0; round < options_.maxDescentRounds; ++round) {
         bool improved = false;
         for (int comp = 0; comp < num_components; ++comp) {
+            // The descent is the superlinear part of PCC (Figure 10),
+            // so this is where a deadline must be able to stop it.
+            checkpoint("pcc.descent");
             if (comp_home[comp] != kNoCluster)
                 continue;  // pinned by preplacement
             const int original = comp_cluster[comp];

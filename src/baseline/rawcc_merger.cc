@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "support/fault_injection.hh"
 #include "support/logging.hh"
 
 namespace csched {
@@ -95,6 +96,7 @@ mergeClusters(const DependenceGraph &graph,
 
     // Step 2: merge smallest-first until the budget is met.
     while (state.aliveCount() > max_clusters) {
+        checkpoint("rawcc.merge");
         int smallest = -1;
         for (int c = 0; c < clustering.count; ++c)
             if (state.alive[c] &&

@@ -6,6 +6,7 @@
 #include "machine/raw_machine.hh"
 #include "sched/priorities.hh"
 #include "sched/reservation.hh"
+#include "support/fault_injection.hh"
 #include "support/logging.hh"
 
 namespace csched {
@@ -192,6 +193,7 @@ UasScheduler::run(const DependenceGraph &graph) const
     int remaining = n;
     int cycle = 0;
     while (remaining > 0) {
+        checkpoint("uas.cycle");
         std::vector<InstrId> candidates = ready;
         std::stable_sort(candidates.begin(), candidates.end(),
                          [&](InstrId a, InstrId b) {

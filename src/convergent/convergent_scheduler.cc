@@ -6,6 +6,7 @@
 #include "convergent/sequences.hh"
 #include "sched/list_scheduler.hh"
 #include "sched/priorities.hh"
+#include "support/fault_injection.hh"
 #include "support/logging.hh"
 
 namespace csched {
@@ -54,6 +55,7 @@ ConvergentScheduler::schedule(const DependenceGraph &graph) const
 
     std::vector<int> before = weights.preferredClusters();
     for (const auto &pass : passes_) {
+        checkpoint("pass.apply");
         const auto begin = std::chrono::steady_clock::now();
         pass->run(ctx);
         const auto end = std::chrono::steady_clock::now();

@@ -12,6 +12,7 @@
 #include "convergent/pass_registry.hh"
 #include "convergent/sequences.hh"
 #include "sched/schedule_checker.hh"
+#include "support/fault_injection.hh"
 #include "support/logging.hh"
 #include "support/str.hh"
 
@@ -102,6 +103,15 @@ parseAlgorithmSpec(const std::string &text, std::string *error)
 std::unique_ptr<SchedulingAlgorithm>
 makeAlgorithm(const AlgorithmSpec &spec, const MachineModel &machine)
 {
+    auto made = tryMakeAlgorithm(spec, machine);
+    if (!made.ok())
+        CSCHED_FATAL(made.status().message());
+    return std::move(*made);
+}
+
+StatusOr<std::unique_ptr<SchedulingAlgorithm>>
+tryMakeAlgorithm(const AlgorithmSpec &spec, const MachineModel &machine)
+{
     if (spec.name == "convergent") {
         if (spec.sequence.empty() && !spec.params.has_value())
             return std::make_unique<ConvergentAlgorithm>(machine);
@@ -125,22 +135,35 @@ makeAlgorithm(const AlgorithmSpec &spec, const MachineModel &machine)
         return std::make_unique<SingleClusterScheduler>(machine);
     if (spec.name == "bug")
         return std::make_unique<BugScheduler>(machine);
-    CSCHED_FATAL("unknown algorithm '", spec.name,
-                 "' (specs must come from parseAlgorithmSpec)");
+    return Status::invalidSpec(
+        "unknown algorithm '" + spec.name +
+        "' (specs must come from parseAlgorithmSpec)");
 }
 
 RunResult
 runAndCheck(const SchedulingAlgorithm &algorithm,
             const DependenceGraph &graph, const MachineModel &machine)
 {
+    auto run = tryRunAndCheck(algorithm, graph, machine);
+    if (!run.ok())
+        CSCHED_FATAL(run.status().message());
+    return std::move(*run);
+}
+
+StatusOr<RunResult>
+tryRunAndCheck(const SchedulingAlgorithm &algorithm,
+               const DependenceGraph &graph, const MachineModel &machine)
+{
     const auto begin = std::chrono::steady_clock::now();
     ScheduleResult produced = algorithm.run(graph);
     const auto end = std::chrono::steady_clock::now();
 
+    checkpoint("checker.verify");
     const auto check = checkSchedule(graph, machine, produced.schedule);
     if (!check.ok()) {
-        CSCHED_FATAL(algorithm.name(), " produced an illegal schedule: ",
-                     check.message());
+        return Status::checkFailed(algorithm.name() +
+                                   " produced an illegal schedule: " +
+                                   check.message());
     }
 
     return RunResult{

@@ -22,6 +22,7 @@
 #include "convergent/convergent_scheduler.hh"
 #include "machine/machine.hh"
 #include "sched/algorithm.hh"
+#include "support/status.hh"
 
 namespace csched {
 
@@ -86,6 +87,13 @@ parseAlgorithmSpec(const std::string &text, std::string *error = nullptr);
 std::unique_ptr<SchedulingAlgorithm>
 makeAlgorithm(const AlgorithmSpec &spec, const MachineModel &machine);
 
+/**
+ * Non-fatal variant of makeAlgorithm: InvalidSpec when the spec names
+ * an unknown algorithm (specs should come from parseAlgorithmSpec).
+ */
+StatusOr<std::unique_ptr<SchedulingAlgorithm>>
+tryMakeAlgorithm(const AlgorithmSpec &spec, const MachineModel &machine);
+
 /** One algorithm-on-workload measurement. */
 struct RunResult
 {
@@ -105,6 +113,16 @@ struct RunResult
 RunResult runAndCheck(const SchedulingAlgorithm &algorithm,
                       const DependenceGraph &graph,
                       const MachineModel &machine);
+
+/**
+ * Non-fatal variant of runAndCheck: a checker rejection becomes a
+ * CheckFailed status carrying the violations, so the grid runner can
+ * record it as a per-job outcome instead of killing the process.
+ * Hits the "checker.verify" fault point before verification.
+ */
+StatusOr<RunResult> tryRunAndCheck(const SchedulingAlgorithm &algorithm,
+                                   const DependenceGraph &graph,
+                                   const MachineModel &machine);
 
 } // namespace csched
 

@@ -10,11 +10,24 @@ int
 singleClusterMakespan(const WorkloadSpec &spec,
                       const MachineModel &target)
 {
+    const auto baseline = trySingleClusterMakespan(spec, target);
+    if (!baseline.ok())
+        CSCHED_FATAL(baseline.status().message());
+    return *baseline;
+}
+
+StatusOr<int>
+trySingleClusterMakespan(const WorkloadSpec &spec,
+                         const MachineModel &target)
+{
     const auto single = target.makeSingleCluster();
     const DependenceGraph graph =
         spec.build(target.numClusters(), /*preplace_clusters=*/1);
     const SingleClusterScheduler scheduler(*single);
-    return runAndCheck(scheduler, graph, *single).makespan;
+    auto run = tryRunAndCheck(scheduler, graph, *single);
+    if (!run.ok())
+        return run.status().withContext("single-cluster baseline");
+    return run->makespan;
 }
 
 double

@@ -14,6 +14,7 @@
 
 #include "machine/machine.hh"
 #include "sched/algorithm.hh"
+#include "support/status.hh"
 #include "workloads/workloads.hh"
 
 namespace csched {
@@ -25,6 +26,14 @@ namespace csched {
  */
 int singleClusterMakespan(const WorkloadSpec &spec,
                           const MachineModel &target);
+
+/**
+ * Non-fatal variant of singleClusterMakespan for the grid runner's
+ * memoized baseline phase: a checker rejection (or injected fault)
+ * becomes an error status instead of killing the process.
+ */
+StatusOr<int> trySingleClusterMakespan(const WorkloadSpec &spec,
+                                       const MachineModel &target);
 
 /** Speedup of @p algorithm on @p spec over the one-cluster run. */
 double speedupOf(const WorkloadSpec &spec, const MachineModel &machine,

@@ -1,0 +1,41 @@
+#include "runner/failure_summary.hh"
+
+namespace csched {
+
+void
+printFailureSummary(std::ostream &out, const GridReport &report)
+{
+    const GridSummary &summary = report.summary;
+    if (summary.ok == summary.total && summary.retried == 0)
+        return;
+
+    for (const auto &job : report.results) {
+        if (job.ok() && !job.retriedThenOk())
+            continue;
+        out << "  " << jobOutcomeName(job.outcome) << "  "
+            << job.workload << "/" << job.machine << "/"
+            << job.algorithm;
+        if (job.attempts > 1)
+            out << "  (" << job.attempts << " attempts)";
+        if (!job.ok())
+            out << "  [" << errorCodeName(job.error) << "] "
+                << job.diagnostic;
+        out << "\n";
+    }
+    out << summary.ok << "/" << summary.total << " jobs ok";
+    if (summary.failed > 0)
+        out << ", " << summary.failed << " failed";
+    if (summary.timeout > 0)
+        out << ", " << summary.timeout << " timed out";
+    if (summary.retried > 0)
+        out << ", " << summary.retried << " recovered by retry";
+    out << "\n";
+}
+
+int
+gridExitCode(const GridReport &report, bool keep_going)
+{
+    return report.allOk() || keep_going ? 0 : 1;
+}
+
+} // namespace csched

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The drivers' shared view of how a grid run went: a human-readable
+ * failure summary and the exit-status contract.
+ *
+ * Exit-code contract (both csched_bench and csched_cli):
+ *   0  every job ultimately succeeded, or --keep-going was given;
+ *   1  at least one job failed or timed out after all retries;
+ *   2  usage error (bad flags / specs), before any job ran.
+ */
+
+#ifndef CSCHED_RUNNER_FAILURE_SUMMARY_HH
+#define CSCHED_RUNNER_FAILURE_SUMMARY_HH
+
+#include <ostream>
+
+#include "runner/grid_runner.hh"
+
+namespace csched {
+
+/**
+ * Print one line per failed/timed-out job plus a tally to @p out
+ * (intended for stderr).  Prints nothing when every job is ok and no
+ * job needed a retry.
+ */
+void printFailureSummary(std::ostream &out, const GridReport &report);
+
+/** The process exit status for @p report under the contract above. */
+int gridExitCode(const GridReport &report, bool keep_going);
+
+} // namespace csched
+
+#endif // CSCHED_RUNNER_FAILURE_SUMMARY_HH

@@ -1,49 +1,220 @@
 #include "runner/grid_runner.hh"
 
 #include <chrono>
+#include <exception>
 
 #include "eval/speedup.hh"
 #include "machine/machine_spec.hh"
 #include "runner/thread_pool.hh"
+#include "support/cancel.hh"
+#include "support/fault_injection.hh"
 #include "support/logging.hh"
 #include "workloads/workloads.hh"
 
 namespace csched {
 
-JobResult
-runJob(const JobSpec &spec)
+const char *
+jobOutcomeName(JobOutcome outcome)
 {
-    std::string machine_error;
-    const auto machine = parseMachineSpec(spec.machine, &machine_error);
-    if (machine == nullptr)
-        CSCHED_FATAL("grid job: ", machine_error);
+    switch (outcome) {
+      case JobOutcome::Ok:
+        return "ok";
+      case JobOutcome::Failed:
+        return "failed";
+      case JobOutcome::Timeout:
+        return "timeout";
+    }
+    CSCHED_PANIC("unreachable job outcome ", static_cast<int>(outcome));
+}
 
-    const WorkloadSpec &workload = findWorkload(spec.workload);
-    const DependenceGraph graph = workload.build(
-        machine->numClusters(), machine->numClusters());
+namespace {
 
-    const auto algorithm = makeAlgorithm(spec.algorithm, *machine);
-    RunResult run = runAndCheck(*algorithm, graph, *machine);
+/**
+ * One attempt of one job.  Recoverable failures come back as a
+ * Status: either returned directly (spec/baseline/checker problems)
+ * or thrown as StatusError from a cancellation poll or fault point
+ * deep inside a scheduler loop and caught here.  Measurement fields
+ * of @p out are written only on the success path.
+ */
+Status
+runJobAttempt(const JobSpec &spec, const JobPolicy &policy,
+              const BaselineMemo *baselines, JobResult &out)
+{
+    try {
+        CancelToken token;
+        if (policy.deadlineMs > 0)
+            token.armDeadline(policy.deadlineMs);
+        ScopedCancelToken cancel_guard(&token);
 
+        checkpoint("runner.job.start");
+
+        std::string machine_error;
+        const auto machine = parseMachineSpec(spec.machine, &machine_error);
+        if (machine == nullptr)
+            return Status::invalidSpec(machine_error);
+
+        const WorkloadSpec *workload = tryFindWorkload(spec.workload);
+        if (workload == nullptr)
+            return Status::invalidSpec("unknown workload '" +
+                                       spec.workload + "'");
+
+        const DependenceGraph graph = workload->build(
+            machine->numClusters(), machine->numClusters());
+
+        auto algorithm = tryMakeAlgorithm(spec.algorithm, *machine);
+        if (!algorithm.ok())
+            return algorithm.status();
+
+        auto run = tryRunAndCheck(**algorithm, graph, *machine);
+        if (!run.ok())
+            return run.status();
+
+        int baseline = 0;
+        if (spec.computeSpeedup) {
+            if (baselines != nullptr) {
+                const auto it =
+                    baselines->find({spec.workload, spec.machine});
+                CSCHED_ASSERT(it != baselines->end(),
+                              "baseline memo missing ", spec.workload,
+                              " on ", spec.machine);
+                if (!it->second.status.ok())
+                    return it->second.status;
+                baseline = it->second.makespan;
+            } else {
+                const auto computed =
+                    trySingleClusterMakespan(*workload, *machine);
+                if (!computed.ok())
+                    return computed.status();
+                baseline = *computed;
+            }
+            if (run->makespan <= 0)
+                return Status::internal(
+                    "zero makespan for a non-empty graph");
+        }
+
+        out.algorithmName = run->algorithm;
+        out.instructions = run->instructions;
+        out.makespan = run->makespan;
+        out.criticalPathLength = graph.criticalPathLength();
+        out.assignment = run->result.schedule.assignment();
+        out.seconds = run->seconds;
+        out.trace = std::move(run->result.trace);
+        if (spec.computeSpeedup) {
+            out.singleClusterMakespan = baseline;
+            out.speedup = static_cast<double>(baseline) /
+                          static_cast<double>(out.makespan);
+        }
+        return Status();
+    } catch (const StatusError &error) {
+        return error.status;
+    } catch (const std::exception &error) {
+        // Not a library invariant (those panic/abort): record it.
+        return Status::internal(std::string("uncaught exception: ") +
+                                error.what());
+    }
+}
+
+/** The job's scope key, also used for fault matching and logging. */
+std::string
+jobKey(const JobSpec &spec)
+{
+    return spec.workload + "/" + spec.machine + "/" +
+           spec.algorithm.text();
+}
+
+/**
+ * One (workload, machine) baseline under the same isolation as a job.
+ * Scope keys end in "/single-cluster" so fault rules can target or
+ * spare the baseline phase via match=.
+ */
+BaselineEntry
+computeBaseline(const std::string &workload,
+                const std::string &machine_spec, const JobPolicy &policy)
+{
+    const std::string key =
+        workload + "/" + machine_spec + "/single-cluster";
+    FaultScope faults(policy.faults, key);
+    ScopedFaultScope fault_guard(&faults);
+    ScopedLogContext log_context("baseline " + key);
+
+    BaselineEntry entry;
+    try {
+        CancelToken token;
+        if (policy.deadlineMs > 0)
+            token.armDeadline(policy.deadlineMs);
+        ScopedCancelToken cancel_guard(&token);
+
+        // The baseline is a unit of work like any job (its scope key
+        // just ends in "/single-cluster"), so it starts at the same
+        // fault point.
+        checkpoint("runner.job.start");
+
+        std::string machine_error;
+        const auto machine =
+            parseMachineSpec(machine_spec, &machine_error);
+        if (machine == nullptr) {
+            entry.status = Status::invalidSpec(machine_error);
+            return entry;
+        }
+        const WorkloadSpec *spec = tryFindWorkload(workload);
+        if (spec == nullptr) {
+            entry.status = Status::invalidSpec("unknown workload '" +
+                                               workload + "'");
+            return entry;
+        }
+        const auto makespan = trySingleClusterMakespan(*spec, *machine);
+        if (!makespan.ok()) {
+            entry.status = makespan.status();
+            return entry;
+        }
+        entry.makespan = *makespan;
+    } catch (const StatusError &error) {
+        entry.status =
+            error.status.withContext("single-cluster baseline");
+    } catch (const std::exception &error) {
+        entry.status = Status::internal(
+            std::string("single-cluster baseline: uncaught exception: ") +
+            error.what());
+    }
+    return entry;
+}
+
+} // namespace
+
+JobResult
+runJob(const JobSpec &spec, const JobPolicy &policy,
+       const BaselineMemo *baselines)
+{
     JobResult result;
     result.workload = spec.workload;
     result.machine = spec.machine;
     result.algorithm = spec.algorithm.text();
-    result.algorithmName = run.algorithm;
-    result.instructions = run.instructions;
-    result.makespan = run.makespan;
-    result.criticalPathLength = graph.criticalPathLength();
-    result.assignment = run.result.schedule.assignment();
-    result.seconds = run.seconds;
-    result.trace = std::move(run.result.trace);
 
-    if (spec.computeSpeedup) {
-        result.singleClusterMakespan =
-            singleClusterMakespan(workload, *machine);
-        CSCHED_ASSERT(result.makespan > 0, "zero makespan");
-        result.speedup =
-            static_cast<double>(result.singleClusterMakespan) /
-            static_cast<double>(result.makespan);
+    // One fault scope per *job*: hit counters persist across retries,
+    // so an nth=1 rule models a transient fault the retry heals.
+    FaultScope faults(policy.faults, jobKey(spec));
+    ScopedFaultScope fault_guard(&faults);
+    ScopedLogContext log_context("job " + jobKey(spec));
+
+    const int max_attempts = 1 + std::max(0, policy.retries);
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+        result.attempts = attempt;
+        const Status status =
+            runJobAttempt(spec, policy, baselines, result);
+        if (status.ok()) {
+            result.outcome = JobOutcome::Ok;
+            result.error = ErrorCode::Ok;
+            result.diagnostic.clear();
+            break;
+        }
+        result.outcome = status.code() == ErrorCode::Timeout
+                             ? JobOutcome::Timeout
+                             : JobOutcome::Failed;
+        result.error = status.code();
+        result.diagnostic = status.message();
+        // A spec problem is permanent; retrying cannot heal it.
+        if (status.code() == ErrorCode::InvalidSpec)
+            break;
     }
     return result;
 }
@@ -73,6 +244,10 @@ validateGrid(const GridSpec &grid, std::string *error)
 
     if (grid.jobs < 0)
         return fail("--jobs must be >= 0 (0 = hardware concurrency)");
+    if (grid.deadlineMs < 0)
+        return fail("--deadline-ms must be >= 0 (0 = no deadline)");
+    if (grid.retries < 0)
+        return fail("--retries must be >= 0");
     if (grid.workloads.empty() || grid.machines.empty() ||
         grid.algorithms.empty())
         return fail("empty grid: need at least one workload, machine, "
@@ -106,6 +281,7 @@ runGrid(const GridSpec &grid)
         CSCHED_FATAL("invalid grid: ", error);
 
     const auto jobs = expandGrid(grid);
+    const JobPolicy policy{grid.deadlineMs, grid.retries, grid.faults};
     GridReport report;
     report.results.resize(jobs.size());
 
@@ -115,15 +291,50 @@ runGrid(const GridSpec &grid)
         // imposes no ordering, the slot layout does.
         ThreadPool pool(grid.jobs);
         report.threads = pool.numThreads();
+
+        // Phase 1: one single-cluster baseline per (workload, machine)
+        // pair, instead of one per job.  The memo's entries are
+        // created up front (in deterministic grid order), so the
+        // workers mutate disjoint, pre-existing slots.
+        BaselineMemo baselines;
+        if (grid.computeSpeedup) {
+            for (const auto &job : jobs)
+                baselines.try_emplace({job.workload, job.machine});
+            for (auto &pair : baselines)
+                pool.submit([&pair, &policy] {
+                    pair.second = computeBaseline(
+                        pair.first.first, pair.first.second, policy);
+                });
+            pool.wait();
+        }
+
+        // Phase 2: the grid itself.
         for (size_t k = 0; k < jobs.size(); ++k)
-            pool.submit([&jobs, &report, k] {
-                report.results[k] = runJob(jobs[k]);
+            pool.submit([&jobs, &report, &policy, &baselines, k] {
+                report.results[k] = runJob(jobs[k], policy, &baselines);
             });
         pool.wait();
     }
     const auto end = std::chrono::steady_clock::now();
     report.wallSeconds =
         std::chrono::duration<double>(end - begin).count();
+
+    for (const auto &result : report.results) {
+        ++report.summary.total;
+        switch (result.outcome) {
+          case JobOutcome::Ok:
+            ++report.summary.ok;
+            if (result.retriedThenOk())
+                ++report.summary.retried;
+            break;
+          case JobOutcome::Failed:
+            ++report.summary.failed;
+            break;
+          case JobOutcome::Timeout:
+            ++report.summary.timeout;
+            break;
+        }
+    }
     return report;
 }
 

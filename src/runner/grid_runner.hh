@@ -6,9 +6,16 @@
  * and the per-figure bench binaries -- the paper's Section-5
  * evaluation grid as a parallel job pool.
  *
+ * Fault model: the grid always completes.  A job that fails is
+ * isolated -- its result records the outcome and diagnostic while
+ * every healthy cell is salvaged -- and the report's summary says how
+ * the run went overall.  Callers decide what a failure means (the
+ * drivers exit non-zero unless --keep-going).
+ *
  * Determinism: each job is self-contained (see job.hh) and writes its
  * result into a pre-assigned slot of the result vector, so the report
- * -- including its order -- is bit-identical for any thread count.
+ * -- including its order, per-job statuses, attempt counts, and
+ * diagnostics -- is bit-identical for any thread count.
  */
 
 #ifndef CSCHED_RUNNER_GRID_RUNNER_HH
@@ -31,14 +38,37 @@ struct GridSpec
     int jobs = 1;
     /** Run the one-cluster normalisation for each (workload, machine). */
     bool computeSpeedup = true;
+    /** Per-attempt deadline per job in milliseconds; 0 = none. */
+    int deadlineMs = 0;
+    /** Bounded retries for failed/timed-out jobs. */
+    int retries = 0;
+    /** Armed fault-injection plan; nullptr = none (borrowed). */
+    const FaultPlan *faults = nullptr;
+};
+
+/** Outcome tally of one grid run. */
+struct GridSummary
+{
+    int total = 0;
+    int ok = 0;       ///< includes retried-then-ok jobs
+    int failed = 0;
+    int timeout = 0;
+    int retried = 0;  ///< jobs that succeeded only after retrying
 };
 
 /** All grid results plus end-to-end wall-clock. */
 struct GridReport
 {
     std::vector<JobResult> results;  ///< grid order: w-major, a-minor
+    GridSummary summary;
     int threads = 1;                 ///< pool size actually used
     double wallSeconds = 0.0;
+
+    /** True when every job (after retries) produced a result. */
+    bool allOk() const
+    {
+        return summary.failed == 0 && summary.timeout == 0;
+    }
 };
 
 /**
@@ -53,7 +83,11 @@ std::vector<JobSpec> expandGrid(const GridSpec &grid);
  */
 bool validateGrid(const GridSpec &grid, std::string *error);
 
-/** Run the whole grid; fatal on invalid specs (validate first). */
+/**
+ * Run the whole grid and always return a complete report: failed
+ * cells carry their outcome, healthy cells their measurements.
+ * Fatal only on an invalid grid (programmer error; validate first).
+ */
 GridReport runGrid(const GridSpec &grid);
 
 } // namespace csched

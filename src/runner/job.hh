@@ -1,26 +1,36 @@
 /**
  * @file
  * The unit of work of the experiment grid: one (workload, machine,
- * algorithm) cell, and the structured record one such run produces.
+ * algorithm) cell, the execution policy applied to it, and the
+ * structured record one such run produces -- including its outcome,
+ * because a job that fails (bad spec, checker rejection, deadline,
+ * injected fault) is *recorded*, not allowed to kill the grid.
  *
  * A JobSpec is fully self-describing -- strings plus an AlgorithmSpec
  * -- so a job can be executed on any thread with no shared mutable
  * state: the worker parses its own machine, builds its own graph, and
  * constructs its own algorithm (whose RNG is seeded from the spec's
- * PassParams, a pure function of the spec).  That is what makes grid
- * results bit-identical regardless of thread count.
+ * PassParams, a pure function of the spec).  Retries run inline on the
+ * same worker and fault decisions depend only on the job's own
+ * deterministic state, which is what keeps grid results -- statuses
+ * included -- bit-identical regardless of thread count.
  */
 
 #ifndef CSCHED_RUNNER_JOB_HH
 #define CSCHED_RUNNER_JOB_HH
 
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "eval/experiment.hh"
 #include "sched/algorithm.hh"
+#include "support/status.hh"
 
 namespace csched {
+
+class FaultPlan;
 
 /** One cell of the (workload x machine x algorithm) grid. */
 struct JobSpec
@@ -32,6 +42,41 @@ struct JobSpec
     bool computeSpeedup = true;
 };
 
+/** How a job ultimately ended. */
+enum class JobOutcome {
+    Ok,       ///< produced a verified schedule (possibly after retry)
+    Failed,   ///< every attempt failed (spec, checker, fault, internal)
+    Timeout,  ///< the final attempt exceeded the deadline
+};
+
+/** Stable lower-case name, e.g. "timeout" (used in JSON). */
+const char *jobOutcomeName(JobOutcome outcome);
+
+/** Execution policy shared by every job of a grid. */
+struct JobPolicy
+{
+    /** Per-attempt deadline in milliseconds; 0 = none. */
+    int deadlineMs = 0;
+    /** Extra attempts for failed/timed-out jobs (bounded, inline). */
+    int retries = 0;
+    /** Armed fault plan; nullptr = none.  Borrowed, not owned. */
+    const FaultPlan *faults = nullptr;
+};
+
+/**
+ * Memoized single-cluster baselines keyed by (workload, machine):
+ * computed once per pair instead of once per job, and carrying a
+ * Status so a failed baseline fails its dependents with a diagnosis
+ * rather than a crash.
+ */
+struct BaselineEntry
+{
+    Status status;
+    int makespan = 0;
+};
+using BaselineMemo =
+    std::map<std::pair<std::string, std::string>, BaselineEntry>;
+
 /** Structured result of one job (everything the paper's tables need). */
 struct JobResult
 {
@@ -41,7 +86,16 @@ struct JobResult
     std::string algorithm;      ///< AlgorithmSpec::text()
     std::string algorithmName;  ///< display name, e.g. "Convergent"
 
-    // Deterministic measurements.
+    // Outcome of the job's (possibly retried) execution.
+    JobOutcome outcome = JobOutcome::Ok;
+    /** Error class of the final failed attempt; Ok when the job is. */
+    ErrorCode error = ErrorCode::Ok;
+    /** Deterministic diagnostic text; empty when the job succeeded. */
+    std::string diagnostic;
+    /** Attempts consumed (1 = first try; > 1 and Ok = retried). */
+    int attempts = 1;
+
+    // Deterministic measurements (valid only when ok()).
     int instructions = 0;
     int makespan = 0;
     int criticalPathLength = 0;
@@ -56,10 +110,22 @@ struct JobResult
     double seconds = 0.0;  ///< scheduling time of the measured run
     /** Per-pass convergence + timing; empty for one-shot baselines. */
     std::vector<PassStep> trace;
+
+    bool ok() const { return outcome == JobOutcome::Ok; }
+    bool retriedThenOk() const { return ok() && attempts > 1; }
 };
 
-/** Execute one job; fatal on illegal schedules (checker-verified). */
-JobResult runJob(const JobSpec &spec);
+/**
+ * Execute one job under @p policy: every recoverable failure --
+ * invalid spec, checker rejection, deadline, injected fault, escaped
+ * exception -- becomes the job's outcome, never a process exit.
+ * Retryable failures (anything but InvalidSpec) are re-attempted up to
+ * policy.retries times.  @p baselines, when non-null, supplies the
+ * memoized single-cluster makespans (grid use); otherwise the job
+ * computes its own.
+ */
+JobResult runJob(const JobSpec &spec, const JobPolicy &policy = {},
+                 const BaselineMemo *baselines = nullptr);
 
 } // namespace csched
 

@@ -15,6 +15,16 @@ writeJob(JsonWriter &w, const JobResult &job, const ReportOptions &options)
     w.key("workload").value(job.workload);
     w.key("machine").value(job.machine);
     w.key("algorithm").value(job.algorithm);
+    w.key("outcome").value(std::string(jobOutcomeName(job.outcome)));
+    w.key("attempts").value(job.attempts);
+    if (!job.ok()) {
+        // Failed cells carry their diagnosis and nothing else: the
+        // measurement fields would be meaningless.
+        w.key("error").value(std::string(errorCodeName(job.error)));
+        w.key("diagnostic").value(job.diagnostic);
+        w.endObject();
+        return;
+    }
     w.key("algorithmName").value(job.algorithmName);
     w.key("instructions").value(job.instructions);
     w.key("makespan").value(job.makespan);
@@ -57,6 +67,13 @@ writeGridReport(std::ostream &out, const GridReport &report,
         w.key("threads").value(report.threads);
         w.key("wallSeconds").value(report.wallSeconds);
     }
+    w.key("summary").beginObject();
+    w.key("total").value(report.summary.total);
+    w.key("ok").value(report.summary.ok);
+    w.key("failed").value(report.summary.failed);
+    w.key("timeout").value(report.summary.timeout);
+    w.key("retried").value(report.summary.retried);
+    w.endObject();
     w.key("results").beginArray();
     for (const auto &job : report.results)
         writeJob(w, job, options);

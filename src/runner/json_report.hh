@@ -4,12 +4,17 @@
  * every downstream perf/ablation analysis consumes.
  *
  * Two layers of fields:
- *  - deterministic results (makespans, speedups, assignments,
- *    convergence fractions): always written, bit-identical for any
- *    thread count and across runs;
+ *  - deterministic results (per-job outcomes and diagnostics,
+ *    makespans, speedups, assignments, convergence fractions): always
+ *    written, bit-identical for any thread count and across runs;
  *  - wall-clock observability (per-run and per-pass seconds, pool
  *    size): written unless options.timings is false, so reports meant
  *    for byte-wise comparison use `--no-timings`.
+ *
+ * Schema v2 (over v1): every job carries "outcome"/"attempts" (plus
+ * "error" and "diagnostic" when not ok), measurements appear only for
+ * ok jobs, and the report carries a "summary" tally -- so a salvaged
+ * partial run is a complete, self-describing document.
  */
 
 #ifndef CSCHED_RUNNER_JSON_REPORT_HH
@@ -34,7 +39,7 @@ struct ReportOptions
 };
 
 /** Schema identifier written into every report. */
-inline const char *kGridReportSchema = "csched-grid-report-v1";
+inline const char *kGridReportSchema = "csched-grid-report-v2";
 
 /** Serialize @p report as JSON (trailing newline included). */
 void writeGridReport(std::ostream &out, const GridReport &report,

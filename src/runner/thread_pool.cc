@@ -55,6 +55,21 @@ ThreadPool::wait()
 void
 ThreadPool::workerLoop()
 {
+    // Drops active_ (and wakes wait()) however the task exits, so a
+    // throwing task cannot leak the count and deadlock wait().
+    struct ActiveGuard
+    {
+        ThreadPool &pool;
+
+        ~ActiveGuard()
+        {
+            std::unique_lock<std::mutex> lock(pool.mutex_);
+            --pool.active_;
+            if (pool.queue_.empty() && pool.active_ == 0)
+                pool.allIdle_.notify_all();
+        }
+    };
+
     while (true) {
         std::function<void()> task;
         {
@@ -68,12 +83,17 @@ ThreadPool::workerLoop()
             queue_.pop_front();
             ++active_;
         }
-        task();
-        {
-            std::unique_lock<std::mutex> lock(mutex_);
-            --active_;
-            if (queue_.empty() && active_ == 0)
-                allIdle_.notify_all();
+        ActiveGuard guard{*this};
+        // Tasks are expected to handle their own failures (the grid
+        // runner records them per job); an exception reaching here
+        // would otherwise std::terminate the process, so the barrier
+        // turns it into a warning and keeps the worker alive.
+        try {
+            task();
+        } catch (const std::exception &error) {
+            CSCHED_WARN("task escaped with exception: ", error.what());
+        } catch (...) {
+            CSCHED_WARN("task escaped with a non-standard exception");
         }
     }
 }

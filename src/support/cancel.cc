@@ -1,0 +1,66 @@
+#include "support/cancel.hh"
+
+#include <string>
+
+#include "support/status.hh"
+
+namespace csched {
+
+namespace {
+
+thread_local CancelToken *t_current_token = nullptr;
+
+} // namespace
+
+void
+CancelToken::armDeadline(int ms)
+{
+    has_deadline_ = true;
+    deadline_ms_ = ms;
+    deadline_ =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+}
+
+bool
+CancelToken::expired() const
+{
+    if (cancelled_.load())
+        return true;
+    return has_deadline_ &&
+           std::chrono::steady_clock::now() >= deadline_;
+}
+
+ScopedCancelToken::ScopedCancelToken(CancelToken *token)
+    : previous_(t_current_token)
+{
+    t_current_token = token;
+}
+
+ScopedCancelToken::~ScopedCancelToken()
+{
+    t_current_token = previous_;
+}
+
+CancelToken *
+currentCancelToken()
+{
+    return t_current_token;
+}
+
+void
+pollCancellation(const char *where)
+{
+    const CancelToken *token = t_current_token;
+    if (token == nullptr || !token->expired())
+        return;
+    std::string why;
+    if (token->deadlineMs() > 0) {
+        why = "deadline of " + std::to_string(token->deadlineMs()) +
+              " ms exceeded at " + where;
+    } else {
+        why = std::string("cancelled at ") + where;
+    }
+    throw StatusError(Status::timedOut(why));
+}
+
+} // namespace csched

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Cooperative cancellation for long-running scheduler loops.
+ *
+ * A CancelToken is armed with a deadline (and/or cancelled explicitly)
+ * by the job runner; the schedulers poll it at natural loop boundaries
+ * -- convergent pass applications, PCC descent moves, UAS cycles,
+ * Rawcc merges -- via pollCancellation(), which throws a
+ * StatusError(Timeout) that the job boundary converts into a `timeout`
+ * job outcome.  Polling is push-free and lock-free: a token is bound
+ * to the executing thread through a thread-local pointer, so deep
+ * scheduler code needs no plumbing, and code running outside a job
+ * (tests, the single-run CLI path) polls against no token at all,
+ * which is a no-op.
+ */
+
+#ifndef CSCHED_SUPPORT_CANCEL_HH
+#define CSCHED_SUPPORT_CANCEL_HH
+
+#include <atomic>
+#include <chrono>
+
+namespace csched {
+
+/** A deadline and/or an explicit cancellation request. */
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+
+    /** Arm a wall-clock deadline @p ms milliseconds from now. */
+    void armDeadline(int ms);
+
+    /** Request cancellation explicitly (thread-safe). */
+    void requestCancel() { cancelled_.store(true); }
+
+    /** True once cancelled or past the armed deadline. */
+    bool expired() const;
+
+    /** The armed deadline in ms; 0 when none (for diagnostics). */
+    int deadlineMs() const { return deadline_ms_; }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+    bool has_deadline_ = false;
+    int deadline_ms_ = 0;
+    std::chrono::steady_clock::time_point deadline_;
+};
+
+/** Binds @p token to the current thread for the scope's lifetime. */
+class ScopedCancelToken
+{
+  public:
+    explicit ScopedCancelToken(CancelToken *token);
+    ~ScopedCancelToken();
+
+    ScopedCancelToken(const ScopedCancelToken &) = delete;
+    ScopedCancelToken &operator=(const ScopedCancelToken &) = delete;
+
+  private:
+    CancelToken *previous_;
+};
+
+/** The token bound to this thread, or nullptr outside any job. */
+CancelToken *currentCancelToken();
+
+/**
+ * Throw StatusError(Timeout) when the current thread's token (if any)
+ * has expired.  @p where names the poll site for the diagnostic.
+ */
+void pollCancellation(const char *where);
+
+} // namespace csched
+
+#endif // CSCHED_SUPPORT_CANCEL_HH

@@ -35,6 +35,28 @@ enum class LogLevel { Warn, Fatal, Panic };
 /** Emit a non-fatal warning to stderr. */
 void logWarn(const char *file, int line, const std::string &msg);
 
+/**
+ * Thread-local context prepended to every log line emitted from this
+ * thread, e.g. "job fir/vliw4/uas".  The grid runner installs one per
+ * job so a warn/fatal/panic from a worker names the job it came from.
+ * Scopes nest; destruction restores the previous context.
+ */
+class ScopedLogContext
+{
+  public:
+    explicit ScopedLogContext(std::string context);
+    ~ScopedLogContext();
+
+    ScopedLogContext(const ScopedLogContext &) = delete;
+    ScopedLogContext &operator=(const ScopedLogContext &) = delete;
+
+  private:
+    std::string previous_;
+};
+
+/** The current thread's log context; empty when none is installed. */
+const std::string &logThreadContext();
+
 namespace detail {
 
 /** Concatenate a mixed argument pack into one string via a stream. */

@@ -1,0 +1,79 @@
+#include "support/status.hh"
+
+namespace csched {
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok:
+        return "ok";
+      case ErrorCode::InvalidSpec:
+        return "invalid-spec";
+      case ErrorCode::CheckFailed:
+        return "check-failed";
+      case ErrorCode::Timeout:
+        return "timeout";
+      case ErrorCode::Injected:
+        return "injected";
+      case ErrorCode::Internal:
+        return "internal";
+    }
+    CSCHED_PANIC("unreachable error code ", static_cast<int>(code));
+}
+
+Status
+Status::error(ErrorCode code, std::string message)
+{
+    CSCHED_ASSERT(code != ErrorCode::Ok,
+                  "Status::error needs a non-Ok code");
+    return Status(code, std::move(message));
+}
+
+Status
+Status::invalidSpec(std::string message)
+{
+    return error(ErrorCode::InvalidSpec, std::move(message));
+}
+
+Status
+Status::checkFailed(std::string message)
+{
+    return error(ErrorCode::CheckFailed, std::move(message));
+}
+
+Status
+Status::timedOut(std::string message)
+{
+    return error(ErrorCode::Timeout, std::move(message));
+}
+
+Status
+Status::injected(std::string message)
+{
+    return error(ErrorCode::Injected, std::move(message));
+}
+
+Status
+Status::internal(std::string message)
+{
+    return error(ErrorCode::Internal, std::move(message));
+}
+
+Status
+Status::withContext(const std::string &context) const
+{
+    if (ok())
+        return *this;
+    return Status(code_, context + ": " + message_);
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "ok";
+    return std::string(errorCodeName(code_)) + ": " + message_;
+}
+
+} // namespace csched

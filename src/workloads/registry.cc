@@ -41,10 +41,19 @@ allWorkloads()
 const WorkloadSpec &
 findWorkload(const std::string &name)
 {
+    const WorkloadSpec *spec = tryFindWorkload(name);
+    if (spec == nullptr)
+        CSCHED_FATAL("unknown workload '", name, "'");
+    return *spec;
+}
+
+const WorkloadSpec *
+tryFindWorkload(const std::string &name)
+{
     for (const auto &spec : allWorkloads())
         if (spec.name == name)
-            return spec;
-    CSCHED_FATAL("unknown workload '", name, "'");
+            return &spec;
+    return nullptr;
 }
 
 std::vector<std::string>

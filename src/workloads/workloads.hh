@@ -90,6 +90,9 @@ const std::vector<WorkloadSpec> &allWorkloads();
 /** Lookup by name; fatal when unknown. */
 const WorkloadSpec &findWorkload(const std::string &name);
 
+/** Lookup by name; nullptr when unknown (for the job boundary). */
+const WorkloadSpec *tryFindWorkload(const std::string &name);
+
 /** The Raw evaluation suite of Table 2 / Figures 6-7 (9 benchmarks). */
 std::vector<std::string> rawSuiteNames();
 

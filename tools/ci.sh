@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Full verification sweep: build and run the whole test suite twice --
+# a plain build, then a ThreadSanitizer build (which is what proves the
+# thread pool's exception barrier and the runner's determinism
+# machinery are actually race-free, not just lucky).
+#
+#   tools/ci.sh [BUILD_DIR_PREFIX]
+#
+# Exits non-zero on the first failing step.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+prefix="${1:-build-ci}"
+
+run_suite() {
+    local build_dir="$1"
+    shift
+    echo "=== configure ${build_dir} ($*)"
+    cmake -B "${build_dir}" -S . "$@" >/dev/null
+    echo "=== build ${build_dir}"
+    cmake --build "${build_dir}" -j >/dev/null
+    echo "=== tier1 ${build_dir}"
+    ctest --test-dir "${build_dir}" -L tier1 -j --output-on-failure
+    echo "=== tier2 ${build_dir}"
+    ctest --test-dir "${build_dir}" -L tier2 -j --output-on-failure
+}
+
+run_suite "${prefix}-plain"
+run_suite "${prefix}-tsan" -DCSCHED_SANITIZE=thread
+
+echo "=== all suites passed (plain + tsan)"

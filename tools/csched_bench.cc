@@ -28,7 +28,18 @@
  *                           reports are byte-identical across runs
  *     --no-assignments      omit per-instruction assignment vectors
  *     --no-speedup          skip the one-cluster normalisation runs
+ *     --deadline-ms N       per-attempt deadline per job; 0 = none
+ *     --retries N           retry failed/timed-out jobs up to N times
+ *     --keep-going          exit 0 even when jobs failed (the report
+ *                           still marks every failed cell)
  *     --quiet               suppress the human-readable table
+ *
+ * A failing job never aborts the grid: its cell is marked in the table
+ * and the JSON, healthy cells are salvaged, a summary goes to stderr,
+ * and the exit status is 1 unless --keep-going.  (There is also a
+ * hidden --inject RULES option, the deterministic fault-injection
+ * harness used by the robustness tests; see fault_injection.hh for the
+ * rule grammar.)
  */
 
 #include <fstream>
@@ -36,8 +47,10 @@
 #include <string>
 #include <vector>
 
+#include "runner/failure_summary.hh"
 #include "runner/grid_runner.hh"
 #include "runner/json_report.hh"
+#include "support/fault_injection.hh"
 #include "support/str.hh"
 #include "support/table.hh"
 #include "workloads/workloads.hh"
@@ -56,7 +69,9 @@ usage(const char *argv0, const std::string &why = "")
               << " [--machines S,S]\n"
               << "  [--algorithms A,A] [--jobs N] [--json FILE]"
               << " [--no-timings]\n"
-              << "  [--no-assignments] [--no-speedup] [--quiet]\n";
+              << "  [--no-assignments] [--no-speedup] [--deadline-ms N]"
+              << " [--retries N]\n"
+              << "  [--keep-going] [--quiet]\n";
     std::exit(2);
 }
 
@@ -90,6 +105,8 @@ main(int argc, char **argv)
     std::string json_file;
     ReportOptions report_options;
     bool quiet = false;
+    bool keep_going = false;
+    FaultPlan fault_plan;
 
     for (int k = 1; k < argc; ++k) {
         const std::string arg = argv[k];
@@ -97,6 +114,19 @@ main(int argc, char **argv)
             if (k + 1 >= argc)
                 usage(argv[0], arg + " needs a value");
             return argv[++k];
+        };
+        auto nextInt = [&](const char *floor_why) -> int {
+            const std::string text = next();
+            int parsed = 0;
+            try {
+                parsed = std::stoi(text);
+            } catch (...) {
+                usage(argv[0],
+                      arg + " expects an integer, got '" + text + "'");
+            }
+            if (parsed < 0)
+                usage(argv[0], arg + floor_why);
+            return parsed;
         };
         if (arg == "--workloads") {
             workloads_arg = next();
@@ -107,15 +137,21 @@ main(int argc, char **argv)
         } else if (arg == "--algorithms" || arg == "--algorithm") {
             algorithms_arg = next();
         } else if (arg == "--jobs") {
-            const std::string text = next();
-            try {
-                grid.jobs = std::stoi(text);
-            } catch (...) {
-                usage(argv[0], "--jobs expects an integer, got '" +
-                                   text + "'");
-            }
-            if (grid.jobs < 0)
-                usage(argv[0], "--jobs must be >= 0");
+            grid.jobs = nextInt(" must be >= 0");
+        } else if (arg == "--deadline-ms") {
+            grid.deadlineMs = nextInt(" must be >= 0 (0 = no deadline)");
+        } else if (arg == "--retries") {
+            grid.retries = nextInt(" must be >= 0");
+        } else if (arg == "--keep-going") {
+            keep_going = true;
+        } else if (arg == "--inject") {
+            // Hidden: deterministic fault injection for the
+            // robustness tests (see fault_injection.hh).
+            std::string why;
+            const auto parsed_plan = FaultPlan::parse(next(), &why);
+            if (!parsed_plan.has_value())
+                usage(argv[0], "--inject: " + why);
+            fault_plan = *parsed_plan;
         } else if (arg == "--json") {
             json_file = next();
         } else if (arg == "--no-timings") {
@@ -163,6 +199,9 @@ main(int argc, char **argv)
         spec = *parsed;
     }
 
+    if (!fault_plan.empty())
+        grid.faults = &fault_plan;
+
     std::string error;
     if (!validateGrid(grid, &error))
         usage(argv[0], error);
@@ -172,7 +211,13 @@ main(int argc, char **argv)
     if (!quiet) {
         TablePrinter table({"workload", "machine", "algorithm",
                             "instrs", "makespan", "speedup", "ms"});
-        for (const auto &job : report.results)
+        for (const auto &job : report.results) {
+            if (!job.ok()) {
+                const std::string mark = jobOutcomeName(job.outcome);
+                table.addRow({job.workload, job.machine, job.algorithm,
+                              mark, mark, mark, mark});
+                continue;
+            }
             table.addRow(
                 {job.workload, job.machine, job.algorithm,
                  std::to_string(job.instructions),
@@ -180,6 +225,7 @@ main(int argc, char **argv)
                  grid.computeSpeedup ? formatDouble(job.speedup, 2)
                                      : "-",
                  formatDouble(job.seconds * 1e3, 2)});
+        }
         table.print(std::cout);
         std::cout << "\n" << report.results.size() << " jobs on "
                   << report.threads << " thread"
@@ -202,5 +248,7 @@ main(int argc, char **argv)
                 std::cout << "wrote " << json_file << "\n";
         }
     }
-    return 0;
+
+    printFailureSummary(std::cerr, report);
+    return gridExitCode(report, keep_going);
 }

@@ -24,6 +24,16 @@
  *     --dot FILE          write the coloured dependence graph (DOT)
  *     --pressure          print register-pressure stats
  *     --speedup           also compute speedup vs one cluster
+ *     --deadline-ms N     per-attempt deadline; 0 = none
+ *     --retries N         retry a failed/timed-out run up to N times
+ *     --keep-going        exit 0 even when the run (or a grid job)
+ *                         failed
+ *
+ * Failures are structured: a bad spec is a usage error (exit 2), while
+ * a run that fails -- checker rejection, deadline, injected fault --
+ * prints a diagnostic and exits 1 unless --keep-going.  (A hidden
+ * --inject RULES option arms the deterministic fault-injection
+ * harness; see fault_injection.hh.)
  */
 
 #include <fstream>
@@ -35,10 +45,13 @@
 #include "eval/speedup.hh"
 #include "ir/dot_export.hh"
 #include "machine/machine_spec.hh"
+#include "runner/failure_summary.hh"
 #include "runner/grid_runner.hh"
 #include "runner/json_report.hh"
 #include "sched/register_pressure.hh"
 #include "sched/schedule_printer.hh"
+#include "support/cancel.hh"
+#include "support/fault_injection.hh"
 #include "support/str.hh"
 #include "workloads/workloads.hh"
 
@@ -56,7 +69,8 @@ usage(const char *argv0, const std::string &why = "")
               << " [--algorithm SPEC]\n"
               << "  [--sequence PASSES] [--json FILE] [--jobs N]"
               << " [--gantt] [--placements]\n"
-              << "  [--trace] [--dot FILE] [--pressure] [--speedup]\n";
+              << "  [--trace] [--dot FILE] [--pressure] [--speedup]\n"
+              << "  [--deadline-ms N] [--retries N] [--keep-going]\n";
     std::exit(2);
 }
 
@@ -72,6 +86,10 @@ main(int argc, char **argv)
     std::string dot_file;
     std::string json_file;
     int jobs = 1;
+    int deadline_ms = 0;
+    int retries = 0;
+    bool keep_going = false;
+    FaultPlan fault_plan;
     bool want_gantt = false;
     bool want_placements = false;
     bool want_trace = false;
@@ -95,16 +113,31 @@ main(int argc, char **argv)
             sequence = next();
         } else if (arg == "--json") {
             json_file = next();
-        } else if (arg == "--jobs") {
+        } else if (arg == "--jobs" || arg == "--deadline-ms" ||
+                   arg == "--retries") {
             const std::string text = next();
+            int parsed = 0;
             try {
-                jobs = std::stoi(text);
+                parsed = std::stoi(text);
             } catch (...) {
-                usage(argv[0], "--jobs expects an integer, got '" +
+                usage(argv[0], arg + " expects an integer, got '" +
                                    text + "'");
             }
-            if (jobs < 0)
-                usage(argv[0], "--jobs must be >= 0");
+            if (parsed < 0)
+                usage(argv[0], arg + " must be >= 0");
+            (arg == "--jobs" ? jobs
+             : arg == "--deadline-ms" ? deadline_ms
+                                      : retries) = parsed;
+        } else if (arg == "--keep-going") {
+            keep_going = true;
+        } else if (arg == "--inject") {
+            // Hidden: deterministic fault injection for the
+            // robustness tests (see fault_injection.hh).
+            std::string why;
+            const auto parsed_plan = FaultPlan::parse(next(), &why);
+            if (!parsed_plan.has_value())
+                usage(argv[0], "--inject: " + why);
+            fault_plan = *parsed_plan;
         } else if (arg == "--dot") {
             dot_file = next();
         } else if (arg == "--gantt") {
@@ -149,24 +182,70 @@ main(int argc, char **argv)
         algorithm_spec = *parsed;
     }
 
-    const auto &spec = findWorkload(workload);
+    const WorkloadSpec *found = tryFindWorkload(workload);
+    if (found == nullptr)
+        usage(argv[0], "unknown workload '" + workload +
+                           "' (try --workload list)");
+    const auto &spec = *found;
     const auto graph = spec.build(machine->numClusters(),
                                   machine->numClusters());
 
-    const auto algorithm = makeAlgorithm(algorithm_spec, *machine);
-    const auto run = runAndCheck(*algorithm, graph, *machine);
-    const Schedule &schedule = run.result.schedule;
+    // The interactive run is one "job": same fault scope key, deadline,
+    // and bounded-retry loop as a grid cell (see runner/job.hh), but
+    // keeping the Schedule object for the inspection flags below.
+    FaultScope faults(fault_plan.empty() ? nullptr : &fault_plan,
+                      workload + "/" + machine_spec + "/" +
+                          algorithm_spec.text());
+    ScopedFaultScope fault_guard(&faults);
+
+    auto attemptRun = [&]() -> StatusOr<RunResult> {
+        try {
+            CancelToken token;
+            if (deadline_ms > 0)
+                token.armDeadline(deadline_ms);
+            ScopedCancelToken cancel_guard(&token);
+            checkpoint("runner.job.start");
+            auto algorithm = tryMakeAlgorithm(algorithm_spec, *machine);
+            if (!algorithm.ok())
+                return algorithm.status();
+            return tryRunAndCheck(**algorithm, graph, *machine);
+        } catch (const StatusError &error) {
+            return error.status;
+        }
+    };
+    auto run = attemptRun();
+    int attempts = 1;
+    while (!run.ok() && run.status().code() != ErrorCode::InvalidSpec &&
+           attempts <= retries) {
+        ++attempts;
+        run = attemptRun();
+    }
+    if (!run.ok()) {
+        std::cerr << argv[0] << ": " << workload << " on "
+                  << machine_spec << " failed after " << attempts
+                  << (attempts == 1 ? " attempt: " : " attempts: ")
+                  << run.status().toString() << "\n";
+        return keep_going ? 0 : 1;
+    }
+    const Schedule &schedule = run->result.schedule;
 
     std::cout << workload << " on " << machine->name() << " via "
-              << algorithm->name() << ": " << run.instructions
-              << " instructions, makespan " << run.makespan
+              << run->algorithm << ": " << run->instructions
+              << " instructions, makespan " << run->makespan
               << " cycles (CPL " << graph.criticalPathLength()
-              << "), scheduled in " << formatDouble(run.seconds * 1e3, 2)
-              << " ms\n";
+              << "), scheduled in "
+              << formatDouble(run->seconds * 1e3, 2) << " ms\n";
 
     if (want_speedup) {
+        const auto base = trySingleClusterMakespan(spec, *machine);
+        if (!base.ok()) {
+            std::cerr << argv[0] << ": " << base.status().toString()
+                      << "\n";
+            return keep_going ? 0 : 1;
+        }
         std::cout << "speedup vs one cluster: "
-                  << formatDouble(speedupOf(spec, *machine, *algorithm),
+                  << formatDouble(static_cast<double>(*base) /
+                                      static_cast<double>(run->makespan),
                                   2)
                   << "x\n";
     }
@@ -180,10 +259,10 @@ main(int argc, char **argv)
                   << ")\n";
     }
     if (want_trace) {
-        if (run.result.trace.empty())
-            std::cout << "(no convergence trace: " << algorithm->name()
+        if (run->result.trace.empty())
+            std::cout << "(no convergence trace: " << run->algorithm
                       << " has no pass pipeline)\n";
-        for (const auto &step : run.result.trace)
+        for (const auto &step : run->result.trace)
             std::cout << "  " << step.pass << ": "
                       << formatDouble(step.fractionChanged, 3)
                       << (step.temporalOnly ? " (temporal)" : "")
@@ -210,6 +289,10 @@ main(int argc, char **argv)
         grid.algorithms = {algorithm_spec};
         grid.jobs = jobs;
         grid.computeSpeedup = want_speedup;
+        grid.deadlineMs = deadline_ms;
+        grid.retries = retries;
+        if (!fault_plan.empty())
+            grid.faults = &fault_plan;
         const GridReport report = runGrid(grid);
         if (json_file == "-") {
             writeGridReport(std::cout, report);
@@ -223,6 +306,8 @@ main(int argc, char **argv)
             writeGridReport(out, report);
             std::cout << "wrote " << json_file << "\n";
         }
+        printFailureSummary(std::cerr, report);
+        return gridExitCode(report, keep_going);
     }
     return 0;
 }
