@@ -1,8 +1,10 @@
 #include "convergent/convergent_scheduler.hh"
 
 #include <chrono>
+#include <cmath>
 
 #include "convergent/pass_registry.hh"
+#include "convergent/preference_matrix.hh"
 #include "convergent/sequences.hh"
 #include "sched/list_scheduler.hh"
 #include "sched/priorities.hh"
@@ -10,6 +12,42 @@
 #include "support/logging.hh"
 
 namespace csched {
+
+Status
+checkWeightInvariants(const PreferenceMatrix &weights,
+                      const std::string &pass)
+{
+    // Per-weight slack for accumulated rounding; the row-sum check
+    // gets a little more because it sums num_times * num_clusters
+    // rounded terms.
+    constexpr double kSlack = 1e-9;
+    constexpr double kSumSlack = 1e-6;
+
+    const auto fail = [&pass](InstrId i, const std::string &what) {
+        return Status::checkFailed(
+            "pass '" + pass + "' broke the weight invariants: " +
+            what + " (instruction " + std::to_string(i) + ")");
+    };
+
+    for (InstrId i = 0; i < weights.numInstructions(); ++i) {
+        double sum = 0.0;
+        for (int t = 0; t < weights.numTimes(); ++t) {
+            for (int c = 0; c < weights.numClusters(); ++c) {
+                const double w = weights.at(i, t, c);
+                if (!std::isfinite(w))
+                    return fail(i, "non-finite weight");
+                if (w < -kSlack || w > 1.0 + kSlack)
+                    return fail(i, "weight " + std::to_string(w) +
+                                       " outside [0, 1]");
+                sum += w;
+            }
+        }
+        if (std::abs(sum - 1.0) > kSumSlack)
+            return fail(i, "row sums to " + std::to_string(sum) +
+                               ", not 1");
+    }
+    return Status();
+}
 
 ConvergentScheduler::ConvergentScheduler(const MachineModel &machine,
                                          const std::string &sequence,
@@ -58,6 +96,17 @@ ConvergentScheduler::schedule(const DependenceGraph &graph) const
         checkpoint("pass.apply");
         const auto begin = std::chrono::steady_clock::now();
         pass->run(ctx);
+        // Guard the Section-3 invariants after every pass.  A pass
+        // that scaled without normalizing is healed by one
+        // renormalization; anything normalization cannot restore
+        // (non-finite weights) fails the job with the pass named.
+        if (!checkWeightInvariants(weights, pass->name()).ok()) {
+            weights.normalizeAll();
+            const Status recheck =
+                checkWeightInvariants(weights, pass->name());
+            if (!recheck.ok())
+                throw StatusError(recheck);
+        }
         const auto end = std::chrono::steady_clock::now();
         const std::vector<int> after = weights.preferredClusters();
         int changed = 0;

@@ -20,8 +20,23 @@
 #include "convergent/pass.hh"
 #include "sched/algorithm.hh"
 #include "sched/schedule.hh"
+#include "support/status.hh"
 
 namespace csched {
+
+class PreferenceMatrix;
+
+/**
+ * Verify the paper's Section-3 matrix invariants after a pass: every
+ * weight finite and in [0, 1], every instruction row summing to 1.
+ * Returns a CheckFailed Status naming @p pass on the first violation.
+ * The scheduler calls this after every pass; on violation it
+ * renormalizes once (the legitimate fix for a pass that scaled without
+ * normalizing) and fails the job only if the invariants still do not
+ * hold (non-finite weights, which normalization cannot heal).
+ */
+Status checkWeightInvariants(const PreferenceMatrix &weights,
+                             const std::string &pass);
 
 /** Everything a convergent-scheduling run produces. */
 struct ConvergentResult

@@ -1,12 +1,15 @@
 #include "runner/failure_summary.hh"
 
+#include "runner/shutdown.hh"
+
 namespace csched {
 
 void
 printFailureSummary(std::ostream &out, const GridReport &report)
 {
     const GridSummary &summary = report.summary;
-    if (summary.ok == summary.total && summary.retried == 0)
+    if (summary.ok == summary.total && summary.retried == 0 &&
+        !report.interrupted)
         return;
 
     for (const auto &job : report.results) {
@@ -17,7 +20,7 @@ printFailureSummary(std::ostream &out, const GridReport &report)
             << job.algorithm;
         if (job.attempts > 1)
             out << "  (" << job.attempts << " attempts)";
-        if (!job.ok())
+        if (!job.ok() && job.outcome != JobOutcome::Interrupted)
             out << "  [" << errorCodeName(job.error) << "] "
                 << job.diagnostic;
         out << "\n";
@@ -27,14 +30,21 @@ printFailureSummary(std::ostream &out, const GridReport &report)
         out << ", " << summary.failed << " failed";
     if (summary.timeout > 0)
         out << ", " << summary.timeout << " timed out";
+    if (summary.interrupted > 0)
+        out << ", " << summary.interrupted << " interrupted";
     if (summary.retried > 0)
         out << ", " << summary.retried << " recovered by retry";
     out << "\n";
+    if (report.interrupted)
+        out << "run interrupted; resume with --journal <path> "
+               "--resume\n";
 }
 
 int
 gridExitCode(const GridReport &report, bool keep_going)
 {
+    if (report.interrupted)
+        return interruptExitCode(interruptSignal());
     return report.allOk() || keep_going ? 0 : 1;
 }
 

@@ -4,9 +4,13 @@
  * failure summary and the exit-status contract.
  *
  * Exit-code contract (both csched_bench and csched_cli):
- *   0  every job ultimately succeeded, or --keep-going was given;
- *   1  at least one job failed or timed out after all retries;
- *   2  usage error (bad flags / specs), before any job ran.
+ *   0    every job ultimately succeeded, or --keep-going was given;
+ *   1    at least one job failed or timed out after all retries;
+ *   2    usage error (bad flags / specs), before any job ran;
+ *   128+signum  a shutdown request (SIGINT -> 130, SIGTERM -> 143)
+ *        cut the run short after a graceful drain; the partial report
+ *        is marked "interrupted" and --keep-going does not downgrade
+ *        it, because the grid did not finish.
  */
 
 #ifndef CSCHED_RUNNER_FAILURE_SUMMARY_HH

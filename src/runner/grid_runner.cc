@@ -1,10 +1,13 @@
 #include "runner/grid_runner.hh"
 
 #include <chrono>
+#include <csignal>
 #include <exception>
 
 #include "eval/speedup.hh"
 #include "machine/machine_spec.hh"
+#include "runner/journal.hh"
+#include "runner/shutdown.hh"
 #include "runner/thread_pool.hh"
 #include "support/cancel.hh"
 #include "support/fault_injection.hh"
@@ -23,8 +26,29 @@ jobOutcomeName(JobOutcome outcome)
         return "failed";
       case JobOutcome::Timeout:
         return "timeout";
+      case JobOutcome::Interrupted:
+        return "interrupted";
     }
     CSCHED_PANIC("unreachable job outcome ", static_cast<int>(outcome));
+}
+
+std::optional<JobOutcome>
+parseJobOutcomeName(const std::string &name)
+{
+    for (const JobOutcome candidate :
+         {JobOutcome::Ok, JobOutcome::Failed, JobOutcome::Timeout,
+          JobOutcome::Interrupted}) {
+        if (name == jobOutcomeName(candidate))
+            return candidate;
+    }
+    return std::nullopt;
+}
+
+std::string
+jobKey(const JobSpec &spec)
+{
+    return spec.workload + "/" + spec.machine + "/" +
+           spec.algorithm.text();
 }
 
 namespace {
@@ -114,12 +138,29 @@ runJobAttempt(const JobSpec &spec, const JobPolicy &policy,
     }
 }
 
-/** The job's scope key, also used for fault matching and logging. */
-std::string
-jobKey(const JobSpec &spec)
+/**
+ * The deterministic shutdown hook: hit the `runner.interrupt` fault
+ * point inside the current fault scope; an armed rule firing here is
+ * translated into the same global interrupt a SIGINT would cause
+ * (synthetic SIGINT, so the exit-code contract holds).
+ */
+void
+interruptPoint()
 {
-    return spec.workload + "/" + spec.machine + "/" +
-           spec.algorithm.text();
+    try {
+        faultPoint("runner.interrupt");
+    } catch (const StatusError &) {
+        requestInterrupt(SIGINT);
+    }
+}
+
+/** Fill @p result as "stopped by shutdown before finishing". */
+void
+markInterrupted(JobResult &result, const char *when)
+{
+    result.outcome = JobOutcome::Interrupted;
+    result.error = ErrorCode::Interrupted;
+    result.diagnostic = std::string("shutdown requested ") + when;
 }
 
 /**
@@ -196,6 +237,13 @@ runJob(const JobSpec &spec, const JobPolicy &policy,
     ScopedFaultScope fault_guard(&faults);
     ScopedLogContext log_context("job " + jobKey(spec));
 
+    interruptPoint();
+    if (interruptRequested()) {
+        markInterrupted(result, "before the job started");
+        result.attempts = 0;
+        return result;
+    }
+
     const int max_attempts = 1 + std::max(0, policy.retries);
     for (int attempt = 1; attempt <= max_attempts; ++attempt) {
         result.attempts = attempt;
@@ -207,6 +255,13 @@ runJob(const JobSpec &spec, const JobPolicy &policy,
             result.diagnostic.clear();
             break;
         }
+        if (status.code() == ErrorCode::Interrupted) {
+            // Shutdown, not a verdict: the job re-runs on resume.
+            result.outcome = JobOutcome::Interrupted;
+            result.error = status.code();
+            result.diagnostic = status.message();
+            break;
+        }
         result.outcome = status.code() == ErrorCode::Timeout
                              ? JobOutcome::Timeout
                              : JobOutcome::Failed;
@@ -215,6 +270,14 @@ runJob(const JobSpec &spec, const JobPolicy &policy,
         // A spec problem is permanent; retrying cannot heal it.
         if (status.code() == ErrorCode::InvalidSpec)
             break;
+        // Never burn retries during a drain: with attempts left the
+        // outcome is not terminal yet, so hand the job back as
+        // `interrupted` (a journaled failure here could differ from
+        // what an uninterrupted run's remaining retries would give).
+        if (attempt < max_attempts && interruptRequested()) {
+            markInterrupted(result, "between retry attempts");
+            break;
+        }
     }
     return result;
 }
@@ -285,6 +348,44 @@ runGrid(const GridSpec &grid)
     GridReport report;
     report.results.resize(jobs.size());
 
+    // Durability setup.  The fingerprint pins the grid identity; a
+    // resume first replays journaled terminal outcomes into their
+    // pre-assigned slots, then the journal is (re)opened for appending
+    // the outcomes this run produces.
+    const std::string fingerprint = gridFingerprint(grid);
+    std::vector<char> replayed(jobs.size(), 0);
+    bool rewrite_header = false;
+    if (grid.resume) {
+        CSCHED_ASSERT(!grid.journalPath.empty(),
+                      "grid.resume requires grid.journalPath");
+        auto loaded = loadJournal(grid.journalPath, fingerprint);
+        if (!loaded.ok())
+            CSCHED_FATAL("cannot resume: ",
+                         loaded.status().toString());
+        rewrite_header = loaded->rewriteHeader;
+        if (loaded->ignoredLines > 0)
+            CSCHED_WARN("journal '", grid.journalPath, "': skipped ",
+                        loaded->ignoredLines,
+                        " incomplete record(s); those jobs re-run");
+        for (size_t k = 0; k < jobs.size(); ++k) {
+            const auto it = loaded->results.find(jobKey(jobs[k]));
+            if (it == loaded->results.end())
+                continue;
+            report.results[k] = it->second;
+            replayed[k] = 1;
+            ++report.replayed;
+        }
+    }
+    std::unique_ptr<JobJournal> journal;
+    if (!grid.journalPath.empty()) {
+        auto opened = JobJournal::open(grid.journalPath, fingerprint,
+                                       !grid.resume, rewrite_header);
+        if (!opened.ok())
+            CSCHED_FATAL("cannot open journal: ",
+                         opened.status().toString());
+        journal = std::move(*opened);
+    }
+
     const auto begin = std::chrono::steady_clock::now();
     {
         // Each task writes only its own pre-assigned slot; the pool
@@ -295,11 +396,14 @@ runGrid(const GridSpec &grid)
         // Phase 1: one single-cluster baseline per (workload, machine)
         // pair, instead of one per job.  The memo's entries are
         // created up front (in deterministic grid order), so the
-        // workers mutate disjoint, pre-existing slots.
+        // workers mutate disjoint, pre-existing slots.  On resume,
+        // only pairs with at least one job still to run are computed.
         BaselineMemo baselines;
         if (grid.computeSpeedup) {
-            for (const auto &job : jobs)
-                baselines.try_emplace({job.workload, job.machine});
+            for (size_t k = 0; k < jobs.size(); ++k)
+                if (!replayed[k])
+                    baselines.try_emplace(
+                        {jobs[k].workload, jobs[k].machine});
             for (auto &pair : baselines)
                 pool.submit([&pair, &policy] {
                     pair.second = computeBaseline(
@@ -308,17 +412,39 @@ runGrid(const GridSpec &grid)
             pool.wait();
         }
 
-        // Phase 2: the grid itself.
-        for (size_t k = 0; k < jobs.size(); ++k)
-            pool.submit([&jobs, &report, &policy, &baselines, k] {
+        // Phase 2: the grid itself.  Terminal outcomes are journaled
+        // the moment they complete; `interrupted` results are not (the
+        // job re-runs on resume -- see runner/journal.hh).
+        for (size_t k = 0; k < jobs.size(); ++k) {
+            if (replayed[k])
+                continue;
+            pool.submit([&jobs, &report, &policy, &baselines, &journal,
+                         k] {
                 report.results[k] = runJob(jobs[k], policy, &baselines);
+                const JobResult &result = report.results[k];
+                if (journal == nullptr ||
+                    result.outcome == JobOutcome::Interrupted)
+                    return;
+                // Appends run in the job's own fault scope (suffix
+                // "/journal") so tests can target one job's append.
+                FaultScope faults(policy.faults,
+                                  jobKey(jobs[k]) + "/journal");
+                ScopedFaultScope fault_guard(&faults);
+                const Status status =
+                    journal->append(jobs[k], result);
+                if (!status.ok())
+                    CSCHED_WARN("journal append failed (job still "
+                                "ran): ",
+                                status.toString());
             });
+        }
         pool.wait();
     }
     const auto end = std::chrono::steady_clock::now();
     report.wallSeconds =
         std::chrono::duration<double>(end - begin).count();
 
+    report.interrupted = interruptRequested() || globalCancelRequested();
     for (const auto &result : report.results) {
         ++report.summary.total;
         switch (result.outcome) {
@@ -332,6 +458,9 @@ runGrid(const GridSpec &grid)
             break;
           case JobOutcome::Timeout:
             ++report.summary.timeout;
+            break;
+          case JobOutcome::Interrupted:
+            ++report.summary.interrupted;
             break;
         }
     }

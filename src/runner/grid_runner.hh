@@ -44,6 +44,19 @@ struct GridSpec
     int retries = 0;
     /** Armed fault-injection plan; nullptr = none (borrowed). */
     const FaultPlan *faults = nullptr;
+    /**
+     * Path of the append-only job journal; empty = no journal.  With
+     * a journal, every terminal job outcome is durably recorded the
+     * moment it completes (see runner/journal.hh).
+     */
+    std::string journalPath;
+    /**
+     * Resume from an existing journal: journaled jobs are skipped and
+     * their recorded outcomes replayed into their pre-assigned result
+     * slots, so the final report is byte-identical to an
+     * uninterrupted run.  Requires journalPath.
+     */
+    bool resume = false;
 };
 
 /** Outcome tally of one grid run. */
@@ -54,6 +67,8 @@ struct GridSummary
     int failed = 0;
     int timeout = 0;
     int retried = 0;  ///< jobs that succeeded only after retrying
+    /** Jobs stopped by a shutdown request (0 in a complete run). */
+    int interrupted = 0;
 };
 
 /** All grid results plus end-to-end wall-clock. */
@@ -61,13 +76,18 @@ struct GridReport
 {
     std::vector<JobResult> results;  ///< grid order: w-major, a-minor
     GridSummary summary;
+    /** True when a shutdown request cut the run short (partial). */
+    bool interrupted = false;
+    /** Jobs replayed from the journal instead of executed (resume). */
+    int replayed = 0;
     int threads = 1;                 ///< pool size actually used
     double wallSeconds = 0.0;
 
     /** True when every job (after retries) produced a result. */
     bool allOk() const
     {
-        return summary.failed == 0 && summary.timeout == 0;
+        return summary.failed == 0 && summary.timeout == 0 &&
+               summary.interrupted == 0;
     }
 };
 
@@ -86,7 +106,16 @@ bool validateGrid(const GridSpec &grid, std::string *error);
 /**
  * Run the whole grid and always return a complete report: failed
  * cells carry their outcome, healthy cells their measurements.
- * Fatal only on an invalid grid (programmer error; validate first).
+ * Fatal only on an invalid grid (programmer error; validate first)
+ * or an unusable journal.
+ *
+ * Durability: with grid.journalPath set, each terminal outcome is
+ * appended to the journal as it completes; with grid.resume the
+ * journaled jobs are replayed instead of re-run.  A shutdown request
+ * (SIGINT/SIGTERM via runner/shutdown.hh, or the `runner.interrupt`
+ * fault point) drains in-flight jobs, marks the rest `interrupted`,
+ * and returns a partial report with report.interrupted set -- the
+ * journal plus --resume completes it later, byte-identically.
  */
 GridReport runGrid(const GridSpec &grid);
 

@@ -20,6 +20,7 @@
 #define CSCHED_RUNNER_JOB_HH
 
 #include <map>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -47,10 +48,27 @@ enum class JobOutcome {
     Ok,       ///< produced a verified schedule (possibly after retry)
     Failed,   ///< every attempt failed (spec, checker, fault, internal)
     Timeout,  ///< the final attempt exceeded the deadline
+    /**
+     * A shutdown request (signal or injected interrupt) stopped the
+     * job before it reached a terminal outcome.  Unlike the other
+     * non-ok outcomes this is not a verdict about the job: it is never
+     * journaled, and a resumed run executes the job from scratch.
+     */
+    Interrupted,
 };
 
 /** Stable lower-case name, e.g. "timeout" (used in JSON). */
 const char *jobOutcomeName(JobOutcome outcome);
+
+/** Inverse of jobOutcomeName; nullopt for unknown names. */
+std::optional<JobOutcome> parseJobOutcomeName(const std::string &name);
+
+/**
+ * The job's deterministic identity, "workload/machine/algorithm".
+ * Doubles as the fault-scope key, the log context, and the journal
+ * record key -- one spelling everywhere.
+ */
+std::string jobKey(const JobSpec &spec);
 
 /** Execution policy shared by every job of a grid. */
 struct JobPolicy

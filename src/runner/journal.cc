@@ -1,0 +1,328 @@
+#include "runner/journal.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "runner/grid_runner.hh"
+#include "support/fault_injection.hh"
+#include "support/json.hh"
+#include "support/str.hh"
+
+namespace csched {
+
+namespace {
+
+Status
+ioError(const std::string &what, const std::string &path)
+{
+    return Status::internal(what + " '" + path + "': " +
+                            std::strerror(errno));
+}
+
+/**
+ * Collapse the writer's pretty-printed output to one line: drop every
+ * newline plus its following indentation.  Literal newlines never
+ * appear inside JSON string literals (escapeJson escapes them), so
+ * this is a pure formatting transform.
+ */
+std::string
+compactJson(const std::string &pretty)
+{
+    std::string out;
+    out.reserve(pretty.size());
+    for (size_t k = 0; k < pretty.size(); ++k) {
+        if (pretty[k] != '\n') {
+            out += pretty[k];
+            continue;
+        }
+        while (k + 1 < pretty.size() && pretty[k + 1] == ' ')
+            ++k;
+    }
+    return out;
+}
+
+void
+writeResultFields(JsonWriter &w, const JobResult &result)
+{
+    w.key("workload").value(result.workload);
+    w.key("machine").value(result.machine);
+    w.key("algorithm").value(result.algorithm);
+    w.key("algorithmName").value(result.algorithmName);
+    w.key("outcome").value(
+        std::string(jobOutcomeName(result.outcome)));
+    w.key("error").value(std::string(errorCodeName(result.error)));
+    w.key("diagnostic").value(result.diagnostic);
+    w.key("attempts").value(result.attempts);
+    w.key("instructions").value(result.instructions);
+    w.key("makespan").value(result.makespan);
+    w.key("criticalPathLength").value(result.criticalPathLength);
+    w.key("singleClusterMakespan")
+        .value(result.singleClusterMakespan);
+    w.key("speedup").value(result.speedup);
+    w.key("assignment").value(result.assignment);
+    w.key("seconds").value(result.seconds);
+    w.key("trace").beginArray();
+    for (const auto &step : result.trace) {
+        w.beginObject();
+        w.key("pass").value(step.pass);
+        w.key("fractionChanged").value(step.fractionChanged);
+        w.key("temporalOnly").value(step.temporalOnly);
+        w.key("seconds").value(step.seconds);
+        w.endObject();
+    }
+    w.endArray();
+}
+
+/** Rebuild a JobResult from a parsed record; nullopt when malformed. */
+std::optional<JobResult>
+parseResult(const JsonValue &value)
+{
+    if (value.kind != JsonValue::Kind::Object)
+        return std::nullopt;
+    for (const char *field :
+         {"workload", "machine", "algorithm", "algorithmName",
+          "outcome", "error", "diagnostic", "attempts",
+          "instructions", "makespan", "criticalPathLength",
+          "singleClusterMakespan", "speedup", "assignment",
+          "seconds", "trace"})
+        if (value.find(field) == nullptr)
+            return std::nullopt;
+
+    JobResult result;
+    result.workload = value.at("workload").string;
+    result.machine = value.at("machine").string;
+    result.algorithm = value.at("algorithm").string;
+    result.algorithmName = value.at("algorithmName").string;
+
+    const auto outcome =
+        parseJobOutcomeName(value.at("outcome").string);
+    const auto error = parseErrorCodeName(value.at("error").string);
+    if (!outcome.has_value())
+        return std::nullopt;
+    result.outcome = *outcome;
+    result.error = error.value_or(ErrorCode::Ok);
+    result.diagnostic = value.at("diagnostic").string;
+    result.attempts = value.at("attempts").asInt();
+    result.instructions = value.at("instructions").asInt();
+    result.makespan = value.at("makespan").asInt();
+    result.criticalPathLength =
+        value.at("criticalPathLength").asInt();
+    result.singleClusterMakespan =
+        value.at("singleClusterMakespan").asInt();
+    result.speedup = value.at("speedup").asDouble();
+    result.seconds = value.at("seconds").asDouble();
+    for (const auto &entry : value.at("assignment").array)
+        result.assignment.push_back(entry.asInt());
+    for (const auto &step : value.at("trace").array) {
+        if (step.kind != JsonValue::Kind::Object ||
+            step.find("pass") == nullptr ||
+            step.find("fractionChanged") == nullptr ||
+            step.find("temporalOnly") == nullptr ||
+            step.find("seconds") == nullptr)
+            return std::nullopt;
+        PassStep parsed;
+        parsed.pass = step.at("pass").string;
+        parsed.fractionChanged =
+            step.at("fractionChanged").asDouble();
+        parsed.temporalOnly = step.at("temporalOnly").boolean;
+        parsed.seconds = step.at("seconds").asDouble();
+        result.trace.push_back(std::move(parsed));
+    }
+    return result;
+}
+
+std::string
+headerLine(const std::string &fingerprint)
+{
+    std::ostringstream out;
+    {
+        JsonWriter w(out);
+        w.beginObject();
+        w.key("journal").value(std::string(kJournalSchema));
+        w.key("grid").value(fingerprint);
+        w.endObject();
+    }
+    return compactJson(out.str());
+}
+
+} // namespace
+
+std::string
+gridFingerprint(const GridSpec &grid)
+{
+    std::vector<std::string> algorithms;
+    for (const auto &spec : grid.algorithms)
+        algorithms.push_back(spec.text());
+    return join(grid.workloads, ",") + "|" +
+           join(grid.machines, ",") + "|" + join(algorithms, ",") +
+           "|speedup=" + (grid.computeSpeedup ? "1" : "0") +
+           "|deadline=" + std::to_string(grid.deadlineMs) +
+           "|retries=" + std::to_string(grid.retries);
+}
+
+std::string
+journalRecordLine(const JobSpec &spec, const JobResult &result)
+{
+    std::ostringstream out;
+    {
+        JsonWriter w(out);
+        w.beginObject();
+        w.key("key").value(jobKey(spec));
+        w.key("result").beginObject();
+        writeResultFields(w, result);
+        w.endObject();
+        w.endObject();
+    }
+    return compactJson(out.str());
+}
+
+JobJournal::JobJournal(int fd, std::string path)
+    : fd_(fd), path_(std::move(path))
+{
+}
+
+JobJournal::~JobJournal()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+StatusOr<std::unique_ptr<JobJournal>>
+JobJournal::open(const std::string &path,
+                 const std::string &fingerprint, bool fresh,
+                 bool rewrite_header)
+{
+    const bool truncate = fresh || rewrite_header;
+    const int flags =
+        O_WRONLY | O_CREAT | O_APPEND | (truncate ? O_TRUNC : 0);
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0)
+        return ioError("open journal", path);
+
+    std::unique_ptr<JobJournal> journal(new JobJournal(fd, path));
+    if (truncate) {
+        const Status status =
+            journal->writeLine(headerLine(fingerprint));
+        if (!status.ok())
+            return status;
+    }
+    return journal;
+}
+
+Status
+JobJournal::writeLine(const std::string &line)
+{
+    // After a failed append the file may end mid-line; start on a
+    // fresh line so the earlier artifact garbles only itself.
+    const std::string record =
+        (resync_ ? "\n" : "") + line + "\n";
+    size_t written = 0;
+    while (written < record.size()) {
+        const ssize_t n = ::write(fd_, record.data() + written,
+                                  record.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            resync_ = true;
+            return ioError("append to journal", path_);
+        }
+        written += static_cast<size_t>(n);
+    }
+    resync_ = false;
+    if (::fsync(fd_) != 0)
+        return ioError("fsync journal", path_);
+    return Status();
+}
+
+Status
+JobJournal::append(const JobSpec &spec, const JobResult &result)
+{
+    const std::string line = journalRecordLine(spec, result);
+    std::lock_guard<std::mutex> lock(mutex_);
+    try {
+        faultPoint("journal.append");
+    } catch (const StatusError &error) {
+        // Simulate the crash the fault models: leave a half-written
+        // record (no newline, no fsync) and report the append failed.
+        // The loader must skip exactly this artifact on resume.
+        const std::string half = line.substr(0, line.size() / 2);
+        const ssize_t ignored = ::write(fd_, half.data(), half.size());
+        (void)ignored;
+        resync_ = true;
+        return error.status.withContext("journal append " +
+                                        jobKey(spec));
+    }
+    return writeLine(line);
+}
+
+StatusOr<JournalReplay>
+loadJournal(const std::string &path, const std::string &fingerprint)
+{
+    JournalReplay replay;
+
+    std::ifstream in(path);
+    if (!in) {
+        // Nothing journaled yet: resume of a run that died before its
+        // first record (or was never started).
+        replay.rewriteHeader = true;
+        return replay;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string contents = buffer.str();
+
+    bool saw_header = false;
+    for (const auto &line : split(contents, '\n')) {
+        if (trim(line).empty())
+            continue;
+        const auto parsed = parseJson(line);
+        if (!parsed.has_value() ||
+            parsed->kind != JsonValue::Kind::Object) {
+            // A crash artifact (truncated or garbled record): the job
+            // it described simply re-runs.
+            ++replay.ignoredLines;
+            continue;
+        }
+        if (!saw_header) {
+            const JsonValue *schema = parsed->find("journal");
+            const JsonValue *grid = parsed->find("grid");
+            if (schema == nullptr || grid == nullptr ||
+                schema->string != kJournalSchema) {
+                // No recognizable header: treat the file as untrusted
+                // and start over rather than splice unknown records.
+                replay.results.clear();
+                replay.ignoredLines = 0;
+                replay.rewriteHeader = true;
+                return replay;
+            }
+            if (grid->string != fingerprint)
+                return Status::invalidSpec(
+                    "journal '" + path +
+                    "' was written for a different grid; refusing "
+                    "to resume (delete it to start over)");
+            saw_header = true;
+            continue;
+        }
+        const JsonValue *key = parsed->find("key");
+        const JsonValue *result = parsed->find("result");
+        if (key == nullptr || result == nullptr) {
+            ++replay.ignoredLines;
+            continue;
+        }
+        auto rebuilt = parseResult(*result);
+        if (!rebuilt.has_value()) {
+            ++replay.ignoredLines;
+            continue;
+        }
+        replay.results[key->string] = std::move(*rebuilt);
+    }
+    replay.rewriteHeader = !saw_header;
+    return replay;
+}
+
+} // namespace csched

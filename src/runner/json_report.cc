@@ -63,6 +63,9 @@ writeGridReport(std::ostream &out, const GridReport &report,
     JsonWriter w(out);
     w.beginObject();
     w.key("schema").value(kGridReportSchema);
+    // Always written (false on a complete run) so a resumed-to-
+    // completion report is byte-identical to an uninterrupted one.
+    w.key("interrupted").value(report.interrupted);
     if (options.timings) {
         w.key("threads").value(report.threads);
         w.key("wallSeconds").value(report.wallSeconds);
@@ -73,6 +76,7 @@ writeGridReport(std::ostream &out, const GridReport &report,
     w.key("failed").value(report.summary.failed);
     w.key("timeout").value(report.summary.timeout);
     w.key("retried").value(report.summary.retried);
+    w.key("interrupted").value(report.summary.interrupted);
     w.endObject();
     w.key("results").beginArray();
     for (const auto &job : report.results)

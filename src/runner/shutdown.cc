@@ -1,0 +1,65 @@
+#include "runner/shutdown.hh"
+
+#include <atomic>
+#include <csignal>
+
+#include "support/cancel.hh"
+
+namespace csched {
+
+namespace {
+
+std::atomic<int> g_interrupt_signal{0};
+
+extern "C" void
+gridSignalHandler(int signum)
+{
+    requestInterrupt(signum);
+    // One chance at a graceful drain: restore the default disposition
+    // so a second signal kills the process outright.
+    std::signal(signum, SIG_DFL);
+}
+
+} // namespace
+
+void
+installGridSignalHandlers()
+{
+    std::signal(SIGINT, gridSignalHandler);
+    std::signal(SIGTERM, gridSignalHandler);
+}
+
+void
+requestInterrupt(int signum)
+{
+    int expected = 0;
+    g_interrupt_signal.compare_exchange_strong(expected, signum);
+    requestGlobalCancel();
+}
+
+int
+interruptSignal()
+{
+    return g_interrupt_signal.load();
+}
+
+bool
+interruptRequested()
+{
+    return g_interrupt_signal.load() != 0 || globalCancelRequested();
+}
+
+void
+clearInterrupt()
+{
+    g_interrupt_signal.store(0);
+    resetGlobalCancel();
+}
+
+int
+interruptExitCode(int signum)
+{
+    return 128 + (signum > 0 ? signum : SIGINT);
+}
+
+} // namespace csched

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Graceful shutdown for grid runs: SIGINT/SIGTERM handlers that arm
+ * the cancellation tree (support/cancel.hh) instead of killing the
+ * process mid-write.
+ *
+ * On the first signal the handler records the signal number and
+ * requests global cancellation; every in-flight job aborts at its next
+ * cooperative checkpoint with an `interrupted` outcome, queued jobs
+ * are skipped, completed jobs keep their journal records, and the
+ * driver writes a partial report marked `"interrupted": true` before
+ * exiting with the conventional 128+signum code (130 for SIGINT, 143
+ * for SIGTERM).  A second signal falls through to the default
+ * disposition, so a stuck run can still be killed the hard way.
+ *
+ * Interrupts can also be injected deterministically through the
+ * `runner.interrupt` fault point (see grid_runner.cc), which takes the
+ * same requestInterrupt() path with a synthetic SIGINT -- that is what
+ * keeps kill/resume tests reproducible.
+ */
+
+#ifndef CSCHED_RUNNER_SHUTDOWN_HH
+#define CSCHED_RUNNER_SHUTDOWN_HH
+
+namespace csched {
+
+/**
+ * Install the SIGINT/SIGTERM handlers described above.  Idempotent;
+ * call once from a driver's main() before running a grid.
+ */
+void installGridSignalHandlers();
+
+/**
+ * Arm the cancellation tree as if @p signum had been delivered.  This
+ * is the handler's body and the deterministic entry point used by the
+ * `runner.interrupt` fault point and by tests.  Async-signal-safe.
+ */
+void requestInterrupt(int signum);
+
+/** Signal that interrupted the run; 0 when none arrived. */
+int interruptSignal();
+
+/** True once requestInterrupt() ran (signal or injected). */
+bool interruptRequested();
+
+/**
+ * Forget a previous interrupt and disarm the cancellation root, so a
+ * resumed run (or the next test) starts clean.  Not async-signal-safe.
+ */
+void clearInterrupt();
+
+/** Conventional exit code for an interrupted run: 128 + signum. */
+int interruptExitCode(int signum);
+
+} // namespace csched
+
+#endif // CSCHED_RUNNER_SHUTDOWN_HH

@@ -1,0 +1,103 @@
+#include "support/atomic_file.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "support/fault_injection.hh"
+
+namespace csched {
+
+namespace {
+
+Status
+ioError(const std::string &what, const std::string &path)
+{
+    return Status::internal(what + " '" + path + "': " +
+                            std::strerror(errno));
+}
+
+/** Directory part of @p path ("." when it has none). */
+std::string
+parentDir(const std::string &path)
+{
+    const auto slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+Status
+writeAll(int fd, const std::string &contents, const std::string &path)
+{
+    size_t written = 0;
+    while (written < contents.size()) {
+        const ssize_t n = ::write(fd, contents.data() + written,
+                                  contents.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return ioError("write", path);
+        }
+        written += static_cast<size_t>(n);
+    }
+    return Status();
+}
+
+} // namespace
+
+std::string
+atomicTempPath(const std::string &path)
+{
+    return path + ".tmp";
+}
+
+Status
+writeFileAtomic(const std::string &path, const std::string &contents)
+{
+    const std::string tmp = atomicTempPath(path);
+
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                          0644);
+    if (fd < 0)
+        return ioError("open", tmp);
+
+    Status status = writeAll(fd, contents, tmp);
+    if (status.ok() && ::fsync(fd) != 0)
+        status = ioError("fsync", tmp);
+    if (::close(fd) != 0 && status.ok())
+        status = ioError("close", tmp);
+    if (!status.ok())
+        return status;
+
+    // The staged file is durable; a crash from here on loses nothing
+    // but the rename.  The fault point sits in that window so a
+    // simulated crash leaves the orphaned .tmp and an untouched
+    // destination -- exactly what a real mid-write death leaves.
+    try {
+        faultPoint("report.write");
+    } catch (const StatusError &error) {
+        return error.status.withContext("atomic write of " + path);
+    }
+
+    if (::rename(tmp.c_str(), path.c_str()) != 0)
+        return ioError("rename", tmp + " -> " + path);
+
+    // Make the rename itself durable: fsync the parent directory.
+    // Failure here is not worth failing the run over (some filesystems
+    // reject directory fsync); the data file itself is already synced.
+    const std::string dir = parentDir(path);
+    const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dirfd >= 0) {
+        ::fsync(dirfd);
+        ::close(dirfd);
+    }
+    return Status();
+}
+
+} // namespace csched

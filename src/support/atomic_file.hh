@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Crash-safe file output: every report, DOT graph, and JSON artifact
+ * the drivers emit goes through writeFileAtomic(), which stages the
+ * full contents in `<path>.tmp`, fsyncs, and renames over the
+ * destination.  A crash (or an injected `report.write` fault) at any
+ * point leaves either the complete old file or the complete new file
+ * -- never a truncated artifact -- plus at worst an orphaned `.tmp`
+ * staging file.
+ */
+
+#ifndef CSCHED_SUPPORT_ATOMIC_FILE_HH
+#define CSCHED_SUPPORT_ATOMIC_FILE_HH
+
+#include <string>
+
+#include "support/status.hh"
+
+namespace csched {
+
+/** The staging path writeFileAtomic() uses for @p path. */
+std::string atomicTempPath(const std::string &path);
+
+/**
+ * Atomically replace @p path with @p contents: write `<path>.tmp`,
+ * fsync it, rename over @p path, then fsync the parent directory so
+ * the rename itself is durable.  Hits the `report.write` fault point
+ * after staging and before the rename -- the widest crash window --
+ * so tests can prove the destination survives a mid-write death.
+ * I/O errors (and injected faults) come back as a non-ok Status; the
+ * destination is untouched in every failure case.
+ */
+Status writeFileAtomic(const std::string &path,
+                       const std::string &contents);
+
+} // namespace csched
+
+#endif // CSCHED_SUPPORT_ATOMIC_FILE_HH

@@ -10,7 +10,27 @@ namespace {
 
 thread_local CancelToken *t_current_token = nullptr;
 
+std::atomic<bool> g_global_cancel{false};
+
 } // namespace
+
+void
+requestGlobalCancel()
+{
+    g_global_cancel.store(true);
+}
+
+bool
+globalCancelRequested()
+{
+    return g_global_cancel.load();
+}
+
+void
+resetGlobalCancel()
+{
+    g_global_cancel.store(false);
+}
 
 void
 CancelToken::armDeadline(int ms)
@@ -51,7 +71,15 @@ void
 pollCancellation(const char *where)
 {
     const CancelToken *token = t_current_token;
-    if (token == nullptr || !token->expired())
+    if (token == nullptr)
+        return;
+    // The root outranks the local token: a shutdown request surfaces
+    // as `interrupted` (the job re-runs on resume), never as a
+    // spurious `timeout` outcome that would be journaled as terminal.
+    if (globalCancelRequested())
+        throw StatusError(Status::interrupted(
+            std::string("interrupted at ") + where));
+    if (!token->expired())
         return;
     std::string why;
     if (token->deadlineMs() > 0) {

@@ -65,8 +65,26 @@ class ScopedCancelToken
 CancelToken *currentCancelToken();
 
 /**
- * Throw StatusError(Timeout) when the current thread's token (if any)
- * has expired.  @p where names the poll site for the diagnostic.
+ * The root of the cancellation tree: a process-wide flag sitting above
+ * every per-job CancelToken.  The signal handlers of a graceful
+ * shutdown (see runner/shutdown.hh) arm it, and every cancellation
+ * poll consults it before the thread's own token -- so one request
+ * drains every in-flight job cooperatively, no matter which worker it
+ * runs on.  Async-signal-safe: a lock-free atomic store.
+ */
+void requestGlobalCancel();
+
+/** True once requestGlobalCancel() was called (and not reset). */
+bool globalCancelRequested();
+
+/** Reset the root flag (tests and resumed driver runs only). */
+void resetGlobalCancel();
+
+/**
+ * Throw when the current thread's job should stop: a
+ * StatusError(Interrupted) when the global root is armed, else a
+ * StatusError(Timeout) when the thread's token (if any) has expired.
+ * @p where names the poll site for the diagnostic.
  */
 void pollCancellation(const char *where);
 

@@ -38,20 +38,6 @@ hitDraw(const FaultRule &rule, const std::string &key, int index)
     return Rng(mixed).uniform();
 }
 
-bool
-parseErrorCode(const std::string &name, ErrorCode *code)
-{
-    for (const ErrorCode candidate :
-         {ErrorCode::InvalidSpec, ErrorCode::CheckFailed,
-          ErrorCode::Timeout, ErrorCode::Injected, ErrorCode::Internal}) {
-        if (name == errorCodeName(candidate)) {
-            *code = candidate;
-            return true;
-        }
-    }
-    return false;
-}
-
 } // namespace
 
 std::optional<FaultPlan>
@@ -118,8 +104,10 @@ FaultPlan::parse(const std::string &text, std::string *error)
                     if (rule.slowMs < 0)
                         return fail("ms must be >= 0, got " + value);
                 } else if (name == "code") {
-                    if (!parseErrorCode(value, &rule.code))
+                    const auto code = parseErrorCodeName(value);
+                    if (!code.has_value())
                         return fail("unknown error code '" + value + "'");
+                    rule.code = *code;
                 } else {
                     return fail("unknown fault option '" + name + "'");
                 }

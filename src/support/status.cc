@@ -18,8 +18,23 @@ errorCodeName(ErrorCode code)
         return "injected";
       case ErrorCode::Internal:
         return "internal";
+      case ErrorCode::Interrupted:
+        return "interrupted";
     }
     CSCHED_PANIC("unreachable error code ", static_cast<int>(code));
+}
+
+std::optional<ErrorCode>
+parseErrorCodeName(const std::string &name)
+{
+    for (const ErrorCode candidate :
+         {ErrorCode::InvalidSpec, ErrorCode::CheckFailed,
+          ErrorCode::Timeout, ErrorCode::Injected, ErrorCode::Internal,
+          ErrorCode::Interrupted}) {
+        if (name == errorCodeName(candidate))
+            return candidate;
+    }
+    return std::nullopt;
 }
 
 Status
@@ -58,6 +73,12 @@ Status
 Status::internal(std::string message)
 {
     return error(ErrorCode::Internal, std::move(message));
+}
+
+Status
+Status::interrupted(std::string message)
+{
+    return error(ErrorCode::Interrupted, std::move(message));
 }
 
 Status

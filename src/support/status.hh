@@ -37,10 +37,18 @@ enum class ErrorCode {
     Timeout,      ///< a deadline expired (cooperative cancellation)
     Injected,     ///< forced by the fault-injection harness
     Internal,     ///< a library expectation failed at the job boundary
+    Interrupted,  ///< aborted by a shutdown request (SIGINT/SIGTERM)
 };
 
 /** Stable lower-case name, e.g. "check-failed" (used in JSON). */
 const char *errorCodeName(ErrorCode code);
+
+/**
+ * Inverse of errorCodeName over the non-Ok codes, used by the fault
+ * harness (`code=` rule options) and the journal loader.  Returns
+ * nullopt for unknown names.
+ */
+std::optional<ErrorCode> parseErrorCodeName(const std::string &name);
 
 /** An error code plus a human-readable message; default is success. */
 class Status
@@ -57,6 +65,7 @@ class Status
     static Status timedOut(std::string message);
     static Status injected(std::string message);
     static Status internal(std::string message);
+    static Status interrupted(std::string message);
 
     bool ok() const { return code_ == ErrorCode::Ok; }
     ErrorCode code() const { return code_; }

@@ -6,7 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "convergent/convergent_scheduler.hh"
+#include "convergent/preference_matrix.hh"
 #include "convergent/sequences.hh"
 #include "ir/graph_algorithms.hh"
 #include "ir/graph_builder.hh"
@@ -167,6 +170,48 @@ TEST(ConvergentScheduler, CustomSequenceRuns)
     const auto result = scheduler.schedule(graph);
     const auto check = checkSchedule(graph, vliw, result.schedule);
     EXPECT_TRUE(check.ok()) << check.message();
+}
+
+TEST(WeightInvariants, AcceptAFreshAndANormalizedMatrix)
+{
+    PreferenceMatrix weights(3, 4, 2);
+    EXPECT_TRUE(checkWeightInvariants(weights, "INITTIME").ok());
+
+    weights.scaleCluster(1, 0, 0.25);
+    weights.normalize(1);
+    EXPECT_TRUE(checkWeightInvariants(weights, "PLACE").ok());
+}
+
+TEST(WeightInvariants, ScalingWithoutNormalizingIsCaughtAndHealable)
+{
+    // A buggy pass that scales a row without restoring the sum-to-one
+    // invariant: the guard flags it, and one renormalization -- the
+    // scheduler's healing step -- restores the invariants.
+    PreferenceMatrix weights(2, 3, 2);
+    weights.scaleCluster(0, 1, 3.0);
+    const Status broken = checkWeightInvariants(weights, "PLACE");
+    ASSERT_FALSE(broken.ok());
+    EXPECT_EQ(broken.code(), ErrorCode::CheckFailed);
+    EXPECT_NE(broken.message().find("PLACE"), std::string::npos);
+
+    weights.normalizeAll();
+    EXPECT_TRUE(checkWeightInvariants(weights, "PLACE").ok());
+}
+
+TEST(WeightInvariants, NonFiniteWeightsCannotBeHealed)
+{
+    PreferenceMatrix weights(2, 2, 2);
+    weights.set(1, 0, 1, INFINITY);
+    const Status broken = checkWeightInvariants(weights, "COMM");
+    ASSERT_FALSE(broken.ok());
+    EXPECT_EQ(broken.code(), ErrorCode::CheckFailed);
+    EXPECT_NE(broken.message().find("COMM"), std::string::npos);
+
+    // Renormalizing an infinite row leaves non-finite weights behind
+    // (inf/inf), so the scheduler's one healing attempt still fails
+    // and the job is failed with the pass named.
+    weights.normalizeAll();
+    EXPECT_FALSE(checkWeightInvariants(weights, "COMM").ok());
 }
 
 } // namespace

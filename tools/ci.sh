@@ -1,8 +1,13 @@
 #!/usr/bin/env bash
-# Full verification sweep: build and run the whole test suite twice --
-# a plain build, then a ThreadSanitizer build (which is what proves the
+# Full verification sweep: build and run the whole test suite under a
+# plain build and a ThreadSanitizer build (which is what proves the
 # thread pool's exception barrier and the runner's determinism
-# machinery are actually race-free, not just lucky).
+# machinery are actually race-free, not just lucky), run the
+# crash-safety tier (tier2) once more under AddressSanitizer (the
+# journal and atomic-file paths do raw POSIX I/O), and finish with an
+# end-to-end kill-and-resume smoke test against the real csched_bench
+# binary: SIGTERM a journaled grid mid-run, expect a graceful 143,
+# resume, and demand a byte-identical report.
 #
 #   tools/ci.sh [BUILD_DIR_PREFIX]
 #
@@ -13,20 +18,79 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 prefix="${1:-build-ci}"
 
-run_suite() {
+build() {
     local build_dir="$1"
     shift
     echo "=== configure ${build_dir} ($*)"
     cmake -B "${build_dir}" -S . "$@" >/dev/null
     echo "=== build ${build_dir}"
     cmake --build "${build_dir}" -j >/dev/null
+}
+
+run_suite() {
+    local build_dir="$1"
+    shift
+    build "${build_dir}" "$@"
     echo "=== tier1 ${build_dir}"
     ctest --test-dir "${build_dir}" -L tier1 -j --output-on-failure
     echo "=== tier2 ${build_dir}"
     ctest --test-dir "${build_dir}" -L tier2 -j --output-on-failure
 }
 
+# The runner/journal subsystem under ASan: raw write/fsync/rename
+# paths, signal-flag handling, and the resume replay buffers.
+run_tier2_asan() {
+    local build_dir="$1"
+    build "${build_dir}" -DCSCHED_SANITIZE=address
+    echo "=== tier2 ${build_dir} (asan)"
+    ctest --test-dir "${build_dir}" -L tier2 -j --output-on-failure
+}
+
+kill_resume_smoke() {
+    local bench="$1/tools/csched_bench"
+    echo "=== kill-and-resume smoke"
+    local tmp
+    tmp="$(mktemp -d)"
+    local args=(--workloads vvmul,fir --machines vliw2
+                --algorithms uas,convergent --jobs 2 --quiet
+                --no-timings)
+
+    "${bench}" "${args[@]}" --json "${tmp}/base.json"
+
+    # Slow every job so SIGTERM lands mid-grid; the run must drain,
+    # journal what finished, and exit 128+15.
+    "${bench}" "${args[@]}" --json "${tmp}/partial.json" \
+        --journal "${tmp}/journal.jsonl" \
+        --inject 'runner.job.start=slow:ms=200' &
+    local pid=$!
+    sleep 0.3
+    kill -TERM "${pid}"
+    local code=0
+    wait "${pid}" || code=$?
+    if [ "${code}" -ne 143 ]; then
+        echo "kill-and-resume: expected exit 143 after SIGTERM," \
+             "got ${code}" >&2
+        exit 1
+    fi
+    grep -q '"interrupted": true' "${tmp}/partial.json" || {
+        echo "kill-and-resume: partial report not marked interrupted" >&2
+        exit 1
+    }
+
+    "${bench}" "${args[@]}" --json "${tmp}/final.json" \
+        --journal "${tmp}/journal.jsonl" --resume
+    diff "${tmp}/base.json" "${tmp}/final.json" || {
+        echo "kill-and-resume: resumed report differs from an" \
+             "uninterrupted run" >&2
+        exit 1
+    }
+    rm -rf "${tmp}"
+    echo "=== kill-and-resume ok (143 on SIGTERM, byte-identical resume)"
+}
+
 run_suite "${prefix}-plain"
 run_suite "${prefix}-tsan" -DCSCHED_SANITIZE=thread
+run_tier2_asan "${prefix}-asan"
+kill_resume_smoke "${prefix}-plain"
 
-echo "=== all suites passed (plain + tsan)"
+echo "=== all suites passed (plain + tsan + asan tier2 + kill/resume)"

@@ -30,19 +30,27 @@
  *     --no-speedup          skip the one-cluster normalisation runs
  *     --deadline-ms N       per-attempt deadline per job; 0 = none
  *     --retries N           retry failed/timed-out jobs up to N times
+ *     --journal FILE        append every terminal job outcome to FILE
+ *                           as it completes (crash-safe JSONL)
+ *     --resume              skip jobs already recorded in --journal
+ *                           and replay their outcomes; the final
+ *                           report is byte-identical to an
+ *                           uninterrupted run
  *     --keep-going          exit 0 even when jobs failed (the report
  *                           still marks every failed cell)
  *     --quiet               suppress the human-readable table
  *
  * A failing job never aborts the grid: its cell is marked in the table
  * and the JSON, healthy cells are salvaged, a summary goes to stderr,
- * and the exit status is 1 unless --keep-going.  (There is also a
- * hidden --inject RULES option, the deterministic fault-injection
- * harness used by the robustness tests; see fault_injection.hh for the
- * rule grammar.)
+ * and the exit status is 1 unless --keep-going.  SIGINT/SIGTERM drain
+ * in-flight jobs, journal them, write a partial report marked
+ * "interrupted", and exit 128+signum; a --resume re-run completes the
+ * grid.  File outputs are atomic (tmp + fsync + rename).  (There is
+ * also a hidden --inject RULES option, the deterministic
+ * fault-injection harness used by the robustness tests; see
+ * fault_injection.hh for the rule grammar.)
  */
 
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -50,6 +58,8 @@
 #include "runner/failure_summary.hh"
 #include "runner/grid_runner.hh"
 #include "runner/json_report.hh"
+#include "runner/shutdown.hh"
+#include "support/atomic_file.hh"
 #include "support/fault_injection.hh"
 #include "support/str.hh"
 #include "support/table.hh"
@@ -71,7 +81,8 @@ usage(const char *argv0, const std::string &why = "")
               << " [--no-timings]\n"
               << "  [--no-assignments] [--no-speedup] [--deadline-ms N]"
               << " [--retries N]\n"
-              << "  [--keep-going] [--quiet]\n";
+              << "  [--journal FILE] [--resume] [--keep-going]"
+              << " [--quiet]\n";
     std::exit(2);
 }
 
@@ -142,6 +153,10 @@ main(int argc, char **argv)
             grid.deadlineMs = nextInt(" must be >= 0 (0 = no deadline)");
         } else if (arg == "--retries") {
             grid.retries = nextInt(" must be >= 0");
+        } else if (arg == "--journal") {
+            grid.journalPath = next();
+        } else if (arg == "--resume") {
+            grid.resume = true;
         } else if (arg == "--keep-going") {
             keep_going = true;
         } else if (arg == "--inject") {
@@ -201,11 +216,14 @@ main(int argc, char **argv)
 
     if (!fault_plan.empty())
         grid.faults = &fault_plan;
+    if (grid.resume && grid.journalPath.empty())
+        usage(argv[0], "--resume requires --journal");
 
     std::string error;
     if (!validateGrid(grid, &error))
         usage(argv[0], error);
 
+    installGridSignalHandlers();
     const GridReport report = runGrid(grid);
 
     if (!quiet) {
@@ -237,13 +255,17 @@ main(int argc, char **argv)
         if (json_file == "-") {
             writeGridReport(std::cout, report, report_options);
         } else {
-            std::ofstream out(json_file);
-            if (!out) {
-                std::cerr << argv[0] << ": cannot write '" << json_file
-                          << "'\n";
+            // Driver-level fault scope so --inject can target the
+            // report write itself (the jobs ran in their own scopes).
+            FaultScope report_faults(grid.faults, "report");
+            ScopedFaultScope report_fault_guard(&report_faults);
+            const Status written = writeFileAtomic(
+                json_file, gridReportToJson(report, report_options));
+            if (!written.ok()) {
+                std::cerr << argv[0] << ": " << written.toString()
+                          << "\n";
                 return 1;
             }
-            writeGridReport(out, report, report_options);
             if (!quiet)
                 std::cout << "wrote " << json_file << "\n";
         }

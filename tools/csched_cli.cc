@@ -26,19 +26,25 @@
  *     --speedup           also compute speedup vs one cluster
  *     --deadline-ms N     per-attempt deadline; 0 = none
  *     --retries N         retry a failed/timed-out run up to N times
+ *     --journal FILE      (with --json) append terminal job outcomes
+ *                         to FILE as they complete
+ *     --resume            (with --journal) replay journaled outcomes
+ *                         instead of re-running those jobs
  *     --keep-going        exit 0 even when the run (or a grid job)
  *                         failed
  *
  * Failures are structured: a bad spec is a usage error (exit 2), while
  * a run that fails -- checker rejection, deadline, injected fault --
- * prints a diagnostic and exits 1 unless --keep-going.  (A hidden
- * --inject RULES option arms the deterministic fault-injection
- * harness; see fault_injection.hh.)
+ * prints a diagnostic and exits 1 unless --keep-going.  SIGINT/SIGTERM
+ * stop the run gracefully and exit 128+signum; file outputs (--json,
+ * --dot) are atomic (tmp + fsync + rename).  (A hidden --inject RULES
+ * option arms the deterministic fault-injection harness; see
+ * fault_injection.hh.)
  */
 
-#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "eval/experiment.hh"
@@ -48,8 +54,10 @@
 #include "runner/failure_summary.hh"
 #include "runner/grid_runner.hh"
 #include "runner/json_report.hh"
+#include "runner/shutdown.hh"
 #include "sched/register_pressure.hh"
 #include "sched/schedule_printer.hh"
+#include "support/atomic_file.hh"
 #include "support/cancel.hh"
 #include "support/fault_injection.hh"
 #include "support/str.hh"
@@ -70,7 +78,8 @@ usage(const char *argv0, const std::string &why = "")
               << "  [--sequence PASSES] [--json FILE] [--jobs N]"
               << " [--gantt] [--placements]\n"
               << "  [--trace] [--dot FILE] [--pressure] [--speedup]\n"
-              << "  [--deadline-ms N] [--retries N] [--keep-going]\n";
+              << "  [--deadline-ms N] [--retries N] [--journal FILE]"
+              << " [--resume] [--keep-going]\n";
     std::exit(2);
 }
 
@@ -85,6 +94,8 @@ main(int argc, char **argv)
     std::string sequence;
     std::string dot_file;
     std::string json_file;
+    std::string journal_file;
+    bool resume = false;
     int jobs = 1;
     int deadline_ms = 0;
     int retries = 0;
@@ -128,6 +139,10 @@ main(int argc, char **argv)
             (arg == "--jobs" ? jobs
              : arg == "--deadline-ms" ? deadline_ms
                                       : retries) = parsed;
+        } else if (arg == "--journal") {
+            journal_file = next();
+        } else if (arg == "--resume") {
+            resume = true;
         } else if (arg == "--keep-going") {
             keep_going = true;
         } else if (arg == "--inject") {
@@ -161,6 +176,14 @@ main(int argc, char **argv)
                       << "\n";
         return 0;
     }
+
+    if (resume && journal_file.empty())
+        usage(argv[0], "--resume requires --journal");
+    if (!journal_file.empty() && json_file.empty())
+        usage(argv[0], "--journal requires --json (it journals the "
+                       "structured run)");
+
+    installGridSignalHandlers();
 
     std::string error;
     const auto machine = parseMachineSpec(machine_spec, &error);
@@ -216,6 +239,7 @@ main(int argc, char **argv)
     auto run = attemptRun();
     int attempts = 1;
     while (!run.ok() && run.status().code() != ErrorCode::InvalidSpec &&
+           run.status().code() != ErrorCode::Interrupted &&
            attempts <= retries) {
         ++attempts;
         run = attemptRun();
@@ -225,6 +249,8 @@ main(int argc, char **argv)
                   << machine_spec << " failed after " << attempts
                   << (attempts == 1 ? " attempt: " : " attempts: ")
                   << run.status().toString() << "\n";
+        if (run.status().code() == ErrorCode::Interrupted)
+            return interruptExitCode(interruptSignal());
         return keep_going ? 0 : 1;
     }
     const Schedule &schedule = run->result.schedule;
@@ -278,8 +304,13 @@ main(int argc, char **argv)
         printPlacements(std::cout, graph, schedule);
     }
     if (!dot_file.empty()) {
-        std::ofstream out(dot_file);
+        std::ostringstream out;
         exportDot(out, graph, schedule.assignment());
+        const Status written = writeFileAtomic(dot_file, out.str());
+        if (!written.ok()) {
+            std::cerr << argv[0] << ": " << written.toString() << "\n";
+            return 1;
+        }
         std::cout << "wrote " << dot_file << "\n";
     }
     if (!json_file.empty()) {
@@ -291,19 +322,23 @@ main(int argc, char **argv)
         grid.computeSpeedup = want_speedup;
         grid.deadlineMs = deadline_ms;
         grid.retries = retries;
+        grid.journalPath = journal_file;
+        grid.resume = resume;
         if (!fault_plan.empty())
             grid.faults = &fault_plan;
         const GridReport report = runGrid(grid);
         if (json_file == "-") {
             writeGridReport(std::cout, report);
         } else {
-            std::ofstream out(json_file);
-            if (!out) {
-                std::cerr << argv[0] << ": cannot write '" << json_file
-                          << "'\n";
+            FaultScope report_faults(grid.faults, "report");
+            ScopedFaultScope report_fault_guard(&report_faults);
+            const Status written =
+                writeFileAtomic(json_file, gridReportToJson(report));
+            if (!written.ok()) {
+                std::cerr << argv[0] << ": " << written.toString()
+                          << "\n";
                 return 1;
             }
-            writeGridReport(out, report);
             std::cout << "wrote " << json_file << "\n";
         }
         printFailureSummary(std::cerr, report);
