@@ -3,15 +3,20 @@
 #include <chrono>
 #include <csignal>
 #include <exception>
+#include <memory>
+#include <thread>
 
 #include "eval/speedup.hh"
 #include "machine/machine_spec.hh"
 #include "runner/journal.hh"
 #include "runner/shutdown.hh"
 #include "runner/thread_pool.hh"
+#include "runner/worker.hh"
 #include "support/cancel.hh"
 #include "support/fault_injection.hh"
 #include "support/logging.hh"
+#include "support/rng.hh"
+#include "support/str.hh"
 #include "workloads/workloads.hh"
 
 namespace csched {
@@ -164,6 +169,40 @@ markInterrupted(JobResult &result, const char *when)
 }
 
 /**
+ * Sleep @p ms between retry attempts, in small slices so a drain
+ * request cuts the wait short instead of stalling the shutdown.
+ */
+void
+backoffSleep(int ms)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto until = Clock::now() + std::chrono::milliseconds(ms);
+    while (!interruptRequested()) {
+        const auto left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                until - Clock::now())
+                .count();
+        if (left <= 0)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            std::min<long long>(10, left)));
+    }
+}
+
+/** Append the recorded backoff delays to a terminal diagnostic. */
+void
+appendBackoffNote(JobResult &result, const std::vector<int> &delays)
+{
+    if (delays.empty() || result.outcome == JobOutcome::Ok ||
+        result.outcome == JobOutcome::Interrupted)
+        return;
+    result.diagnostic += " [retry backoff ms:";
+    for (const int ms : delays)
+        result.diagnostic += " " + std::to_string(ms);
+    result.diagnostic += "]";
+}
+
+/**
  * One (workload, machine) baseline under the same isolation as a job.
  * Scope keys end in "/single-cluster" so fault rules can target or
  * spare the baseline phase via match=.
@@ -222,6 +261,25 @@ computeBaseline(const std::string &workload,
 
 } // namespace
 
+int
+retryBackoffMs(const std::string &job_key, int attempt)
+{
+    CSCHED_ASSERT(attempt >= 2,
+                  "backoff applies from the second attempt on");
+    // Exponential base, capped well below a deadline-scale pause: a
+    // retry exists to outlive a *transient* fault, not to reschedule
+    // the job for later.
+    const int exponent = std::min(attempt - 2, 5);
+    const int base = std::min(10 << exponent, 200);
+    // The jitter draw is a pure function of (job identity, attempt),
+    // never of wall-clock or thread identity, so the delays -- which
+    // are recorded in terminal diagnostics -- are byte-identical at
+    // any --jobs value.
+    Rng rng(fnv1aHash(job_key) ^ static_cast<uint64_t>(attempt));
+    const double jitter = 0.5 + rng.uniform();
+    return std::max(1, static_cast<int>(base * jitter));
+}
+
 JobResult
 runJob(const JobSpec &spec, const JobPolicy &policy,
        const BaselineMemo *baselines)
@@ -245,6 +303,7 @@ runJob(const JobSpec &spec, const JobPolicy &policy,
     }
 
     const int max_attempts = 1 + std::max(0, policy.retries);
+    std::vector<int> backoffs;
     for (int attempt = 1; attempt <= max_attempts; ++attempt) {
         result.attempts = attempt;
         const Status status =
@@ -278,7 +337,19 @@ runJob(const JobSpec &spec, const JobPolicy &policy,
             markInterrupted(result, "between retry attempts");
             break;
         }
+        // Jittered exponential backoff before the next attempt, so
+        // retries of simultaneously-failing jobs (shared-cause
+        // faults, resource exhaustion) do not stampede in lockstep.
+        // Skipped entirely during a drain (checked above and inside
+        // the sliced sleep).
+        if (attempt < max_attempts) {
+            const int delay =
+                retryBackoffMs(jobKey(spec), attempt + 1);
+            backoffs.push_back(delay);
+            backoffSleep(delay);
+        }
     }
+    appendBackoffNote(result, backoffs);
     return result;
 }
 
@@ -311,6 +382,8 @@ validateGrid(const GridSpec &grid, std::string *error)
         return fail("--deadline-ms must be >= 0 (0 = no deadline)");
     if (grid.retries < 0)
         return fail("--retries must be >= 0");
+    if (grid.memLimitMb < 0)
+        return fail("--mem-limit-mb must be >= 0 (0 = unlimited)");
     if (grid.workloads.empty() || grid.machines.empty() ||
         grid.algorithms.empty())
         return fail("empty grid: need at least one workload, machine, "
@@ -386,6 +459,22 @@ runGrid(const GridSpec &grid)
         journal = std::move(*opened);
     }
 
+    // Isolation: pre-fork the worker processes *before* the thread
+    // pool exists, so every initial child starts from a quiescent,
+    // single-threaded parent image.  (Mid-run respawns fork from pool
+    // threads under the logging fork guard.)  The CPU rlimit is a
+    // coarse cumulative backstop beneath the per-dispatch watchdog,
+    // armed only when a deadline bounds legitimate work.
+    std::unique_ptr<WorkerPool> workers;
+    if (grid.isolate) {
+        const int pool_size = grid.jobs > 0
+                                  ? grid.jobs
+                                  : ThreadPool::defaultConcurrency();
+        workers = std::make_unique<WorkerPool>(
+            pool_size, grid.memLimitMb,
+            grid.deadlineMs > 0 ? 900 : 0);
+    }
+
     const auto begin = std::chrono::steady_clock::now();
     {
         // Each task writes only its own pre-assigned slot; the pool
@@ -419,8 +508,12 @@ runGrid(const GridSpec &grid)
             if (replayed[k])
                 continue;
             pool.submit([&jobs, &report, &policy, &baselines, &journal,
-                         k] {
-                report.results[k] = runJob(jobs[k], policy, &baselines);
+                         &workers, k] {
+                report.results[k] =
+                    workers != nullptr
+                        ? runJobIsolated(jobs[k], policy, *workers,
+                                         &baselines)
+                        : runJob(jobs[k], policy, &baselines);
                 const JobResult &result = report.results[k];
                 if (journal == nullptr ||
                     result.outcome == JobOutcome::Interrupted)

@@ -57,6 +57,20 @@ struct GridSpec
      * uninterrupted run.  Requires journalPath.
      */
     bool resume = false;
+    /**
+     * Run every job inside a forked worker process (runner/worker.hh)
+     * so a crash, hang, or memory runaway is contained as that job's
+     * outcome instead of taking the grid down.  Pure packaging: the
+     * deterministic report layer is byte-identical with or without
+     * isolation (and gridFingerprint() excludes this flag, so a
+     * journal written either way resumes under the other).
+     */
+    bool isolate = false;
+    /**
+     * RLIMIT_AS cap per isolated worker, in megabytes; 0 = unlimited.
+     * Only meaningful with isolate.
+     */
+    int memLimitMb = 0;
 };
 
 /** Outcome tally of one grid run. */

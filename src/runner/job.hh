@@ -113,6 +113,15 @@ struct JobResult
     /** Attempts consumed (1 = first try; > 1 and Ok = retried). */
     int attempts = 1;
 
+    // Worker metadata, set only when the job ran under --isolate and
+    // its worker process died (error is WorkerCrashed/WorkerKilled).
+    // Deterministic for injected deaths, so they journal and replay
+    // byte-identically like any other outcome.
+    /** Signal that killed the worker; 0 when it exited normally. */
+    int workerSignal = 0;
+    /** Worker exit status for a nonzero-exit death; 0 otherwise. */
+    int workerExitStatus = 0;
+
     // Deterministic measurements (valid only when ok()).
     int instructions = 0;
     int makespan = 0;
@@ -144,6 +153,16 @@ struct JobResult
  */
 JobResult runJob(const JobSpec &spec, const JobPolicy &policy = {},
                  const BaselineMemo *baselines = nullptr);
+
+/**
+ * Deterministic jittered exponential backoff before retry @p attempt
+ * (2-based: the attempt about to run) of the job identified by
+ * @p job_key: base 10 ms doubling per attempt, capped at 200 ms, with
+ * a [0.5, 1.5) jitter factor drawn from a seed that is a pure
+ * function of (job_key, attempt) -- so recorded delays are part of
+ * the deterministic report layer and identical at any --jobs value.
+ */
+int retryBackoffMs(const std::string &job_key, int attempt);
 
 } // namespace csched
 

@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include "runner/grid_runner.hh"
+#include "runner/json_report.hh"
 #include "support/fault_injection.hh"
 #include "support/json.hh"
 #include "support/str.hh"
@@ -22,118 +23,6 @@ ioError(const std::string &what, const std::string &path)
 {
     return Status::internal(what + " '" + path + "': " +
                             std::strerror(errno));
-}
-
-/**
- * Collapse the writer's pretty-printed output to one line: drop every
- * newline plus its following indentation.  Literal newlines never
- * appear inside JSON string literals (escapeJson escapes them), so
- * this is a pure formatting transform.
- */
-std::string
-compactJson(const std::string &pretty)
-{
-    std::string out;
-    out.reserve(pretty.size());
-    for (size_t k = 0; k < pretty.size(); ++k) {
-        if (pretty[k] != '\n') {
-            out += pretty[k];
-            continue;
-        }
-        while (k + 1 < pretty.size() && pretty[k + 1] == ' ')
-            ++k;
-    }
-    return out;
-}
-
-void
-writeResultFields(JsonWriter &w, const JobResult &result)
-{
-    w.key("workload").value(result.workload);
-    w.key("machine").value(result.machine);
-    w.key("algorithm").value(result.algorithm);
-    w.key("algorithmName").value(result.algorithmName);
-    w.key("outcome").value(
-        std::string(jobOutcomeName(result.outcome)));
-    w.key("error").value(std::string(errorCodeName(result.error)));
-    w.key("diagnostic").value(result.diagnostic);
-    w.key("attempts").value(result.attempts);
-    w.key("instructions").value(result.instructions);
-    w.key("makespan").value(result.makespan);
-    w.key("criticalPathLength").value(result.criticalPathLength);
-    w.key("singleClusterMakespan")
-        .value(result.singleClusterMakespan);
-    w.key("speedup").value(result.speedup);
-    w.key("assignment").value(result.assignment);
-    w.key("seconds").value(result.seconds);
-    w.key("trace").beginArray();
-    for (const auto &step : result.trace) {
-        w.beginObject();
-        w.key("pass").value(step.pass);
-        w.key("fractionChanged").value(step.fractionChanged);
-        w.key("temporalOnly").value(step.temporalOnly);
-        w.key("seconds").value(step.seconds);
-        w.endObject();
-    }
-    w.endArray();
-}
-
-/** Rebuild a JobResult from a parsed record; nullopt when malformed. */
-std::optional<JobResult>
-parseResult(const JsonValue &value)
-{
-    if (value.kind != JsonValue::Kind::Object)
-        return std::nullopt;
-    for (const char *field :
-         {"workload", "machine", "algorithm", "algorithmName",
-          "outcome", "error", "diagnostic", "attempts",
-          "instructions", "makespan", "criticalPathLength",
-          "singleClusterMakespan", "speedup", "assignment",
-          "seconds", "trace"})
-        if (value.find(field) == nullptr)
-            return std::nullopt;
-
-    JobResult result;
-    result.workload = value.at("workload").string;
-    result.machine = value.at("machine").string;
-    result.algorithm = value.at("algorithm").string;
-    result.algorithmName = value.at("algorithmName").string;
-
-    const auto outcome =
-        parseJobOutcomeName(value.at("outcome").string);
-    const auto error = parseErrorCodeName(value.at("error").string);
-    if (!outcome.has_value())
-        return std::nullopt;
-    result.outcome = *outcome;
-    result.error = error.value_or(ErrorCode::Ok);
-    result.diagnostic = value.at("diagnostic").string;
-    result.attempts = value.at("attempts").asInt();
-    result.instructions = value.at("instructions").asInt();
-    result.makespan = value.at("makespan").asInt();
-    result.criticalPathLength =
-        value.at("criticalPathLength").asInt();
-    result.singleClusterMakespan =
-        value.at("singleClusterMakespan").asInt();
-    result.speedup = value.at("speedup").asDouble();
-    result.seconds = value.at("seconds").asDouble();
-    for (const auto &entry : value.at("assignment").array)
-        result.assignment.push_back(entry.asInt());
-    for (const auto &step : value.at("trace").array) {
-        if (step.kind != JsonValue::Kind::Object ||
-            step.find("pass") == nullptr ||
-            step.find("fractionChanged") == nullptr ||
-            step.find("temporalOnly") == nullptr ||
-            step.find("seconds") == nullptr)
-            return std::nullopt;
-        PassStep parsed;
-        parsed.pass = step.at("pass").string;
-        parsed.fractionChanged =
-            step.at("fractionChanged").asDouble();
-        parsed.temporalOnly = step.at("temporalOnly").boolean;
-        parsed.seconds = step.at("seconds").asDouble();
-        result.trace.push_back(std::move(parsed));
-    }
-    return result;
 }
 
 std::string
@@ -174,7 +63,7 @@ journalRecordLine(const JobSpec &spec, const JobResult &result)
         w.beginObject();
         w.key("key").value(jobKey(spec));
         w.key("result").beginObject();
-        writeResultFields(w, result);
+        writeJobResultFields(w, result);
         w.endObject();
         w.endObject();
     }
@@ -314,7 +203,7 @@ loadJournal(const std::string &path, const std::string &fingerprint)
             ++replay.ignoredLines;
             continue;
         }
-        auto rebuilt = parseResult(*result);
+        auto rebuilt = parseJobResultFields(*result);
         if (!rebuilt.has_value()) {
             ++replay.ignoredLines;
             continue;

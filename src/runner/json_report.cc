@@ -22,6 +22,11 @@ writeJob(JsonWriter &w, const JobResult &job, const ReportOptions &options)
         // measurement fields would be meaningless.
         w.key("error").value(std::string(errorCodeName(job.error)));
         w.key("diagnostic").value(job.diagnostic);
+        if (job.error == ErrorCode::WorkerCrashed ||
+            job.error == ErrorCode::WorkerKilled) {
+            w.key("workerSignal").value(job.workerSignal);
+            w.key("workerExitStatus").value(job.workerExitStatus);
+        }
         w.endObject();
         return;
     }
@@ -45,6 +50,10 @@ writeJob(JsonWriter &w, const JobResult &job, const ReportOptions &options)
             w.key("pass").value(step.pass);
             w.key("fractionChanged").value(step.fractionChanged);
             w.key("temporalOnly").value(step.temporalOnly);
+            // Written only when set, so reports of runs where no pass
+            // misbehaved keep their exact pre-degradation bytes.
+            if (step.skipped)
+                w.key("skipped").value(true);
             if (options.timings)
                 w.key("seconds").value(step.seconds);
             w.endObject();
@@ -92,6 +101,106 @@ gridReportToJson(const GridReport &report, const ReportOptions &options)
     std::ostringstream out;
     writeGridReport(out, report, options);
     return out.str();
+}
+
+void
+writeJobResultFields(JsonWriter &w, const JobResult &result)
+{
+    w.key("workload").value(result.workload);
+    w.key("machine").value(result.machine);
+    w.key("algorithm").value(result.algorithm);
+    w.key("algorithmName").value(result.algorithmName);
+    w.key("outcome").value(
+        std::string(jobOutcomeName(result.outcome)));
+    w.key("error").value(std::string(errorCodeName(result.error)));
+    w.key("diagnostic").value(result.diagnostic);
+    w.key("attempts").value(result.attempts);
+    w.key("workerSignal").value(result.workerSignal);
+    w.key("workerExitStatus").value(result.workerExitStatus);
+    w.key("instructions").value(result.instructions);
+    w.key("makespan").value(result.makespan);
+    w.key("criticalPathLength").value(result.criticalPathLength);
+    w.key("singleClusterMakespan")
+        .value(result.singleClusterMakespan);
+    w.key("speedup").value(result.speedup);
+    w.key("assignment").value(result.assignment);
+    w.key("seconds").value(result.seconds);
+    w.key("trace").beginArray();
+    for (const auto &step : result.trace) {
+        w.beginObject();
+        w.key("pass").value(step.pass);
+        w.key("fractionChanged").value(step.fractionChanged);
+        w.key("temporalOnly").value(step.temporalOnly);
+        w.key("skipped").value(step.skipped);
+        w.key("seconds").value(step.seconds);
+        w.endObject();
+    }
+    w.endArray();
+}
+
+std::optional<JobResult>
+parseJobResultFields(const JsonValue &value)
+{
+    if (value.kind != JsonValue::Kind::Object)
+        return std::nullopt;
+    for (const char *field :
+         {"workload", "machine", "algorithm", "algorithmName",
+          "outcome", "error", "diagnostic", "attempts",
+          "instructions", "makespan", "criticalPathLength",
+          "singleClusterMakespan", "speedup", "assignment",
+          "seconds", "trace"})
+        if (value.find(field) == nullptr)
+            return std::nullopt;
+
+    JobResult result;
+    result.workload = value.at("workload").string;
+    result.machine = value.at("machine").string;
+    result.algorithm = value.at("algorithm").string;
+    result.algorithmName = value.at("algorithmName").string;
+
+    const auto outcome =
+        parseJobOutcomeName(value.at("outcome").string);
+    const auto error = parseErrorCodeName(value.at("error").string);
+    if (!outcome.has_value())
+        return std::nullopt;
+    result.outcome = *outcome;
+    result.error = error.value_or(ErrorCode::Ok);
+    result.diagnostic = value.at("diagnostic").string;
+    result.attempts = value.at("attempts").asInt();
+    // Post-v1 fields: absent in journals written before the worker
+    // layer existed, so read them tolerantly.
+    if (const JsonValue *sig = value.find("workerSignal"))
+        result.workerSignal = sig->asInt();
+    if (const JsonValue *status = value.find("workerExitStatus"))
+        result.workerExitStatus = status->asInt();
+    result.instructions = value.at("instructions").asInt();
+    result.makespan = value.at("makespan").asInt();
+    result.criticalPathLength =
+        value.at("criticalPathLength").asInt();
+    result.singleClusterMakespan =
+        value.at("singleClusterMakespan").asInt();
+    result.speedup = value.at("speedup").asDouble();
+    result.seconds = value.at("seconds").asDouble();
+    for (const auto &entry : value.at("assignment").array)
+        result.assignment.push_back(entry.asInt());
+    for (const auto &step : value.at("trace").array) {
+        if (step.kind != JsonValue::Kind::Object ||
+            step.find("pass") == nullptr ||
+            step.find("fractionChanged") == nullptr ||
+            step.find("temporalOnly") == nullptr ||
+            step.find("seconds") == nullptr)
+            return std::nullopt;
+        PassStep parsed;
+        parsed.pass = step.at("pass").string;
+        parsed.fractionChanged =
+            step.at("fractionChanged").asDouble();
+        parsed.temporalOnly = step.at("temporalOnly").boolean;
+        if (const JsonValue *skipped = step.find("skipped"))
+            parsed.skipped = skipped->boolean;
+        parsed.seconds = step.at("seconds").asDouble();
+        result.trace.push_back(std::move(parsed));
+    }
+    return result;
 }
 
 } // namespace csched

@@ -20,6 +20,7 @@
 #ifndef CSCHED_RUNNER_JSON_REPORT_HH
 #define CSCHED_RUNNER_JSON_REPORT_HH
 
+#include <optional>
 #include <ostream>
 #include <string>
 
@@ -49,6 +50,26 @@ void writeGridReport(std::ostream &out, const GridReport &report,
 std::string gridReportToJson(const GridReport &report,
                              const ReportOptions &options =
                                  ReportOptions());
+
+class JsonWriter;
+struct JsonValue;
+
+/**
+ * The *wire* form of a JobResult: every field, deterministic and
+ * wall-clock alike, so a round trip reproduces the result exactly.
+ * This one spelling backs both persistence formats -- journal records
+ * (runner/journal.cc) and worker reply frames (runner/worker.cc).
+ * Writes the fields of an already-open JSON object.
+ */
+void writeJobResultFields(JsonWriter &w, const JobResult &result);
+
+/**
+ * Inverse of writeJobResultFields; nullopt when @p value is missing
+ * required fields or malformed.  Fields added after v1 (worker
+ * metadata, skipped trace flags) are optional on read, so older
+ * journals still load.
+ */
+std::optional<JobResult> parseJobResultFields(const JsonValue &value);
 
 } // namespace csched
 

@@ -9,7 +9,19 @@ namespace csched {
 
 namespace {
 
+// Async-signal-safety audit (everything reachable from the handler):
+// the handler may run on a thread that holds *any* lock -- including
+// the logging mutex mid-fprintf -- so it must only touch lock-free
+// atomics and functions the POSIX list blesses.  It therefore does
+// exactly three things: a lock-free CAS on this flag, a lock-free
+// store on the global-cancel flag (support/cancel.cc), and a
+// std::signal() re-arm (async-signal-safe per POSIX signal()).  No
+// logging, no allocation, no mutexes; the regression test in
+// tests/journal_test.cc raises SIGTERM while the logging mutex is
+// held to keep it that way.
 std::atomic<int> g_interrupt_signal{0};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "the signal handler needs a lock-free interrupt flag");
 
 extern "C" void
 gridSignalHandler(int signum)

@@ -39,6 +39,13 @@ struct PassStep
     bool temporalOnly = false;
     /** Wall-clock seconds spent inside the pass. */
     double seconds = 0.0;
+    /**
+     * True when the pass misbehaved (threw, or broke the weight
+     * invariants beyond healing) and was rolled back: its effect on
+     * the preference matrix was discarded and the pipeline continued
+     * without it (see ConvergentScheduler::schedule).
+     */
+    bool skipped = false;
 };
 
 /** Everything one algorithm run produces. */

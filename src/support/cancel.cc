@@ -10,7 +10,11 @@ namespace {
 
 thread_local CancelToken *t_current_token = nullptr;
 
+// Reached from the shutdown signal handler (runner/shutdown.cc), so
+// it must stay a lock-free atomic: no mutex, no allocation.
 std::atomic<bool> g_global_cancel{false};
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "the signal handler needs a lock-free cancel flag");
 
 } // namespace
 

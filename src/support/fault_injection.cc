@@ -1,6 +1,7 @@
 #include "support/fault_injection.hh"
 
 #include <chrono>
+#include <cstdio>
 #include <thread>
 
 #include "support/cancel.hh"
@@ -13,18 +14,6 @@ namespace {
 
 thread_local FaultScope *t_current_scope = nullptr;
 
-/** FNV-1a: stable across platforms, unlike std::hash. */
-uint64_t
-fnv1a(const std::string &text)
-{
-    uint64_t hash = 0xcbf29ce484222325ULL;
-    for (const unsigned char c : text) {
-        hash ^= c;
-        hash *= 0x100000001b3ULL;
-    }
-    return hash;
-}
-
 /**
  * Deterministic per-hit draw in [0, 1): a function of the rule seed,
  * the point, the scope key, and the hit index only.
@@ -32,8 +21,8 @@ fnv1a(const std::string &text)
 double
 hitDraw(const FaultRule &rule, const std::string &key, int index)
 {
-    const uint64_t mixed = rule.seed ^ (fnv1a(rule.point) * 3) ^
-                           (fnv1a(key) * 5) ^
+    const uint64_t mixed = rule.seed ^ (fnv1aHash(rule.point) * 3) ^
+                           (fnv1aHash(key) * 5) ^
                            (static_cast<uint64_t>(index) * 0x9e3779b9ULL);
     return Rng(mixed).uniform();
 }
@@ -119,6 +108,45 @@ FaultPlan::parse(const std::string &text, std::string *error)
         plan.add(std::move(rule));
     }
     return plan;
+}
+
+std::string
+FaultPlan::text() const
+{
+    std::string out;
+    for (const auto &rule : rules_) {
+        if (!out.empty())
+            out += ";";
+        out += rule.point + "=";
+        switch (rule.action) {
+          case FaultAction::Fail:
+            out += "fail";
+            break;
+          case FaultAction::Timeout:
+            out += "timeout";
+            break;
+          case FaultAction::Slow:
+            out += "slow";
+            break;
+        }
+        if (rule.code != ErrorCode::Injected)
+            out += std::string(":code=") + errorCodeName(rule.code);
+        if (!rule.match.empty())
+            out += ":match=" + rule.match;
+        if (rule.nth > 0)
+            out += ":nth=" + std::to_string(rule.nth);
+        if (rule.probability < 1.0) {
+            char buffer[48];
+            std::snprintf(buffer, sizeof(buffer), "%.17g",
+                          rule.probability);
+            out += std::string(":prob=") + buffer;
+        }
+        if (rule.seed != 0)
+            out += ":seed=" + std::to_string(rule.seed);
+        if (rule.slowMs != 100)
+            out += ":ms=" + std::to_string(rule.slowMs);
+    }
+    return out;
 }
 
 FaultScope::FaultScope(const FaultPlan *plan, std::string key)

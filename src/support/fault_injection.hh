@@ -80,6 +80,13 @@ class FaultPlan
     static std::optional<FaultPlan> parse(const std::string &text,
                                           std::string *error = nullptr);
 
+    /**
+     * The plan back in rule-spec text form (round-trips through
+     * parse()).  This is how an armed plan crosses the process
+     * boundary to an isolated worker (runner/worker.hh).
+     */
+    std::string text() const;
+
     void add(FaultRule rule) { rules_.push_back(std::move(rule)); }
 
     bool empty() const { return rules_.empty(); }

@@ -37,6 +37,22 @@ escapeJson(const std::string &text)
     return out;
 }
 
+std::string
+compactJson(const std::string &pretty)
+{
+    std::string out;
+    out.reserve(pretty.size());
+    for (size_t k = 0; k < pretty.size(); ++k) {
+        if (pretty[k] != '\n') {
+            out += pretty[k];
+            continue;
+        }
+        while (k + 1 < pretty.size() && pretty[k + 1] == ' ')
+            ++k;
+    }
+    return out;
+}
+
 namespace {
 
 /** Shortest text that parses back to exactly @p number. */

@@ -26,6 +26,15 @@ namespace csched {
 std::string escapeJson(const std::string &text);
 
 /**
+ * Collapse a JsonWriter's pretty-printed output to one line: drop
+ * every newline plus its following indentation.  Literal newlines
+ * never appear inside JSON string literals (escapeJson escapes them),
+ * so this is a pure formatting transform.  Used wherever a document
+ * must be a single line: journal records, worker pipe frames.
+ */
+std::string compactJson(const std::string &pretty);
+
+/**
  * Streaming JSON writer producing deterministically formatted,
  * 2-space-indented output.  Usage:
  *

@@ -4,6 +4,8 @@
 #include <mutex>
 #include <utility>
 
+#include <pthread.h>
+
 namespace csched {
 
 namespace {
@@ -66,6 +68,29 @@ void
 logWarn(const char *file, int line, const std::string &msg)
 {
     emit("warn", file, line, msg);
+}
+
+namespace {
+
+void lockLogMutex() { logMutex().lock(); }
+void unlockLogMutex() { logMutex().unlock(); }
+
+} // namespace
+
+void
+installLogForkGuard()
+{
+    // Acquire before fork, release in both parent and child: the
+    // child's copy of the mutex is then unlocked no matter which
+    // thread was emitting when the fork happened.
+    static const int rc [[maybe_unused]] = ::pthread_atfork(
+        lockLogMutex, unlockLogMutex, unlockLogMutex);
+}
+
+std::mutex &
+logMutexForTesting()
+{
+    return logMutex();
 }
 
 } // namespace csched

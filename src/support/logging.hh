@@ -13,6 +13,7 @@
 #define CSCHED_SUPPORT_LOGGING_HH
 
 #include <cstdlib>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -56,6 +57,21 @@ class ScopedLogContext
 
 /** The current thread's log context; empty when none is installed. */
 const std::string &logThreadContext();
+
+/**
+ * Register a pthread_atfork hook that holds the logging mutex across
+ * fork(), so a child forked from a multi-threaded parent (worker
+ * respawns, see runner/worker.hh) never inherits the mutex locked by
+ * some other thread mid-message.  Idempotent; cheap to call again.
+ */
+void installLogForkGuard();
+
+/**
+ * The logging mutex itself, exposed so tests can hold it while
+ * raising a signal -- proving the shutdown handlers never take it
+ * (see runner/shutdown.cc).  Not for production use.
+ */
+std::mutex &logMutexForTesting();
 
 namespace detail {
 

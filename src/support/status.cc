@@ -20,6 +20,10 @@ errorCodeName(ErrorCode code)
         return "internal";
       case ErrorCode::Interrupted:
         return "interrupted";
+      case ErrorCode::WorkerCrashed:
+        return "worker-crashed";
+      case ErrorCode::WorkerKilled:
+        return "worker-killed";
     }
     CSCHED_PANIC("unreachable error code ", static_cast<int>(code));
 }
@@ -30,7 +34,8 @@ parseErrorCodeName(const std::string &name)
     for (const ErrorCode candidate :
          {ErrorCode::InvalidSpec, ErrorCode::CheckFailed,
           ErrorCode::Timeout, ErrorCode::Injected, ErrorCode::Internal,
-          ErrorCode::Interrupted}) {
+          ErrorCode::Interrupted, ErrorCode::WorkerCrashed,
+          ErrorCode::WorkerKilled}) {
         if (name == errorCodeName(candidate))
             return candidate;
     }
@@ -79,6 +84,18 @@ Status
 Status::interrupted(std::string message)
 {
     return error(ErrorCode::Interrupted, std::move(message));
+}
+
+Status
+Status::workerCrashed(std::string message)
+{
+    return error(ErrorCode::WorkerCrashed, std::move(message));
+}
+
+Status
+Status::workerKilled(std::string message)
+{
+    return error(ErrorCode::WorkerKilled, std::move(message));
 }
 
 Status

@@ -38,6 +38,14 @@ enum class ErrorCode {
     Injected,     ///< forced by the fault-injection harness
     Internal,     ///< a library expectation failed at the job boundary
     Interrupted,  ///< aborted by a shutdown request (SIGINT/SIGTERM)
+    /**
+     * An isolated worker process died (signal, nonzero exit, OOM
+     * kill, or a garbled pipe frame) instead of reporting a result.
+     * Only produced under --isolate (runner/worker.hh).
+     */
+    WorkerCrashed,
+    /** The parent watchdog killed a worker stuck past its deadline. */
+    WorkerKilled,
 };
 
 /** Stable lower-case name, e.g. "check-failed" (used in JSON). */
@@ -66,6 +74,8 @@ class Status
     static Status injected(std::string message);
     static Status internal(std::string message);
     static Status interrupted(std::string message);
+    static Status workerCrashed(std::string message);
+    static Status workerKilled(std::string message);
 
     bool ok() const { return code_ == ErrorCode::Ok; }
     ErrorCode code() const { return code_; }

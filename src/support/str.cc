@@ -67,4 +67,15 @@ formatDouble(double value, int decimals)
     return buffer;
 }
 
+uint64_t
+fnv1aHash(const std::string &text)
+{
+    uint64_t hash = 0xcbf29ce484222325ULL;
+    for (const unsigned char c : text) {
+        hash ^= c;
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
 } // namespace csched

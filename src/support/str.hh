@@ -7,6 +7,7 @@
 #ifndef CSCHED_SUPPORT_STR_HH
 #define CSCHED_SUPPORT_STR_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,13 @@ std::string join(const std::vector<std::string> &parts,
 
 /** printf-style double formatting with @p decimals fraction digits. */
 std::string formatDouble(double value, int decimals);
+
+/**
+ * 64-bit FNV-1a of @p text: stable across platforms and runs, unlike
+ * std::hash.  Seeds every per-key deterministic draw (fault-injection
+ * probability rules, retry-backoff jitter).
+ */
+uint64_t fnv1aHash(const std::string &text);
 
 } // namespace csched
 

@@ -17,6 +17,8 @@
 #include "machine/raw_machine.hh"
 #include "machine/single_cluster.hh"
 #include "sched/schedule_checker.hh"
+#include "support/fault_injection.hh"
+#include "support/status.hh"
 #include "workloads/workloads.hh"
 
 namespace csched {
@@ -170,6 +172,72 @@ TEST(ConvergentScheduler, CustomSequenceRuns)
     const auto result = scheduler.schedule(graph);
     const auto check = checkSchedule(graph, vliw, result.schedule);
     EXPECT_TRUE(check.ok()) << check.message();
+}
+
+TEST(ConvergentScheduler, ThrowingPassIsSkippedAndRolledBack)
+{
+    const ClusteredVliwMachine vliw(4);
+    const auto graph = smallKernel(4);
+    const auto scheduler = ConvergentScheduler::forMachine(vliw);
+
+    // The third pass of the VLIW sequence (FIRST) throws mid-run; the
+    // scheduler must roll the preference matrix back to the pre-pass
+    // snapshot, mark the step skipped, and finish with the remaining
+    // passes.
+    std::string error;
+    const auto plan = FaultPlan::parse("pass.body=fail:nth=3", &error);
+    ASSERT_TRUE(plan.has_value()) << error;
+    FaultScope faults(&*plan, "degradation-test");
+    ScopedFaultScope fault_guard(&faults);
+
+    const auto result = scheduler.schedule(graph);
+    const auto check = checkSchedule(graph, vliw, result.schedule);
+    EXPECT_TRUE(check.ok()) << check.message();
+
+    ASSERT_EQ(result.trace.size(), 9u);
+    for (size_t k = 0; k < result.trace.size(); ++k)
+        EXPECT_EQ(result.trace[k].skipped, k == 2) << "pass " << k;
+    EXPECT_EQ(result.trace[2].pass, "FIRST");
+    // Rolled back means *no* preference movement is attributed to the
+    // skipped pass.
+    EXPECT_DOUBLE_EQ(result.trace[2].fractionChanged, 0.0);
+}
+
+TEST(ConvergentScheduler, SkippedPassLeavesNoTraceByDefault)
+{
+    // Without a fault, no step is marked skipped (the report layer
+    // relies on this: the "skipped" key is emitted only when true, so
+    // default report bytes are unchanged).
+    const ClusteredVliwMachine vliw(4);
+    const auto graph = smallKernel(4);
+    const auto scheduler = ConvergentScheduler::forMachine(vliw);
+    const auto result = scheduler.schedule(graph);
+    for (const auto &step : result.trace)
+        EXPECT_FALSE(step.skipped) << step.pass;
+}
+
+TEST(ConvergentScheduler, CancellationIsNotSwallowedByDegradation)
+{
+    // Pass-level degradation absorbs pass *bugs*, never cooperative
+    // cancellation: a deadline expiry inside a pass must still unwind
+    // the whole schedule() call so the job can time out.
+    const ClusteredVliwMachine vliw(4);
+    const auto graph = smallKernel(4);
+    const auto scheduler = ConvergentScheduler::forMachine(vliw);
+
+    std::string error;
+    const auto plan =
+        FaultPlan::parse("pass.body=timeout:nth=2", &error);
+    ASSERT_TRUE(plan.has_value()) << error;
+    FaultScope faults(&*plan, "degradation-test");
+    ScopedFaultScope fault_guard(&faults);
+
+    try {
+        scheduler.schedule(graph);
+        FAIL() << "an injected timeout must escape the pass guard";
+    } catch (const StatusError &caught) {
+        EXPECT_EQ(caught.status.code(), ErrorCode::Timeout);
+    }
 }
 
 TEST(WeightInvariants, AcceptAFreshAndANormalizedMatrix)

@@ -15,6 +15,7 @@
 
 #include <csignal>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <thread>
 
@@ -27,6 +28,7 @@
 #include "runner/shutdown.hh"
 #include "support/atomic_file.hh"
 #include "support/fault_injection.hh"
+#include "support/logging.hh"
 
 namespace csched {
 namespace {
@@ -300,6 +302,26 @@ TEST(Shutdown, RealSigtermDrainsJournalsAndResumes)
     const auto resumed = runGrid(resumed_grid);
     EXPECT_FALSE(resumed.interrupted);
     EXPECT_EQ(deterministicJson(resumed), deterministicJson(baseline));
+}
+
+TEST(Shutdown, HandlerIsSafeWhileTheLogMutexIsHeld)
+{
+    // Regression guard for the async-signal-safety audit in
+    // runner/shutdown.cc: the handler may run on a thread that is
+    // mid-log with the logging mutex held.  A handler that logged (or
+    // took any lock) would self-deadlock right here; a safe handler
+    // just flips the lock-free flags.
+    InterruptGuard guard;
+    installGridSignalHandlers();
+    {
+        std::lock_guard<std::mutex> mid_log(logMutexForTesting());
+        ASSERT_EQ(std::raise(SIGTERM), 0);
+    }
+    EXPECT_TRUE(interruptRequested());
+    EXPECT_EQ(interruptSignal(), SIGTERM);
+    // The handler resets the disposition to SIG_DFL after one shot
+    // (second-signal-kills contract); nothing to restore here --
+    // later tests reinstall the handlers themselves.
 }
 
 TEST(Shutdown, ExitCodeContract)

@@ -4,10 +4,14 @@
 # thread pool's exception barrier and the runner's determinism
 # machinery are actually race-free, not just lucky), run the
 # crash-safety tier (tier2) once more under AddressSanitizer (the
-# journal and atomic-file paths do raw POSIX I/O), and finish with an
-# end-to-end kill-and-resume smoke test against the real csched_bench
-# binary: SIGTERM a journaled grid mid-run, expect a graceful 143,
-# resume, and demand a byte-identical report.
+# journal and atomic-file paths do raw POSIX I/O) and under fatal
+# UBSan (the worker pipe protocol decodes raw, deliberately corrupted
+# frames), and finish with two end-to-end smoke tests against the real
+# csched_bench binary: SIGTERM a journaled grid mid-run, expect a
+# graceful 143, resume, and demand a byte-identical report; then
+# inject a worker segfault and a worker hang under --isolate and
+# demand both are contained as per-cell outcomes (exit 1) with the
+# healthy cells salvaged.
 #
 #   tools/ci.sh [BUILD_DIR_PREFIX]
 #
@@ -43,6 +47,16 @@ run_tier2_asan() {
     local build_dir="$1"
     build "${build_dir}" -DCSCHED_SANITIZE=address
     echo "=== tier2 ${build_dir} (asan)"
+    ctest --test-dir "${build_dir}" -L tier2 -j --output-on-failure
+}
+
+# The same tier once more under fatal UBSan: the worker pipe protocol
+# decodes raw length prefixes and frames that tests deliberately
+# truncate and corrupt, which is where undefined behaviour would hide.
+run_tier2_ubsan() {
+    local build_dir="$1"
+    build "${build_dir}" -DCSCHED_SANITIZE=undefined
+    echo "=== tier2 ${build_dir} (ubsan)"
     ctest --test-dir "${build_dir}" -L tier2 -j --output-on-failure
 }
 
@@ -88,9 +102,48 @@ kill_resume_smoke() {
     echo "=== kill-and-resume ok (143 on SIGTERM, byte-identical resume)"
 }
 
+# End-to-end containment smoke against the real binary: one cell's
+# worker segfaults, another hangs past its deadline; under --isolate
+# both must come back as recorded per-cell outcomes (exit 1 per the
+# grid's exit contract -- job failures, not a runner error), with the
+# healthy cells salvaged.
+containment_smoke() {
+    local bench="$1/tools/csched_bench"
+    echo "=== worker containment smoke"
+    local tmp
+    tmp="$(mktemp -d)"
+    local code=0
+    "${bench}" --workloads vvmul,fir --machines vliw2 \
+        --algorithms uas,convergent --jobs 4 --quiet --no-timings \
+        --isolate --deadline-ms 2000 --json "${tmp}/report.json" \
+        --inject 'worker.crash=fail:match=fir/vliw2/uas;worker.hang=fail:match=vvmul/vliw2/convergent' \
+        || code=$?
+    if [ "${code}" -ne 1 ]; then
+        echo "containment: expected exit 1 (contained job failures)," \
+             "got ${code}" >&2
+        exit 1
+    fi
+    grep -q '"error": "worker-crashed"' "${tmp}/report.json" || {
+        echo "containment: segfaulted cell not marked worker-crashed" >&2
+        exit 1
+    }
+    grep -q '"error": "worker-killed"' "${tmp}/report.json" || {
+        echo "containment: hung cell not marked worker-killed" >&2
+        exit 1
+    }
+    if [ "$(grep -c '"outcome": "ok"' "${tmp}/report.json")" -ne 2 ]; then
+        echo "containment: healthy cells were not salvaged" >&2
+        exit 1
+    fi
+    rm -rf "${tmp}"
+    echo "=== containment ok (crash + hang contained, healthy cells salvaged)"
+}
+
 run_suite "${prefix}-plain"
 run_suite "${prefix}-tsan" -DCSCHED_SANITIZE=thread
 run_tier2_asan "${prefix}-asan"
+run_tier2_ubsan "${prefix}-ubsan"
 kill_resume_smoke "${prefix}-plain"
+containment_smoke "${prefix}-plain"
 
-echo "=== all suites passed (plain + tsan + asan tier2 + kill/resume)"
+echo "=== all suites passed (plain + tsan + asan/ubsan tier2 + smokes)"

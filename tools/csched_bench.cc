@@ -30,6 +30,13 @@
  *     --no-speedup          skip the one-cluster normalisation runs
  *     --deadline-ms N       per-attempt deadline per job; 0 = none
  *     --retries N           retry failed/timed-out jobs up to N times
+ *     --isolate             run each job in a forked worker process:
+ *                           a segfault, hang, or memory runaway is
+ *                           contained as that cell's outcome (with
+ *                           the fatal signal/exit status recorded)
+ *                           instead of killing the run.  Reported
+ *                           numbers are byte-identical either way.
+ *     --mem-limit-mb N      RLIMIT_AS per isolated worker; 0 = none
  *     --journal FILE        append every terminal job outcome to FILE
  *                           as it completes (crash-safe JSONL)
  *     --resume              skip jobs already recorded in --journal
@@ -81,8 +88,9 @@ usage(const char *argv0, const std::string &why = "")
               << " [--no-timings]\n"
               << "  [--no-assignments] [--no-speedup] [--deadline-ms N]"
               << " [--retries N]\n"
-              << "  [--journal FILE] [--resume] [--keep-going]"
-              << " [--quiet]\n";
+              << "  [--isolate] [--mem-limit-mb N] [--journal FILE]"
+              << " [--resume]\n"
+              << "  [--keep-going] [--quiet]\n";
     std::exit(2);
 }
 
@@ -153,6 +161,11 @@ main(int argc, char **argv)
             grid.deadlineMs = nextInt(" must be >= 0 (0 = no deadline)");
         } else if (arg == "--retries") {
             grid.retries = nextInt(" must be >= 0");
+        } else if (arg == "--isolate") {
+            grid.isolate = true;
+        } else if (arg == "--mem-limit-mb") {
+            grid.memLimitMb =
+                nextInt(" must be >= 0 (0 = unlimited)");
         } else if (arg == "--journal") {
             grid.journalPath = next();
         } else if (arg == "--resume") {

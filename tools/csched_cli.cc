@@ -26,6 +26,10 @@
  *     --speedup           also compute speedup vs one cluster
  *     --deadline-ms N     per-attempt deadline; 0 = none
  *     --retries N         retry a failed/timed-out run up to N times
+ *     --isolate           (with --json) run the job in a forked
+ *                         worker process so a crash/hang/OOM becomes
+ *                         a recorded outcome, not a process death
+ *     --mem-limit-mb N    RLIMIT_AS per isolated worker; 0 = none
  *     --journal FILE      (with --json) append terminal job outcomes
  *                         to FILE as they complete
  *     --resume            (with --journal) replay journaled outcomes
@@ -78,8 +82,9 @@ usage(const char *argv0, const std::string &why = "")
               << "  [--sequence PASSES] [--json FILE] [--jobs N]"
               << " [--gantt] [--placements]\n"
               << "  [--trace] [--dot FILE] [--pressure] [--speedup]\n"
-              << "  [--deadline-ms N] [--retries N] [--journal FILE]"
-              << " [--resume] [--keep-going]\n";
+              << "  [--deadline-ms N] [--retries N] [--isolate]"
+              << " [--mem-limit-mb N]\n"
+              << "  [--journal FILE] [--resume] [--keep-going]\n";
     std::exit(2);
 }
 
@@ -99,6 +104,8 @@ main(int argc, char **argv)
     int jobs = 1;
     int deadline_ms = 0;
     int retries = 0;
+    bool isolate = false;
+    int mem_limit_mb = 0;
     bool keep_going = false;
     FaultPlan fault_plan;
     bool want_gantt = false;
@@ -125,7 +132,7 @@ main(int argc, char **argv)
         } else if (arg == "--json") {
             json_file = next();
         } else if (arg == "--jobs" || arg == "--deadline-ms" ||
-                   arg == "--retries") {
+                   arg == "--retries" || arg == "--mem-limit-mb") {
             const std::string text = next();
             int parsed = 0;
             try {
@@ -136,9 +143,12 @@ main(int argc, char **argv)
             }
             if (parsed < 0)
                 usage(argv[0], arg + " must be >= 0");
-            (arg == "--jobs" ? jobs
+            (arg == "--jobs"          ? jobs
              : arg == "--deadline-ms" ? deadline_ms
-                                      : retries) = parsed;
+             : arg == "--retries"     ? retries
+                                      : mem_limit_mb) = parsed;
+        } else if (arg == "--isolate") {
+            isolate = true;
         } else if (arg == "--journal") {
             journal_file = next();
         } else if (arg == "--resume") {
@@ -324,6 +334,8 @@ main(int argc, char **argv)
         grid.retries = retries;
         grid.journalPath = journal_file;
         grid.resume = resume;
+        grid.isolate = isolate;
+        grid.memLimitMb = mem_limit_mb;
         if (!fault_plan.empty())
             grid.faults = &fault_plan;
         const GridReport report = runGrid(grid);
