@@ -1,5 +1,6 @@
 #include "support/stats.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "support/logging.hh"
@@ -40,6 +41,15 @@ stddev(const std::vector<double> &values)
     for (double v : values)
         acc += (v - m) * (v - m);
     return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+double
+median(std::vector<double> values)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    return values[(values.size() - 1) / 2];
 }
 
 void

@@ -25,6 +25,14 @@ double geomean(const std::vector<double> &values);
 /** Population standard deviation; returns 0 for fewer than two values. */
 double stddev(const std::vector<double> &values);
 
+/**
+ * Lower median (the element at index (n-1)/2 of the sorted sample);
+ * returns 0 for an empty vector.  The lower median is deterministic
+ * and never interpolates, which keeps bench reports exact sample
+ * values rather than synthetic averages.
+ */
+double median(std::vector<double> values);
+
 /** Streaming accumulator for count/min/max/mean of a sample set. */
 class Accumulator
 {

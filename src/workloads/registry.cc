@@ -38,6 +38,22 @@ allWorkloads()
     return specs;
 }
 
+const std::vector<WorkloadSpec> &
+perfWorkloads()
+{
+    static const std::vector<WorkloadSpec> specs = {
+        {"synth-wide-10k", makeSynthWide10k,
+         "synthetic 10k-instr wide layered DAG (perf suite)"},
+        {"synth-narrow-2k", makeSynthNarrow2k,
+         "synthetic 2k-instr long narrow DAG, fpppp/sha shape"},
+        {"synth-wide-50k", makeSynthWide50k,
+         "synthetic 50k-instr wide layered DAG (perf stress)"},
+        {"synth-huge-100k", makeSynthHuge100k,
+         "synthetic 100k-instr wide layered DAG (perf ceiling)"},
+    };
+    return specs;
+}
+
 const WorkloadSpec &
 findWorkload(const std::string &name)
 {
@@ -51,6 +67,9 @@ const WorkloadSpec *
 tryFindWorkload(const std::string &name)
 {
     for (const auto &spec : allWorkloads())
+        if (spec.name == name)
+            return &spec;
+    for (const auto &spec : perfWorkloads())
         if (spec.name == name)
             return &spec;
     return nullptr;

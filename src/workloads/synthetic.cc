@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Large synthetic DAG generators for the performance suite.
+ *
+ * The paper's kernels top out at a few hundred instructions, which is
+ * far too small to exercise the preference-matrix engine: at that size
+ * every row fits in L1 and every pass finishes in microseconds.  These
+ * generators scale the random layered DAG of random_dag.cc to the
+ * 10k-100k-instruction range in two characteristic shapes:
+ *
+ *  - "wide": many instructions per level, shallow critical path.  The
+ *    matrix is tall (many rows) with short time axes; pass cost is
+ *    dominated by per-row kernel throughput.
+ *  - "narrow": few instructions per level, deep critical path (the
+ *    fpppp/sha shape of Figure 2a).  The matrix has long time axes
+ *    where most slots are infeasible, which is exactly what the
+ *    time-window sparsification mode exists for.
+ *
+ * All generators are deterministic (fixed seeds) and parameterised by
+ * (banks, preplace_clusters) like every other workload so they drop
+ * into grids, speedup normalisation, and the perf suite unchanged.
+ */
+
+#include "workloads/random_dag.hh"
+#include "workloads/workloads.hh"
+
+namespace csched {
+
+namespace {
+
+DependenceGraph
+makeSynthetic(int num_instrs, int width, double mem_fraction,
+              double float_fraction, uint64_t seed, int banks,
+              int preplace_clusters)
+{
+    RandomDagOptions options;
+    options.numInstructions = num_instrs;
+    options.width = width;
+    options.memFraction = mem_fraction;
+    options.floatFraction = float_fraction;
+    options.banks = banks;
+    options.preplaceClusters = preplace_clusters;
+    options.seed = seed;
+    return makeRandomDag(options);
+}
+
+} // namespace
+
+DependenceGraph
+makeSynthWide10k(int banks, int preplace_clusters)
+{
+    return makeSynthetic(10000, 64, 0.20, 0.6, 42, banks,
+                         preplace_clusters);
+}
+
+DependenceGraph
+makeSynthNarrow2k(int banks, int preplace_clusters)
+{
+    return makeSynthetic(2000, 4, 0.05, 0.9, 7, banks,
+                         preplace_clusters);
+}
+
+DependenceGraph
+makeSynthWide50k(int banks, int preplace_clusters)
+{
+    return makeSynthetic(50000, 320, 0.15, 0.6, 9, banks,
+                         preplace_clusters);
+}
+
+DependenceGraph
+makeSynthHuge100k(int banks, int preplace_clusters)
+{
+    return makeSynthetic(100000, 640, 0.15, 0.6, 11, banks,
+                         preplace_clusters);
+}
+
+} // namespace csched

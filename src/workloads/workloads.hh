@@ -74,6 +74,26 @@ DependenceGraph makeFir(int banks, int preplace_clusters);
 /** RGB-to-YUV conversion: wide, shallow, three stores per pixel. */
 DependenceGraph makeYuv(int banks, int preplace_clusters);
 
+// ---- Synthetic perf-suite DAGs (synthetic.cc) ----------------------
+//
+// Deterministic 2k-100k-instruction random layered DAGs used by
+// `csched_bench perf` to stress the preference-matrix engine.  They
+// live in a separate registry (perfWorkloads()) so interactive suites
+// and tests keep their paper-sized default sets; lookups by name
+// (tryFindWorkload) see both registries.
+
+/** 10k instructions, wide and shallow (many rows, short time axis). */
+DependenceGraph makeSynthWide10k(int banks, int preplace_clusters);
+
+/** 2k instructions, long and narrow (fpppp/sha shape, deep CPL). */
+DependenceGraph makeSynthNarrow2k(int banks, int preplace_clusters);
+
+/** 50k instructions, wide. */
+DependenceGraph makeSynthWide50k(int banks, int preplace_clusters);
+
+/** 100k instructions, wide; the stress ceiling of the perf suite. */
+DependenceGraph makeSynthHuge100k(int banks, int preplace_clusters);
+
 // ---- Registry (registry.cc) ----------------------------------------
 
 /** A named generator. */
@@ -86,6 +106,13 @@ struct WorkloadSpec
 
 /** Every benchmark generator, in a stable order. */
 const std::vector<WorkloadSpec> &allWorkloads();
+
+/**
+ * The large synthetic DAGs of the perf suite, in a stable order.
+ * Kept out of allWorkloads() so `--suite all` and the tests stay
+ * paper-sized; findWorkload/tryFindWorkload resolve these names too.
+ */
+const std::vector<WorkloadSpec> &perfWorkloads();
 
 /** Lookup by name; fatal when unknown. */
 const WorkloadSpec &findWorkload(const std::string &name);

@@ -1,19 +1,19 @@
 /**
  * @file
- * Batch experiment driver: run a (workload x machine x algorithm)
- * grid on a thread pool and report a table and/or structured JSON.
- * This subsumes the hand-rolled serial loops of the per-figure bench
- * binaries; e.g. Figure 8 is
+ * The benchmark driver, a small subcommand-style CLI:
  *
- *   csched_bench --suite vliw --machines vliw4 \
- *                --algorithms pcc,uas,convergent
+ *   csched_bench suite [options]   grid runner (table + JSON report)
+ *   csched_bench perf  [options]   perf trajectory: BENCH_*.json
+ *   csched_bench list              workloads, algorithms, passes
  *
- * and Table 2 is
+ * `suite` is the batch experiment driver: run a (workload x machine x
+ * algorithm) grid on a thread pool and report a table and/or a
+ * csched-grid-report-v2 JSON document.  E.g. Figure 8 is
  *
- *   csched_bench --suite raw --machines raw2,raw4,raw8,raw16 \
- *                --algorithms rawcc,convergent
+ *   csched_bench suite --suite vliw --machines vliw4 \
+ *                      --algorithms pcc,uas,convergent
  *
- *   csched_bench [options]
+ *   csched_bench suite [options]
  *     --workloads A,B,...   explicit workload list
  *     --suite raw|vliw|all  named workload suite (default: all)
  *     --machines S,S,...    machine specs (default vliw4)
@@ -56,18 +56,59 @@
  * also a hidden --inject RULES option, the deterministic
  * fault-injection harness used by the robustness tests; see
  * fault_injection.hh for the rule grammar.)
+ *
+ * `perf` measures the convergent-scheduler hot path and emits the two
+ * csched-bench-report-v1 documents of the tracked perf trajectory
+ * (see runner/bench_report.hh for the schema):
+ *
+ *   csched_bench perf [options]
+ *     --out-dir DIR         where BENCH_pass_kernels.json and
+ *                           BENCH_end_to-end.json are written
+ *                           (default ".")
+ *     --repeats N           samples per cell, median-of-N (default 5)
+ *     --quick               repeats 3 and the small cell set; the
+ *                           ci.sh perf gate uses this
+ *     --cells W/M[/ALG],... override the end-to-end cell list
+ *     --kernel-cells W/M,.. override the pass-kernel cell list
+ *     --check               compare against the baseline BENCH_*.json
+ *                           and exit 1 on >threshold slowdown, with a
+ *                           per-kernel delta table
+ *     --baseline-dir DIR    where --check finds the baseline
+ *                           (default: the repository checkout, ".")
+ *     --threshold PCT       --check slowdown gate (default 15)
+ *     --annotate-pre-rewrite FILE
+ *                           attach the medians of FILE (an end-to-end
+ *                           bench report measured on the pre-rewrite
+ *                           engine) as preRewriteSeconds
+ *
+ * Invoking csched_bench with grid flags but no subcommand keeps
+ * working as `suite` for one release (compatibility shim).
  */
 
+#include <sys/stat.h>
+#include <sys/utsname.h>
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
 #include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "convergent/pass_registry.hh"
+#include "eval/experiment.hh"
+#include "machine/machine_spec.hh"
+#include "runner/bench_report.hh"
 #include "runner/failure_summary.hh"
 #include "runner/grid_runner.hh"
 #include "runner/json_report.hh"
 #include "runner/shutdown.hh"
 #include "support/atomic_file.hh"
 #include "support/fault_injection.hh"
+#include "support/stats.hh"
 #include "support/str.hh"
 #include "support/table.hh"
 #include "workloads/workloads.hh"
@@ -81,16 +122,22 @@ usage(const char *argv0, const std::string &why = "")
 {
     if (!why.empty())
         std::cerr << argv0 << ": " << why << "\n";
-    std::cerr << "usage: " << argv0
-              << " [--workloads A,B|--suite raw|vliw|all]"
-              << " [--machines S,S]\n"
-              << "  [--algorithms A,A] [--jobs N] [--json FILE]"
-              << " [--no-timings]\n"
-              << "  [--no-assignments] [--no-speedup] [--deadline-ms N]"
-              << " [--retries N]\n"
-              << "  [--isolate] [--mem-limit-mb N] [--journal FILE]"
-              << " [--resume]\n"
-              << "  [--keep-going] [--quiet]\n";
+    std::cerr
+        << "usage: " << argv0 << " suite|perf|list [options]\n"
+        << "  suite [--workloads A,B|--suite raw|vliw|all]"
+        << " [--machines S,S]\n"
+        << "    [--algorithms A,A] [--jobs N] [--json FILE]"
+        << " [--no-timings]\n"
+        << "    [--no-assignments] [--no-speedup] [--deadline-ms N]"
+        << " [--retries N]\n"
+        << "    [--isolate] [--mem-limit-mb N] [--journal FILE]"
+        << " [--resume]\n"
+        << "    [--keep-going] [--quiet]\n"
+        << "  perf [--out-dir DIR] [--repeats N] [--quick]"
+        << " [--cells W/M,..]\n"
+        << "    [--kernel-cells W/M,..] [--check] [--baseline-dir DIR]\n"
+        << "    [--threshold PCT] [--annotate-pre-rewrite FILE]\n"
+        << "  list\n";
     std::exit(2);
 }
 
@@ -110,10 +157,10 @@ suiteWorkloads(const std::string &suite)
     return {};
 }
 
-} // namespace
+// ---- suite ---------------------------------------------------------
 
 int
-main(int argc, char **argv)
+runSuite(const char *argv0, const std::vector<std::string> &args)
 {
     GridSpec grid;
     grid.machines = {"vliw4"};
@@ -127,12 +174,12 @@ main(int argc, char **argv)
     bool keep_going = false;
     FaultPlan fault_plan;
 
-    for (int k = 1; k < argc; ++k) {
-        const std::string arg = argv[k];
+    for (size_t k = 0; k < args.size(); ++k) {
+        const std::string arg = args[k];
         auto next = [&]() -> std::string {
-            if (k + 1 >= argc)
-                usage(argv[0], arg + " needs a value");
-            return argv[++k];
+            if (k + 1 >= args.size())
+                usage(argv0, arg + " needs a value");
+            return args[++k];
         };
         auto nextInt = [&](const char *floor_why) -> int {
             const std::string text = next();
@@ -140,11 +187,11 @@ main(int argc, char **argv)
             try {
                 parsed = std::stoi(text);
             } catch (...) {
-                usage(argv[0],
+                usage(argv0,
                       arg + " expects an integer, got '" + text + "'");
             }
             if (parsed < 0)
-                usage(argv[0], arg + floor_why);
+                usage(argv0, arg + floor_why);
             return parsed;
         };
         if (arg == "--workloads") {
@@ -178,7 +225,7 @@ main(int argc, char **argv)
             std::string why;
             const auto parsed_plan = FaultPlan::parse(next(), &why);
             if (!parsed_plan.has_value())
-                usage(argv[0], "--inject: " + why);
+                usage(argv0, "--inject: " + why);
             fault_plan = *parsed_plan;
         } else if (arg == "--json") {
             json_file = next();
@@ -191,7 +238,7 @@ main(int argc, char **argv)
         } else if (arg == "--quiet") {
             quiet = true;
         } else {
-            usage(argv[0], "unknown option '" + arg + "'");
+            usage(argv0, "unknown option '" + arg + "'");
         }
     }
 
@@ -199,8 +246,8 @@ main(int argc, char **argv)
                          ? suiteWorkloads(suite)
                          : split(workloads_arg, ',');
     if (grid.workloads.empty())
-        usage(argv[0], "unknown suite '" + suite +
-                           "' (expected raw|vliw|all)");
+        usage(argv0, "unknown suite '" + suite +
+                         "' (expected raw|vliw|all)");
 
     // Algorithm specs may contain colons+commas ("convergent:A,B"),
     // so split on commas only outside a sequence: a part that names a
@@ -215,7 +262,7 @@ main(int argc, char **argv)
                    !grid.algorithms.back().sequence.empty()) {
             grid.algorithms.back().sequence += "," + trim(part);
         } else {
-            usage(argv[0], error);
+            usage(argv0, error);
         }
     }
     // Re-validate the stitched-together sequences.
@@ -223,18 +270,18 @@ main(int argc, char **argv)
         std::string error;
         const auto parsed = parseAlgorithmSpec(spec.text(), &error);
         if (!parsed.has_value())
-            usage(argv[0], error);
+            usage(argv0, error);
         spec = *parsed;
     }
 
     if (!fault_plan.empty())
         grid.faults = &fault_plan;
     if (grid.resume && grid.journalPath.empty())
-        usage(argv[0], "--resume requires --journal");
+        usage(argv0, "--resume requires --journal");
 
     std::string error;
     if (!validateGrid(grid, &error))
-        usage(argv[0], error);
+        usage(argv0, error);
 
     installGridSignalHandlers();
     const GridReport report = runGrid(grid);
@@ -275,7 +322,7 @@ main(int argc, char **argv)
             const Status written = writeFileAtomic(
                 json_file, gridReportToJson(report, report_options));
             if (!written.ok()) {
-                std::cerr << argv[0] << ": " << written.toString()
+                std::cerr << argv0 << ": " << written.toString()
                           << "\n";
                 return 1;
             }
@@ -286,4 +333,395 @@ main(int argc, char **argv)
 
     printFailureSummary(std::cerr, report);
     return gridExitCode(report, keep_going);
+}
+
+// ---- perf ----------------------------------------------------------
+
+/** One perf cell: a workload on a machine under an algorithm. */
+struct PerfCell
+{
+    std::string workload;
+    std::string machine;
+    std::string algorithm = "convergent";
+};
+
+std::vector<PerfCell>
+parsePerfCells(const char *argv0, const std::string &text)
+{
+    std::vector<PerfCell> cells;
+    for (const auto &part : split(text, ',')) {
+        const auto fields = split(part, '/');
+        if (fields.size() != 2 && fields.size() != 3)
+            usage(argv0, "cell '" + part +
+                             "' is not workload/machine[/algorithm]");
+        PerfCell cell;
+        cell.workload = fields[0];
+        cell.machine = fields[1];
+        if (fields.size() == 3)
+            cell.algorithm = fields[2];
+        cells.push_back(cell);
+    }
+    return cells;
+}
+
+std::optional<std::string>
+readWholeFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+BenchMeta
+collectMeta(int repeats)
+{
+    BenchMeta meta;
+#ifdef CSCHED_GIT_COMMIT
+    meta.commit = CSCHED_GIT_COMMIT;
+#else
+    meta.commit = "unknown";
+#endif
+#ifdef CSCHED_BUILD_TYPE
+    meta.buildType = CSCHED_BUILD_TYPE;
+#else
+    meta.buildType = "unknown";
+#endif
+#ifdef CSCHED_CXX_FLAGS
+    meta.flags = CSCHED_CXX_FLAGS;
+#else
+    meta.flags = "";
+#endif
+    meta.compiler = __VERSION__;
+    struct utsname names;
+    if (uname(&names) == 0)
+        meta.host = std::string(names.sysname) + " " + names.release +
+                    " " + names.machine;
+    else
+        meta.host = "unknown";
+    meta.repeats = repeats;
+    return meta;
+}
+
+/**
+ * Per-pass kernel names for a trace, disambiguating repeated passes
+ * by occurrence ("PATHPROP", "PATHPROP.2", "PATHPROP.3").
+ */
+std::vector<std::string>
+kernelNames(const std::vector<PassStep> &trace)
+{
+    std::map<std::string, int> seen;
+    std::vector<std::string> names;
+    for (const auto &step : trace) {
+        const int occurrence = ++seen[step.pass];
+        names.push_back(occurrence == 1
+                            ? step.pass
+                            : step.pass + "." +
+                                  std::to_string(occurrence));
+    }
+    return names;
+}
+
+int
+runPerf(const char *argv0, const std::vector<std::string> &args)
+{
+    std::string out_dir = ".";
+    std::string baseline_dir = ".";
+    std::string annotate_file;
+    int repeats = 5;
+    bool quick = false;
+    bool check = false;
+    double threshold = 15.0;
+    std::string cells_arg;
+    std::string kernel_cells_arg;
+
+    for (size_t k = 0; k < args.size(); ++k) {
+        const std::string arg = args[k];
+        auto next = [&]() -> std::string {
+            if (k + 1 >= args.size())
+                usage(argv0, arg + " needs a value");
+            return args[++k];
+        };
+        if (arg == "--out-dir") {
+            out_dir = next();
+        } else if (arg == "--baseline-dir") {
+            baseline_dir = next();
+        } else if (arg == "--repeats") {
+            repeats = std::stoi(next());
+            if (repeats < 1)
+                usage(argv0, "--repeats must be >= 1");
+        } else if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--check") {
+            check = true;
+        } else if (arg == "--threshold") {
+            threshold = std::stod(next());
+        } else if (arg == "--cells") {
+            cells_arg = next();
+        } else if (arg == "--kernel-cells") {
+            kernel_cells_arg = next();
+        } else if (arg == "--annotate-pre-rewrite") {
+            annotate_file = next();
+        } else {
+            usage(argv0, "unknown perf option '" + arg + "'");
+        }
+    }
+    if (quick)
+        repeats = std::min(repeats, 3);
+
+    // The default cell sets: the acceptance cell (synth-wide-10k on
+    // the four-cluster VLIW) plus the narrow window-stress shape and
+    // three paper kernels for continuity with the figures.
+    std::vector<PerfCell> e2e_cells = {
+        {"synth-wide-10k", "vliw4", "convergent"},
+        {"synth-narrow-2k", "vliw4", "convergent"},
+        {"synth-narrow-2k", "raw4", "convergent"},
+        {"mxm", "vliw4", "convergent"},
+        {"cholesky", "vliw4", "convergent"},
+        {"sha", "raw4", "convergent"},
+    };
+    std::vector<PerfCell> kernel_cells = {
+        {"synth-wide-10k", "vliw4", "convergent"},
+        {"synth-narrow-2k", "raw4", "convergent"},
+        {"mxm", "vliw4", "convergent"},
+    };
+    if (quick) {
+        e2e_cells = {{"synth-wide-10k", "vliw4", "convergent"},
+                     {"synth-narrow-2k", "raw4", "convergent"}};
+        kernel_cells = {{"synth-wide-10k", "vliw4", "convergent"}};
+    }
+    if (!cells_arg.empty())
+        e2e_cells = parsePerfCells(argv0, cells_arg);
+    if (!kernel_cells_arg.empty())
+        kernel_cells = parsePerfCells(argv0, kernel_cells_arg);
+
+    BenchReport kernels_report;
+    kernels_report.kind = "pass-kernels";
+    kernels_report.meta = collectMeta(repeats);
+    BenchReport e2e_report;
+    e2e_report.kind = "end-to-end";
+    e2e_report.meta = collectMeta(repeats);
+
+    auto prepare = [&](const PerfCell &cell,
+                       std::unique_ptr<MachineModel> *machine,
+                       std::unique_ptr<SchedulingAlgorithm> *algorithm)
+        -> DependenceGraph {
+        std::string error;
+        *machine = parseMachineSpec(cell.machine, &error);
+        if (*machine == nullptr)
+            usage(argv0, error);
+        const auto spec = parseAlgorithmSpec(cell.algorithm, &error);
+        if (!spec.has_value())
+            usage(argv0, error);
+        *algorithm = makeAlgorithm(*spec, **machine);
+        const WorkloadSpec *workload = tryFindWorkload(cell.workload);
+        if (workload == nullptr)
+            usage(argv0, "unknown workload '" + cell.workload + "'");
+        const int clusters = (*machine)->numClusters();
+        return workload->build(clusters, clusters);
+    };
+
+    // End-to-end cells: median-of-N wall time of a full schedule()
+    // call; one untimed warm-up run per cell.
+    for (const auto &cell : e2e_cells) {
+        std::unique_ptr<MachineModel> machine;
+        std::unique_ptr<SchedulingAlgorithm> algorithm;
+        const DependenceGraph graph =
+            prepare(cell, &machine, &algorithm);
+        (void)algorithm->run(graph); // warm-up, untimed
+        std::vector<double> seconds;
+        int makespan = 0;
+        for (int rep = 0; rep < repeats; ++rep) {
+            const auto begin = std::chrono::steady_clock::now();
+            const ScheduleResult result = algorithm->run(graph);
+            const auto end = std::chrono::steady_clock::now();
+            seconds.push_back(
+                std::chrono::duration<double>(end - begin).count());
+            makespan = result.schedule.makespan();
+        }
+        BenchCell out;
+        out.workload = cell.workload;
+        out.machine = cell.machine;
+        out.algorithm = cell.algorithm;
+        out.medianSeconds = median(seconds);
+        out.reps = repeats;
+        out.instructions = graph.numInstructions();
+        out.makespan = makespan;
+        e2e_report.cells.push_back(out);
+        std::cerr << "perf: " << out.key() << " median "
+                  << formatDouble(out.medianSeconds * 1e3, 2)
+                  << " ms over " << repeats << " reps\n";
+    }
+
+    // Pass-kernel cells: per-pass wall times from the pipeline trace,
+    // median-of-N per trace position.
+    for (const auto &cell : kernel_cells) {
+        std::unique_ptr<MachineModel> machine;
+        std::unique_ptr<SchedulingAlgorithm> algorithm;
+        const DependenceGraph graph =
+            prepare(cell, &machine, &algorithm);
+        std::vector<std::string> names;
+        std::vector<std::vector<double>> samples;
+        for (int rep = 0; rep < repeats; ++rep) {
+            const ScheduleResult result = algorithm->run(graph);
+            if (names.empty()) {
+                names = kernelNames(result.trace);
+                samples.resize(names.size());
+            }
+            for (size_t k = 0;
+                 k < result.trace.size() && k < samples.size(); ++k)
+                samples[k].push_back(result.trace[k].seconds);
+        }
+        for (size_t k = 0; k < names.size(); ++k) {
+            BenchCell out;
+            out.workload = cell.workload;
+            out.machine = cell.machine;
+            out.kernel = names[k];
+            out.medianSeconds = median(samples[k]);
+            out.reps = repeats;
+            kernels_report.cells.push_back(out);
+        }
+        std::cerr << "perf: " << cell.workload << "/" << cell.machine
+                  << " pass kernels measured (" << names.size()
+                  << " passes x " << repeats << " reps)\n";
+    }
+
+    // Optionally attach pre-rewrite medians so the trajectory's
+    // starting point travels with the report.
+    if (!annotate_file.empty()) {
+        const auto loaded = readWholeFile(annotate_file);
+        if (!loaded.has_value()) {
+            std::cerr << argv0 << ": cannot read " << annotate_file
+                      << "\n";
+            return 1;
+        }
+        std::string error;
+        const auto pre = parseBenchReport(*loaded, &error);
+        if (!pre.has_value()) {
+            std::cerr << argv0 << ": " << annotate_file << ": "
+                      << error << "\n";
+            return 1;
+        }
+        std::map<std::string, double> pre_by_key;
+        for (const auto &cell : pre->cells)
+            pre_by_key[cell.key()] = cell.medianSeconds;
+        for (auto &cell : e2e_report.cells) {
+            const auto it = pre_by_key.find(cell.key());
+            if (it != pre_by_key.end())
+                cell.preRewriteSeconds = it->second;
+        }
+    }
+
+    // mkdir -p for the output directory (existing components are ok).
+    std::string dir_prefix;
+    for (const auto &component : split(out_dir, '/')) {
+        dir_prefix += component + "/";
+        if (!component.empty() && component != ".")
+            ::mkdir(dir_prefix.c_str(), 0777);
+    }
+    auto writeReport = [&](const std::string &path,
+                           const BenchReport &report) -> bool {
+        const Status written =
+            writeFileAtomic(path, benchReportToJson(report));
+        if (!written.ok()) {
+            std::cerr << argv0 << ": " << written.toString() << "\n";
+            return false;
+        }
+        std::cerr << "perf: wrote " << path << "\n";
+        return true;
+    };
+    if (!writeReport(out_dir + "/BENCH_pass_kernels.json",
+                     kernels_report) ||
+        !writeReport(out_dir + "/BENCH_end_to_end.json", e2e_report))
+        return 1;
+
+    if (!check)
+        return 0;
+
+    // The regression gate: join against the committed baselines and
+    // fail on slowdown beyond the threshold.
+    BenchCompareOptions compare;
+    compare.slowdownThreshold = threshold / 100.0;
+    bool ok = true;
+    auto gate = [&](const BenchReport &current, const char *name) {
+        const std::string base_path =
+            baseline_dir + "/" + std::string(name);
+        const auto loaded = readWholeFile(base_path);
+        if (!loaded.has_value()) {
+            std::cerr << argv0 << ": perf gate: no baseline "
+                      << base_path << "\n";
+            ok = false;
+            return;
+        }
+        std::string error;
+        const auto baseline = parseBenchReport(*loaded, &error);
+        if (!baseline.has_value()) {
+            std::cerr << argv0 << ": perf gate: " << base_path << ": "
+                      << error << "\n";
+            ok = false;
+            return;
+        }
+        std::cout << "perf gate: " << name << " vs " << base_path
+                  << " (threshold " << formatDouble(threshold, 0)
+                  << "%)\n";
+        if (!compareBenchReports(*baseline, current, compare,
+                                 std::cout))
+            ok = false;
+        std::cout << "\n";
+    };
+    gate(kernels_report, "BENCH_pass_kernels.json");
+    gate(e2e_report, "BENCH_end_to_end.json");
+    if (!ok) {
+        std::cerr << argv0 << ": perf gate FAILED\n";
+        return 1;
+    }
+    std::cout << "perf gate ok\n";
+    return 0;
+}
+
+// ---- list ----------------------------------------------------------
+
+int
+runList()
+{
+    std::cout << "workloads:\n";
+    for (const auto &spec : allWorkloads())
+        std::cout << "  " << spec.name << "  -- " << spec.description
+                  << "\n";
+    std::cout << "perf workloads (csched_bench perf):\n";
+    for (const auto &spec : perfWorkloads())
+        std::cout << "  " << spec.name << "  -- " << spec.description
+                  << "\n";
+    std::cout << "machines: vliwN, rawN, rawRxC, single\n";
+    std::cout << "algorithms:";
+    for (const auto &name : knownAlgorithmNames())
+        std::cout << " " << name;
+    std::cout << "\npasses:";
+    for (const auto &name : knownPassNames())
+        std::cout << " " << name;
+    std::cout << "\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (!args.empty() && args[0] == "suite")
+        return runSuite(argv[0], {args.begin() + 1, args.end()});
+    if (!args.empty() && args[0] == "perf")
+        return runPerf(argv[0], {args.begin() + 1, args.end()});
+    if (!args.empty() && args[0] == "list")
+        return runList();
+    if (!args.empty() && args[0] == "help")
+        usage(argv[0]);
+    // Compatibility shim: bare grid flags keep meaning `suite` for
+    // one release.
+    if (args.empty() || args[0].rfind("--", 0) == 0)
+        return runSuite(argv[0], args);
+    usage(argv[0], "unknown subcommand '" + args[0] + "'");
 }
