@@ -55,9 +55,9 @@ class AutoIncrementPass : public Pass
                 if (!isMemory(graph.instr(succ).op))
                     continue;
                 // Pull the increment towards the access's cluster.
-                weights.scaleCluster(
-                    i, weights.preferredCluster(succ), 4.0);
-                weights.normalize(i);
+                auto row = weights.row(i);
+                row.scaleCluster(weights.preferredCluster(succ), 4.0);
+                row.normalize();
             }
         }
     }

@@ -30,10 +30,12 @@ checkWeightInvariants(const PreferenceMatrix &weights,
     };
 
     for (InstrId i = 0; i < weights.numInstructions(); ++i) {
+        // Slots outside the row's feasible window are exactly zero by
+        // construction, so checking the window checks the whole row.
+        const auto row = weights.row(i);
         double sum = 0.0;
-        for (int t = 0; t < weights.numTimes(); ++t) {
-            for (int c = 0; c < weights.numClusters(); ++c) {
-                const double w = weights.at(i, t, c);
+        for (int c = 0; c < weights.numClusters(); ++c) {
+            for (const double w : row.windowSpan(c)) {
                 if (!std::isfinite(w))
                     return fail(i, "non-finite weight");
                 if (w < -kSlack || w > 1.0 + kSlack)
@@ -92,6 +94,11 @@ ConvergentScheduler::schedule(const DependenceGraph &graph) const
                             {}};
 
     std::vector<int> before = weights.preferredClusters();
+    // The rollback snapshot lives outside the pass loop so that each
+    // iteration copy-assigns into the same allocation; on large units
+    // the matrix arena runs to hundreds of megabytes, and re-mallocing
+    // (and re-faulting) it per pass would dominate the pipeline.
+    PreferenceMatrix snapshot = weights;
     for (const auto &pass : passes_) {
         checkpoint("pass.apply");
         // Pass-level graceful degradation (the paper's Section-4
@@ -103,7 +110,7 @@ ConvergentScheduler::schedule(const DependenceGraph &graph) const
         // cancellation (deadline, shutdown) must still unwind: a
         // skipped pass is a degraded schedule, a missed deadline is
         // not.
-        const PreferenceMatrix snapshot = weights;
+        snapshot = weights;
         const auto begin = std::chrono::steady_clock::now();
         std::string skip_reason;
         try {

@@ -96,16 +96,19 @@ class CommPass : public Pass
             // neighbour currently prefers it.
             const double floor = 0.01 * total / num_clusters;
             for (int c = 0; c < num_clusters; ++c)
-                weights.scaleCluster(i, c, attraction[c] + floor);
-            weights.normalize(i);
+                attraction[c] += floor;
+            auto row = weights.row(i);
+            row.scaleClusters(attraction.data());
+            row.normalize();
         }
 
         // "for each (i): W[i][ti][ci] *= 2" -- reinforce the slot that
         // was preferred coming into this pass.
         for (InstrId i = 0; i < n; ++i) {
-            weights.scale(i, preferred_time[i], preferred_cluster[i],
+            auto row = weights.row(i);
+            row.scaleSlot(preferred_time[i], preferred_cluster[i],
                           ctx.params.commPreferredBoost);
-            weights.normalize(i);
+            row.normalize();
         }
     }
 };

@@ -29,8 +29,9 @@ class EmphCpPass : public Pass
             const int slot = ctx.graph.earliestStart(i);
             if (slot >= ctx.weights.numTimes())
                 continue;
-            ctx.weights.scaleTime(i, slot, ctx.params.emphCpFactor);
-            ctx.weights.normalize(i);
+            auto row = ctx.weights.row(i);
+            row.scaleTime(slot, ctx.params.emphCpFactor);
+            row.normalize();
         }
     }
 };

@@ -23,8 +23,9 @@ class FirstPass : public Pass
     run(PassContext &ctx) override
     {
         for (InstrId i = 0; i < ctx.graph.numInstructions(); ++i) {
-            ctx.weights.scaleCluster(i, 0, ctx.params.firstFactor);
-            ctx.weights.normalize(i);
+            auto row = ctx.weights.row(i);
+            row.scaleCluster(0, ctx.params.firstFactor);
+            row.normalize();
         }
     }
 };

@@ -27,24 +27,21 @@ class InitTimePass : public Pass
     {
         const auto &graph = ctx.graph;
         auto &weights = ctx.weights;
-        const int num_times = weights.numTimes();
         const int num_clusters = weights.numClusters();
         const int cpl = graph.criticalPathLength();
 
         for (InstrId i = 0; i < graph.numInstructions(); ++i) {
             const int lp = graph.earliestStart(i);
             const int latest = cpl - graph.latestFinishSlack(i);
-            for (int t = 0; t < num_times; ++t) {
-                if (t >= lp && t <= latest)
-                    continue;
-                for (int c = 0; c < num_clusters; ++c)
-                    weights.set(i, t, c, 0.0);
-            }
+            auto row = weights.row(i);
+            // Squash everything outside [lp, latest]; later batched
+            // operations on this row then iterate the window only.
+            row.restrictTimeWindow(lp, latest + 1);
             for (int c = 0; c < num_clusters; ++c) {
                 if (!ctx.machine.canExecute(c, graph.instr(i).op))
-                    weights.scaleCluster(i, c, 0.0);
+                    row.zeroCluster(c);
             }
-            weights.normalize(i);
+            row.normalize();
         }
     }
 };

@@ -173,8 +173,9 @@ class LevelDistributePass : public Pass
 
         for (int c = 0; c < num_clusters; ++c) {
             for (InstrId i : bins[c]) {
-                weights.scaleCluster(i, c, ctx.params.levelBoost);
-                weights.normalize(i);
+                auto row = weights.row(i);
+                row.scaleCluster(c, ctx.params.levelBoost);
+                row.normalize();
             }
         }
     }

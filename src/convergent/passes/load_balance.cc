@@ -37,11 +37,13 @@ class LoadBalancePass : public Pass
         // Guard against empty clusters; a tiny load would otherwise
         // explode the division.
         const double floor = 1e-3;
+        std::vector<double> factors(num_clusters);
+        for (int c = 0; c < num_clusters; ++c)
+            factors[c] = 1.0 / std::max(load[c], floor);
         for (InstrId i = 0; i < n; ++i) {
-            for (int c = 0; c < num_clusters; ++c)
-                weights.scaleCluster(i, c,
-                                     1.0 / std::max(load[c], floor));
-            weights.normalize(i);
+            auto row = weights.row(i);
+            row.scaleClusters(factors.data());
+            row.normalize();
         }
     }
 };

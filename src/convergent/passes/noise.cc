@@ -26,17 +26,9 @@ class NoisePass : public Pass
     {
         auto &weights = ctx.weights;
         for (InstrId i = 0; i < weights.numInstructions(); ++i) {
-            for (int t = 0; t < weights.numTimes(); ++t) {
-                for (int c = 0; c < weights.numClusters(); ++c) {
-                    const double current = weights.at(i, t, c);
-                    if (current <= 0.0)
-                        continue;
-                    weights.set(i, t, c,
-                                current + ctx.rng.uniform() *
-                                              ctx.params.noiseAmplitude);
-                }
-            }
-            weights.normalize(i);
+            auto row = weights.row(i);
+            row.addPositiveNoise(ctx.rng, ctx.params.noiseAmplitude);
+            row.normalize();
         }
     }
 };

@@ -98,14 +98,15 @@ class PathPass : public Pass
 
         for (size_t k = begin; k < end; ++k) {
             const InstrId i = path[k];
+            auto row = ctx.weights.row(i);
             // Account for the load shift before normalising away the
             // old marginals.
             for (int c = 0; c < num_clusters; ++c)
-                load[c] -= ctx.weights.spaceMarginal(i, c);
-            ctx.weights.scaleCluster(i, chosen, ctx.params.pathFactor);
-            ctx.weights.normalize(i);
+                load[c] -= row.spaceMarginal(c);
+            row.scaleCluster(chosen, ctx.params.pathFactor);
+            row.normalize();
             for (int c = 0; c < num_clusters; ++c)
-                load[c] += ctx.weights.spaceMarginal(i, c);
+                load[c] += row.spaceMarginal(c);
         }
     }
 };

@@ -80,8 +80,9 @@ class PathPropPass : public Pass
             }
             if (next == kNoInstr)
                 break;
-            weights.blend(next, source, keep);
-            weights.normalize(next);
+            auto row = weights.row(next);
+            row.blendFrom(weights.row(source), keep);
+            row.normalize();
             current = next;
         }
     }

@@ -27,9 +27,9 @@ class PlacePass : public Pass
             const auto &instr = ctx.graph.instr(i);
             if (!instr.preplaced())
                 continue;
-            ctx.weights.scaleCluster(i, instr.homeCluster,
-                                     ctx.params.placeFactor);
-            ctx.weights.normalize(i);
+            auto row = ctx.weights.row(i);
+            row.scaleCluster(instr.homeCluster, ctx.params.placeFactor);
+            row.normalize();
         }
     }
 };

@@ -81,6 +81,7 @@ class PlacePropPass : public Pass
             }
         }
 
+        std::vector<double> factors(num_clusters);
         for (InstrId i = 0; i < n; ++i) {
             if (graph.instr(i).preplaced())
                 continue;
@@ -90,9 +91,11 @@ class PlacePropPass : public Pass
                     distance = far;  // unreachable or absent: very far
                 if (distance < 1)
                     distance = 1;
-                weights.scaleCluster(i, c, 1.0 / distance);
+                factors[c] = 1.0 / distance;
             }
-            weights.normalize(i);
+            auto row = weights.row(i);
+            row.scaleClusters(factors.data());
+            row.normalize();
         }
     }
 };

@@ -74,11 +74,13 @@ class RegPressPass : public Pass
         if (!any_over)
             return;
 
+        std::vector<double> factors(num_clusters);
+        for (int c = 0; c < num_clusters; ++c)
+            factors[c] = penalty[c] > 1.0 ? 1.0 / penalty[c] : 1.0;
         for (InstrId i = 0; i < n; ++i) {
-            for (int c = 0; c < num_clusters; ++c)
-                if (penalty[c] > 1.0)
-                    weights.scaleCluster(i, c, 1.0 / penalty[c]);
-            weights.normalize(i);
+            auto row = weights.row(i);
+            row.scaleClusters(factors.data());
+            row.normalize();
         }
     }
 };

@@ -3,6 +3,20 @@
 #include <algorithm>
 
 #include "support/logging.hh"
+#include "support/rng.hh"
+
+// Bit-identity note.  Every loop below that folds weights into a sum
+// accumulates in the exact order the pre-rewrite (time-major,
+// full-row) engine used: space marginals ascend t within one cluster,
+// time marginals ascend c within one slot, and normalize's row total
+// ascends t-major across the whole row.  Slots outside a row's
+// feasible window hold exactly +0.0, and for non-negative weights
+// x + (+0.0) == x and (+0.0) * f == +0.0 bitwise, so restricting a
+// sum or a scale to the window drops only terms that cannot change
+// any partial sum.  Fused multiply+accumulate kernels keep the store
+// and the accumulation in separate statements so the addend is the
+// rounded, stored value.  tests/matrix_differential_test.cc holds the
+// engine to bit-identical agreement with the dense reference.
 
 namespace csched {
 
@@ -11,166 +25,392 @@ PreferenceMatrix::PreferenceMatrix(int num_instrs, int num_times,
     : numInstrs_(num_instrs),
       numTimes_(num_times),
       numClusters_(num_clusters),
-      rowSize_(static_cast<size_t>(num_times) * num_clusters)
+      rowStride_(static_cast<size_t>(num_times) * num_clusters)
 {
     CSCHED_ASSERT(num_instrs > 0, "matrix needs instructions");
     CSCHED_ASSERT(num_times > 0, "matrix needs time slots");
     CSCHED_ASSERT(num_clusters > 0, "matrix needs clusters");
-    const double uniform = 1.0 / static_cast<double>(rowSize_);
-    data_.assign(static_cast<size_t>(num_instrs) * rowSize_, uniform);
-    spaceSum_.assign(static_cast<size_t>(num_instrs) * num_clusters, 0.0);
-    timeSum_.assign(static_cast<size_t>(num_instrs) * num_times, 0.0);
-    dirty_.assign(num_instrs, true);
+    const double uniform = 1.0 / static_cast<double>(rowStride_);
+    arena_.assign(static_cast<size_t>(num_instrs) * rowStride_, uniform);
+    timeOff_ = static_cast<size_t>(num_instrs) * num_clusters;
+    cache_.assign(timeOff_ + static_cast<size_t>(num_instrs) * num_times,
+                  0.0);
+    winLo_.assign(num_instrs, 0);
+    winHi_.assign(num_instrs, num_times);
+    spaceValid_.assign(num_instrs, 0);
+    timeValid_.assign(num_instrs, 0);
+    clean_.assign(num_instrs, 0);
+}
+
+void
+PreferenceMatrix::checkInstr(InstrId i) const
+{
+    CSCHED_ASSERT(i >= 0 && i < numInstrs_, "instruction ", i,
+                  " out of range");
 }
 
 void
 PreferenceMatrix::checkIndex(InstrId i, int t, int c) const
 {
-    CSCHED_ASSERT(i >= 0 && i < numInstrs_, "instruction ", i,
-                  " out of range");
+    checkInstr(i);
     CSCHED_ASSERT(t >= 0 && t < numTimes_, "time ", t, " out of range");
     CSCHED_ASSERT(c >= 0 && c < numClusters_, "cluster ", c,
                   " out of range");
+}
+
+double *
+PreferenceMatrix::spaceSums(InstrId i) const
+{
+    return cache_.data() + static_cast<size_t>(i) * numClusters_;
+}
+
+double *
+PreferenceMatrix::timeSums(InstrId i) const
+{
+    return cache_.data() + timeOff_ + static_cast<size_t>(i) * numTimes_;
+}
+
+void
+PreferenceMatrix::markMutated(InstrId i)
+{
+    spaceValid_[i] = 0;
+    timeValid_[i] = 0;
+    clean_[i] = 0;
+}
+
+void
+PreferenceMatrix::refreshSpace(InstrId i) const
+{
+    if (spaceValid_[i])
+        return;
+    const int lo = winLo_[i];
+    const int hi = winHi_[i];
+    double *space = spaceSums(i);
+    for (int c = 0; c < numClusters_; ++c) {
+        const double *b = block(i, c);
+        double sum = 0.0;
+        for (int t = lo; t < hi; ++t)
+            sum += b[t];
+        space[c] = sum;
+    }
+    spaceValid_[i] = 1;
+}
+
+void
+PreferenceMatrix::refreshTime(InstrId i) const
+{
+    if (timeValid_[i])
+        return;
+    const int lo = winLo_[i];
+    const int hi = winHi_[i];
+    const double *r = rowData(i);
+    double *time = timeSums(i);
+    std::fill(time, time + numTimes_, 0.0);
+    for (int t = lo; t < hi; ++t) {
+        double sum = 0.0;
+        for (int c = 0; c < numClusters_; ++c)
+            sum += r[static_cast<size_t>(c) * numTimes_ + t];
+        time[t] = sum;
+    }
+    timeValid_[i] = 1;
 }
 
 double
 PreferenceMatrix::at(InstrId i, int t, int c) const
 {
     checkIndex(i, t, c);
-    return row(i)[static_cast<size_t>(t) * numClusters_ + c];
+    return block(i, c)[t];
 }
+
+// ---- batched row kernels -------------------------------------------
+
+void
+PreferenceMatrix::rowSet(InstrId i, int t, int c, double value)
+{
+    checkIndex(i, t, c);
+    CSCHED_ASSERT(value >= 0.0, "negative weight ", value);
+    block(i, c)[t] = value;
+    if (value != 0.0) {
+        // Widen the feasible window; the gap slots are already zero.
+        winLo_[i] = std::min(winLo_[i], t);
+        winHi_[i] = std::max(winHi_[i], t + 1);
+    }
+    markMutated(i);
+}
+
+void
+PreferenceMatrix::rowScaleSlot(InstrId i, int t, int c, double factor)
+{
+    checkIndex(i, t, c);
+    CSCHED_ASSERT(factor >= 0.0, "negative factor ", factor);
+    block(i, c)[t] *= factor;
+    markMutated(i);
+}
+
+void
+PreferenceMatrix::rowScaleCluster(InstrId i, int c, double factor)
+{
+    checkIndex(i, 0, c);
+    CSCHED_ASSERT(factor >= 0.0, "negative factor ", factor);
+    const int lo = winLo_[i];
+    const int hi = winHi_[i];
+    double *b = block(i, c);
+    if (spaceValid_[i]) {
+        // Fused: refresh this cluster's space marginal in the same
+        // sweep (the other clusters' blocks are untouched, so their
+        // cached sums stay exact).
+        double sum = 0.0;
+        for (int t = lo; t < hi; ++t) {
+            b[t] *= factor;
+            sum += b[t];
+        }
+        spaceSums(i)[c] = sum;
+    } else {
+        for (int t = lo; t < hi; ++t)
+            b[t] *= factor;
+    }
+    timeValid_[i] = 0;
+    clean_[i] = 0;
+}
+
+void
+PreferenceMatrix::rowScaleClusters(InstrId i, const double *factors)
+{
+    checkInstr(i);
+    const int lo = winLo_[i];
+    const int hi = winHi_[i];
+    const bool keep_space = spaceValid_[i] != 0;
+    double *space = spaceSums(i);
+    for (int c = 0; c < numClusters_; ++c) {
+        const double factor = factors[c];
+        CSCHED_ASSERT(factor >= 0.0, "negative factor ", factor);
+        double *b = block(i, c);
+        if (keep_space) {
+            double sum = 0.0;
+            for (int t = lo; t < hi; ++t) {
+                b[t] *= factor;
+                sum += b[t];
+            }
+            space[c] = sum;
+        } else {
+            for (int t = lo; t < hi; ++t)
+                b[t] *= factor;
+        }
+    }
+    timeValid_[i] = 0;
+    clean_[i] = 0;
+}
+
+void
+PreferenceMatrix::rowScaleTime(InstrId i, int t, double factor)
+{
+    checkIndex(i, t, 0);
+    CSCHED_ASSERT(factor >= 0.0, "negative factor ", factor);
+    double *r = rowData(i);
+    for (int c = 0; c < numClusters_; ++c)
+        r[static_cast<size_t>(c) * numTimes_ + t] *= factor;
+    if (timeValid_[i]) {
+        double sum = 0.0;
+        for (int c = 0; c < numClusters_; ++c)
+            sum += r[static_cast<size_t>(c) * numTimes_ + t];
+        timeSums(i)[t] = sum;
+    }
+    spaceValid_[i] = 0;
+    clean_[i] = 0;
+}
+
+void
+PreferenceMatrix::rowZeroCluster(InstrId i, int c)
+{
+    checkIndex(i, 0, c);
+    double *b = block(i, c);
+    std::fill(b + winLo_[i], b + winHi_[i], 0.0);
+    if (spaceValid_[i])
+        spaceSums(i)[c] = 0.0;
+    timeValid_[i] = 0;
+    clean_[i] = 0;
+}
+
+void
+PreferenceMatrix::rowRestrictTimeWindow(InstrId i, int lo, int hi)
+{
+    checkInstr(i);
+    lo = std::max(lo, 0);
+    hi = std::min(hi, numTimes_);
+    const int new_lo = std::max(winLo_[i], lo);
+    const int new_hi = std::min(winHi_[i], hi);
+    if (new_lo >= new_hi) {
+        // Empty feasible window: the whole row becomes zero (a
+        // following normalize() resets it to uniform).
+        for (int c = 0; c < numClusters_; ++c) {
+            double *b = block(i, c);
+            std::fill(b + winLo_[i], b + winHi_[i], 0.0);
+        }
+        winLo_[i] = 0;
+        winHi_[i] = 0;
+    } else {
+        for (int c = 0; c < numClusters_; ++c) {
+            double *b = block(i, c);
+            std::fill(b + winLo_[i], b + new_lo, 0.0);
+            std::fill(b + new_hi, b + winHi_[i], 0.0);
+        }
+        winLo_[i] = new_lo;
+        winHi_[i] = new_hi;
+    }
+    markMutated(i);
+}
+
+void
+PreferenceMatrix::rowAddPositiveNoise(InstrId i, Rng &rng,
+                                      double amplitude)
+{
+    checkInstr(i);
+    CSCHED_ASSERT(amplitude >= 0.0, "negative amplitude ", amplitude);
+    const int lo = winLo_[i];
+    const int hi = winHi_[i];
+    double *r = rowData(i);
+    // Ascending (t, c) so the draw sequence matches the per-element
+    // formulation; zero slots (infeasible or squashed) draw nothing.
+    for (int t = lo; t < hi; ++t) {
+        for (int c = 0; c < numClusters_; ++c) {
+            double &slot = r[static_cast<size_t>(c) * numTimes_ + t];
+            if (slot <= 0.0)
+                continue;
+            slot = slot + rng.uniform() * amplitude;
+        }
+    }
+    markMutated(i);
+}
+
+void
+PreferenceMatrix::rowBlendFrom(InstrId i, InstrId other, double w)
+{
+    checkInstr(i);
+    checkInstr(other);
+    CSCHED_ASSERT(w >= 0.0 && w <= 1.0, "blend weight ", w,
+                  " outside [0, 1]");
+    // The blended row can pick up mass anywhere the source has some:
+    // widen to the union of the two windows.
+    const int lo = std::min(winLo_[i], winLo_[other]);
+    const int hi = std::max(winHi_[i], winHi_[other]);
+    for (int c = 0; c < numClusters_; ++c) {
+        double *dst = block(i, c);
+        const double *src = block(other, c);
+        for (int t = lo; t < hi; ++t)
+            dst[t] = w * dst[t] + (1.0 - w) * src[t];
+    }
+    winLo_[i] = lo;
+    winHi_[i] = hi;
+    markMutated(i);
+}
+
+void
+PreferenceMatrix::rowNormalize(InstrId i)
+{
+    checkInstr(i);
+    if (clean_[i]) {
+        // Unchanged since the last normalize: the row sum is exactly
+        // the post-normalize sum, so rescanning cannot improve it.
+        return;
+    }
+    const int lo = winLo_[i];
+    const int hi = winHi_[i];
+    double *r = rowData(i);
+    // t-major accumulation, matching the flat full-row sum of the
+    // per-element engine.
+    double sum = 0.0;
+    for (int t = lo; t < hi; ++t)
+        for (int c = 0; c < numClusters_; ++c)
+            sum += r[static_cast<size_t>(c) * numTimes_ + t];
+    if (sum <= 1e-300) {
+        // Every slot was squashed; reset to uniform rather than leave
+        // the instruction unschedulable.
+        const double uniform = 1.0 / static_cast<double>(rowStride_);
+        std::fill(r, r + rowStride_, uniform);
+        winLo_[i] = 0;
+        winHi_[i] = numTimes_;
+    } else {
+        const double inv = 1.0 / sum;
+        for (int c = 0; c < numClusters_; ++c) {
+            double *b = block(i, c);
+            for (int t = lo; t < hi; ++t)
+                b[t] *= inv;
+        }
+    }
+    spaceValid_[i] = 0;
+    timeValid_[i] = 0;
+    clean_[i] = 1;
+}
+
+// ---- deprecated per-element shims ----------------------------------
 
 void
 PreferenceMatrix::set(InstrId i, int t, int c, double value)
 {
-    checkIndex(i, t, c);
-    CSCHED_ASSERT(value >= 0.0, "negative weight ", value);
-    row(i)[static_cast<size_t>(t) * numClusters_ + c] = value;
-    touch(i);
+    rowSet(i, t, c, value);
 }
 
 void
 PreferenceMatrix::scale(InstrId i, int t, int c, double factor)
 {
-    checkIndex(i, t, c);
-    CSCHED_ASSERT(factor >= 0.0, "negative factor ", factor);
-    row(i)[static_cast<size_t>(t) * numClusters_ + c] *= factor;
-    touch(i);
+    rowScaleSlot(i, t, c, factor);
 }
 
 void
 PreferenceMatrix::scaleCluster(InstrId i, int c, double factor)
 {
-    checkIndex(i, 0, c);
-    CSCHED_ASSERT(factor >= 0.0, "negative factor ", factor);
-    double *r = row(i);
-    for (int t = 0; t < numTimes_; ++t)
-        r[static_cast<size_t>(t) * numClusters_ + c] *= factor;
-    touch(i);
+    rowScaleCluster(i, c, factor);
 }
 
 void
 PreferenceMatrix::scaleTime(InstrId i, int t, double factor)
 {
-    checkIndex(i, t, 0);
-    CSCHED_ASSERT(factor >= 0.0, "negative factor ", factor);
-    double *r = row(i) + static_cast<size_t>(t) * numClusters_;
-    for (int c = 0; c < numClusters_; ++c)
-        r[c] *= factor;
-    touch(i);
+    rowScaleTime(i, t, factor);
 }
 
 void
 PreferenceMatrix::blend(InstrId i, InstrId other, double w)
 {
-    checkIndex(i, 0, 0);
-    checkIndex(other, 0, 0);
-    CSCHED_ASSERT(w >= 0.0 && w <= 1.0, "blend weight ", w,
-                  " outside [0, 1]");
-    double *dst = row(i);
-    const double *src = row(other);
-    for (size_t k = 0; k < rowSize_; ++k)
-        dst[k] = w * dst[k] + (1.0 - w) * src[k];
-    touch(i);
+    rowBlendFrom(i, other, w);
 }
 
 void
 PreferenceMatrix::normalize(InstrId i)
 {
-    checkIndex(i, 0, 0);
-    double *r = row(i);
-    double sum = 0.0;
-    for (size_t k = 0; k < rowSize_; ++k)
-        sum += r[k];
-    if (sum <= 1e-300) {
-        // Every slot was squashed; reset to uniform rather than leave
-        // the instruction unschedulable.
-        const double uniform = 1.0 / static_cast<double>(rowSize_);
-        for (size_t k = 0; k < rowSize_; ++k)
-            r[k] = uniform;
-    } else {
-        const double inv = 1.0 / sum;
-        for (size_t k = 0; k < rowSize_; ++k)
-            r[k] *= inv;
-    }
-    touch(i);
+    rowNormalize(i);
 }
 
 void
 PreferenceMatrix::normalizeAll()
 {
     for (InstrId i = 0; i < numInstrs_; ++i)
-        normalize(i);
+        rowNormalize(i);
 }
 
-void
-PreferenceMatrix::touch(InstrId i)
-{
-    dirty_[i] = true;
-}
-
-void
-PreferenceMatrix::refresh(InstrId i) const
-{
-    if (!dirty_[i])
-        return;
-    const double *r = row(i);
-    double *space = &spaceSum_[static_cast<size_t>(i) * numClusters_];
-    double *time = &timeSum_[static_cast<size_t>(i) * numTimes_];
-    std::fill(space, space + numClusters_, 0.0);
-    std::fill(time, time + numTimes_, 0.0);
-    for (int t = 0; t < numTimes_; ++t) {
-        const double *slot = r + static_cast<size_t>(t) * numClusters_;
-        for (int c = 0; c < numClusters_; ++c) {
-            space[c] += slot[c];
-            time[t] += slot[c];
-        }
-    }
-    dirty_[i] = false;
-}
+// ---- derived quantities --------------------------------------------
 
 double
 PreferenceMatrix::spaceMarginal(InstrId i, int c) const
 {
     checkIndex(i, 0, c);
-    refresh(i);
-    return spaceSum_[static_cast<size_t>(i) * numClusters_ + c];
+    refreshSpace(i);
+    return spaceSums(i)[c];
 }
 
 double
 PreferenceMatrix::timeMarginal(InstrId i, int t) const
 {
     checkIndex(i, t, 0);
-    refresh(i);
-    return timeSum_[static_cast<size_t>(i) * numTimes_ + t];
+    refreshTime(i);
+    return timeSums(i)[t];
 }
 
 int
 PreferenceMatrix::preferredCluster(InstrId i) const
 {
-    checkIndex(i, 0, 0);
-    refresh(i);
-    const double *space = &spaceSum_[static_cast<size_t>(i) * numClusters_];
+    checkInstr(i);
+    refreshSpace(i);
+    const double *space = spaceSums(i);
     int best = 0;
     for (int c = 1; c < numClusters_; ++c)
         if (space[c] > space[best])
@@ -181,9 +421,9 @@ PreferenceMatrix::preferredCluster(InstrId i) const
 int
 PreferenceMatrix::preferredTime(InstrId i) const
 {
-    checkIndex(i, 0, 0);
-    refresh(i);
-    const double *time = &timeSum_[static_cast<size_t>(i) * numTimes_];
+    checkInstr(i);
+    refreshTime(i);
+    const double *time = timeSums(i);
     int best = 0;
     for (int t = 1; t < numTimes_; ++t)
         if (time[t] > time[best])
@@ -194,12 +434,12 @@ PreferenceMatrix::preferredTime(InstrId i) const
 int
 PreferenceMatrix::expectedTime(InstrId i) const
 {
-    checkIndex(i, 0, 0);
-    refresh(i);
-    const double *time = &timeSum_[static_cast<size_t>(i) * numTimes_];
+    checkInstr(i);
+    refreshTime(i);
+    const double *time = timeSums(i);
     double total = 0.0;
     double weighted = 0.0;
-    for (int t = 0; t < numTimes_; ++t) {
+    for (int t = winLo_[i]; t < winHi_[i]; ++t) {
         total += time[t];
         weighted += time[t] * t;
     }
@@ -213,8 +453,8 @@ PreferenceMatrix::runnerUpCluster(InstrId i) const
 {
     if (numClusters_ == 1)
         return 0;
-    refresh(i);
-    const double *space = &spaceSum_[static_cast<size_t>(i) * numClusters_];
+    refreshSpace(i);
+    const double *space = spaceSums(i);
     const int preferred = preferredCluster(i);
     int best = preferred == 0 ? 1 : 0;
     for (int c = 0; c < numClusters_; ++c)
@@ -251,6 +491,38 @@ PreferenceMatrix::preferredTimes() const
     for (InstrId i = 0; i < numInstrs_; ++i)
         out[i] = preferredTime(i);
     return out;
+}
+
+// ---- row-view readers ----------------------------------------------
+
+double
+PreferenceMatrix::ConstRowView::spaceMarginal(int c) const
+{
+    return m_->spaceMarginal(i_, c);
+}
+
+double
+PreferenceMatrix::ConstRowView::timeMarginal(int t) const
+{
+    return m_->timeMarginal(i_, t);
+}
+
+int
+PreferenceMatrix::ConstRowView::preferredCluster() const
+{
+    return m_->preferredCluster(i_);
+}
+
+int
+PreferenceMatrix::ConstRowView::preferredTime() const
+{
+    return m_->preferredTime(i_);
+}
+
+double
+PreferenceMatrix::ConstRowView::confidence() const
+{
+    return m_->confidence(i_);
 }
 
 } // namespace csched

@@ -9,29 +9,72 @@
  *
  *     0 <= W[i][t][c] <= 1      and      sum_{t,c} W[i][t][c] = 1
  *
- * (restored by normalize()), exposes the derived quantities every pass
- * consumes -- space/time marginals, preferred cluster and time,
+ * (restored by normalize()), and exposes the derived quantities every
+ * pass consumes -- space/time marginals, preferred cluster and time,
  * runner-up cluster, and confidence (the ratio of the top two cluster
- * marginals) -- and provides the basic operations of Section 3:
- * scaling individual weights, rows, and columns, linear combination of
- * two instructions' matrices, and normalization.  Marginals are cached
- * and recomputed lazily after mutations, mirroring the paper's
- * incrementally-maintained sums.
+ * marginals).
+ *
+ * Engine layout (see DESIGN.md section 10).  One arena allocation
+ * backs the whole engine; per instruction the (time x cluster) row is
+ * stored cluster-blocked,
+ *
+ *     data[i * C*T + c * T + t]
+ *
+ * so the inner dimension of the hottest batched operation
+ * (scaleCluster, the per-cluster multiply behind almost every pass)
+ * is a contiguous T-long block instead of a stride-C walk.  Marginal
+ * caches live in the same arena and are maintained incrementally:
+ * scaleCluster refreshes exactly the one touched cluster sum while it
+ * multiplies, scaleTime refreshes exactly the one touched time sum,
+ * and only genuinely row-wide mutations invalidate a side wholesale.
+ *
+ * Rows additionally carry a feasible time window [lo, hi): every slot
+ * outside the window is exactly +0.0, and every batched kernel
+ * iterates the window only.  INITTIME establishes the windows from
+ * the earliest-start/latest-finish slack, after which long narrow
+ * graphs (fpppp, sha shapes) touch a small fraction of each row.
+ * Skipping exact zeros is bit-transparent: weights are non-negative,
+ * x + (+0.0) == x and (+0.0) * f == +0.0 bitwise, so windowed sums
+ * and scales produce bit-identical results to full-row walks (the
+ * differential test in tests/matrix_differential_test.cc holds the
+ * engine to that).
+ *
+ * Mutation goes through RowView, a cursor that validates the row
+ * index once and then applies fused batched kernels with no
+ * per-element dispatch or bounds rechecks.  The per-element
+ * matrix-level mutators survive one release as deprecated shims; the
+ * per-element read path at() is the supported compatibility surface
+ * for traces and JSON emitters.
+ *
+ * Every summation a kernel performs accumulates in the exact order
+ * the pre-rewrite engine used (space marginals ascend t per cluster,
+ * time marginals ascend c per slot, normalize ascends t-major), so
+ * the rewrite is bit-identical by construction, not just
+ * approximately equal.
  */
 
 #ifndef CSCHED_CONVERGENT_PREFERENCE_MATRIX_HH
 #define CSCHED_CONVERGENT_PREFERENCE_MATRIX_HH
 
+#include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "ir/instruction.hh"
 
 namespace csched {
 
+class Rng;
+
 /** Dense per-instruction (time x cluster) weight matrix. */
 class PreferenceMatrix
 {
   public:
+    class RowView;
+    class ConstRowView;
+    class MatrixView;
+
     /**
      * Create a matrix with uniform weights: every (t, c) slot of every
      * instruction gets 1 / (num_times * num_clusters).
@@ -42,33 +85,45 @@ class PreferenceMatrix
     int numTimes() const { return numTimes_; }
     int numClusters() const { return numClusters_; }
 
-    /** Weight of instruction @p i at time @p t on cluster @p c. */
+    /** Batched mutation cursor for instruction @p i. */
+    RowView row(InstrId i);
+
+    /** Batched read cursor for instruction @p i. */
+    ConstRowView row(InstrId i) const;
+
+    /** Whole-matrix cursor (bulk helpers over row()). */
+    MatrixView view();
+
+    /**
+     * Weight of instruction @p i at time @p t on cluster @p c.  The
+     * per-element compatibility read path (traces, JSON, tests);
+     * batched readers go through row().
+     */
     double at(InstrId i, int t, int c) const;
 
-    /** Overwrite one weight (must be >= 0). */
+    /** @name Deprecated per-element mutation shims
+     * One-release compatibility surface: each forwards to the
+     * equivalent RowView operation.  New code mutates through row().
+     */
+    ///@{
+    [[deprecated("use row(i).set(t, c, value)")]]
     void set(InstrId i, int t, int c, double value);
 
-    /** Multiply one weight by @p factor (>= 0). */
+    [[deprecated("use row(i).scaleSlot(t, c, factor)")]]
     void scale(InstrId i, int t, int c, double factor);
 
-    /** Multiply the whole cluster column (all t) by @p factor. */
+    [[deprecated("use row(i).scaleCluster(c, factor)")]]
     void scaleCluster(InstrId i, int c, double factor);
 
-    /** Multiply the whole time row (all c) by @p factor. */
+    [[deprecated("use row(i).scaleTime(t, factor)")]]
     void scaleTime(InstrId i, int t, double factor);
 
-    /**
-     * Linear combination of Section 3 with n = 2 and i1 = j:
-     * W[i] <- w * W[i] + (1 - w) * W[other], elementwise.
-     */
+    [[deprecated("use row(i).blendFrom(row(other), w)")]]
     void blend(InstrId i, InstrId other, double w);
 
-    /**
-     * Restore the sum-to-one invariant for instruction @p i.  If every
-     * weight was squashed to zero the row is reset to uniform (no pass
-     * is allowed to make an instruction unschedulable).
-     */
+    [[deprecated("use row(i).normalize()")]]
     void normalize(InstrId i);
+    ///@}
 
     /** normalize() every instruction. */
     void normalizeAll();
@@ -112,28 +167,309 @@ class PreferenceMatrix
     std::vector<int> preferredTimes() const;
 
   private:
-    void checkIndex(InstrId i, int t, int c) const;
-    void touch(InstrId i);
-    void refresh(InstrId i) const;
+    friend class RowView;
+    friend class ConstRowView;
 
-    double *row(InstrId i) { return &data_[static_cast<size_t>(i) * rowSize_]; }
+    void checkInstr(InstrId i) const;
+    void checkIndex(InstrId i, int t, int c) const;
+
+    double *rowData(InstrId i) { return arena_.data() + dataOff(i); }
     const double *
-    row(InstrId i) const
+    rowData(InstrId i) const
     {
-        return &data_[static_cast<size_t>(i) * rowSize_];
+        return arena_.data() + dataOff(i);
     }
+    /** The contiguous T-long block of cluster @p c in row @p i. */
+    double *
+    block(InstrId i, int c)
+    {
+        return rowData(i) + static_cast<size_t>(c) * numTimes_;
+    }
+    const double *
+    block(InstrId i, int c) const
+    {
+        return rowData(i) + static_cast<size_t>(c) * numTimes_;
+    }
+    double *spaceSums(InstrId i) const;
+    double *timeSums(InstrId i) const;
+
+    size_t
+    dataOff(InstrId i) const
+    {
+        return static_cast<size_t>(i) * rowStride_;
+    }
+
+    /** A mutation touched row @p i: caches stale, row not normalized. */
+    void markMutated(InstrId i);
+
+    void refreshSpace(InstrId i) const;
+    void refreshTime(InstrId i) const;
+
+    // The batched kernels behind RowView (documented there).
+    void rowSet(InstrId i, int t, int c, double value);
+    void rowScaleSlot(InstrId i, int t, int c, double factor);
+    void rowScaleCluster(InstrId i, int c, double factor);
+    void rowScaleClusters(InstrId i, const double *factors);
+    void rowScaleTime(InstrId i, int t, double factor);
+    void rowZeroCluster(InstrId i, int c);
+    void rowRestrictTimeWindow(InstrId i, int lo, int hi);
+    void rowAddPositiveNoise(InstrId i, Rng &rng, double amplitude);
+    void rowBlendFrom(InstrId i, InstrId other, double w);
+    void rowNormalize(InstrId i);
 
     int numInstrs_;
     int numTimes_;
     int numClusters_;
-    size_t rowSize_;
-    std::vector<double> data_;
+    size_t rowStride_; ///< C * T doubles per row
 
-    // Lazily-maintained marginal caches.
-    mutable std::vector<double> spaceSum_;   // [i * C + c]
-    mutable std::vector<double> timeSum_;    // [i * T + t]
-    mutable std::vector<bool> dirty_;
+    /**
+     * The weight arena: one flat N*C*T allocation, cluster-blocked
+     * per row.  The marginal caches share a second flat allocation
+     * (mutable, so const readers can refresh lazily): N*C space sums
+     * followed by N*T time sums.  Offsets (not pointers) keep the
+     * class default-copyable, which the scheduler's
+     * snapshot/rollback protocol relies on.
+     */
+    std::vector<double> arena_;
+    mutable std::vector<double> cache_;
+    size_t timeOff_; ///< offset of the time sums inside cache_
+
+    /** Feasible half-open time windows; slots outside are +0.0. */
+    std::vector<int> winLo_;
+    std::vector<int> winHi_;
+
+    // Cache validity, per row and per side (1 = valid), plus the
+    // normalize clean flag: set by normalize(), cleared by every
+    // mutation, and normalize() returns immediately when it is still
+    // set -- the cached row sum is exactly the post-normalize sum, no
+    // epsilon test needed.
+    mutable std::vector<uint8_t> spaceValid_;
+    mutable std::vector<uint8_t> timeValid_;
+    std::vector<uint8_t> clean_;
 };
+
+/**
+ * Read-only batched cursor over one instruction's (time x cluster)
+ * row.  Validates the row index at construction; the accessors do no
+ * further per-element dispatch.
+ */
+class PreferenceMatrix::ConstRowView
+{
+  public:
+    int numTimes() const { return m_->numTimes_; }
+    int numClusters() const { return m_->numClusters_; }
+
+    /** Feasible window: slots outside [windowLo, windowHi) are 0. */
+    int windowLo() const { return m_->winLo_[i_]; }
+    int windowHi() const { return m_->winHi_[i_]; }
+
+    double
+    at(int t, int c) const
+    {
+        return m_->block(i_, c)[t];
+    }
+
+    /** Cluster @p c's weights over the feasible window, contiguous. */
+    std::span<const double>
+    windowSpan(int c) const
+    {
+        return {m_->block(i_, c) + windowLo(),
+                static_cast<size_t>(windowHi() - windowLo())};
+    }
+
+    double spaceMarginal(int c) const;
+    double timeMarginal(int t) const;
+    int preferredCluster() const;
+    int preferredTime() const;
+    double confidence() const;
+
+  private:
+    friend class PreferenceMatrix;
+    ConstRowView(const PreferenceMatrix *m, InstrId i) : m_(m), i_(i) {}
+
+    const PreferenceMatrix *m_;
+    InstrId i_;
+};
+
+/**
+ * Mutating batched cursor over one instruction's row.  Every method
+ * is a fused kernel: it applies the mutation over contiguous spans
+ * (restricted to the feasible window) and maintains the marginal
+ * caches incrementally where the summation order allows, with no
+ * per-element bounds rechecks.
+ */
+class PreferenceMatrix::RowView
+{
+  public:
+    int numTimes() const { return m_->numTimes_; }
+    int numClusters() const { return m_->numClusters_; }
+    int windowLo() const { return m_->winLo_[i_]; }
+    int windowHi() const { return m_->winHi_[i_]; }
+
+    double
+    at(int t, int c) const
+    {
+        return m_->block(i_, c)[t];
+    }
+
+    /** A RowView also reads: converts to the read-only cursor. */
+    operator ConstRowView() const { return ConstRowView(m_, i_); }
+
+    /** Overwrite one weight (>= 0); widens the window if needed. */
+    void set(int t, int c, double value) { m_->rowSet(i_, t, c, value); }
+
+    /** Multiply one weight by @p factor (>= 0). */
+    void
+    scaleSlot(int t, int c, double factor)
+    {
+        m_->rowScaleSlot(i_, t, c, factor);
+    }
+
+    /**
+     * Multiply cluster @p c's whole block by @p factor and refresh
+     * its space marginal in the same sweep.
+     */
+    void
+    scaleCluster(int c, double factor)
+    {
+        m_->rowScaleCluster(i_, c, factor);
+    }
+
+    /**
+     * Multiply every cluster block by its own factor (an array of
+     * numClusters() values), one fused sweep over the row.
+     */
+    void
+    scaleClusters(const double *factors)
+    {
+        m_->rowScaleClusters(i_, factors);
+    }
+
+    /**
+     * Multiply time slot @p t across clusters by @p factor and
+     * refresh that slot's time marginal in the same sweep.
+     */
+    void
+    scaleTime(int t, double factor)
+    {
+        m_->rowScaleTime(i_, t, factor);
+    }
+
+    /** Set cluster @p c's whole block to zero. */
+    void zeroCluster(int c) { m_->rowZeroCluster(i_, c); }
+
+    /**
+     * Squash every slot outside [lo, hi) to zero and shrink the
+     * feasible window to the intersection; subsequent batched
+     * operations on this row iterate the window only.
+     */
+    void
+    restrictTimeWindow(int lo, int hi)
+    {
+        m_->rowRestrictTimeWindow(i_, lo, hi);
+    }
+
+    /**
+     * Add rng.uniform() * amplitude to every positive weight, drawing
+     * in ascending (t, c) order (zero weights draw nothing, so
+     * infeasible slots stay zero and the draw sequence matches the
+     * per-element formulation exactly).
+     */
+    void
+    addPositiveNoise(Rng &rng, double amplitude)
+    {
+        m_->rowAddPositiveNoise(i_, rng, amplitude);
+    }
+
+    /**
+     * Linear combination of Section 3 with n = 2:
+     * W[this] <- keep * W[this] + (1 - keep) * W[src], elementwise.
+     * The window widens to the union of the two rows' windows.
+     */
+    void
+    blendFrom(const ConstRowView &src, double keep)
+    {
+        m_->rowBlendFrom(i_, src.i_, keep);
+    }
+
+    /**
+     * Restore the sum-to-one invariant.  If every weight was squashed
+     * to zero the row resets to uniform (no pass may make an
+     * instruction unschedulable).  A row that is still clean from a
+     * previous normalize -- no mutation since -- returns without
+     * rescanning.
+     */
+    void normalize() { m_->rowNormalize(i_); }
+
+    // Readers mirroring ConstRowView, so a pass can interleave reads
+    // with mutations through one cursor.
+    double
+    spaceMarginal(int c) const
+    {
+        return ConstRowView(m_, i_).spaceMarginal(c);
+    }
+    double
+    timeMarginal(int t) const
+    {
+        return ConstRowView(m_, i_).timeMarginal(t);
+    }
+    int
+    preferredCluster() const
+    {
+        return ConstRowView(m_, i_).preferredCluster();
+    }
+
+  private:
+    friend class PreferenceMatrix;
+    RowView(PreferenceMatrix *m, InstrId i) : m_(m), i_(i) {}
+
+    PreferenceMatrix *m_;
+    InstrId i_;
+};
+
+/** Whole-matrix cursor: bulk helpers expressed over row(). */
+class PreferenceMatrix::MatrixView
+{
+  public:
+    int numInstructions() const { return m_->numInstructions(); }
+    int numTimes() const { return m_->numTimes(); }
+    int numClusters() const { return m_->numClusters(); }
+
+    RowView row(InstrId i) { return m_->row(i); }
+    ConstRowView constRow(InstrId i) const
+    {
+        return static_cast<const PreferenceMatrix *>(m_)->row(i);
+    }
+
+    /** normalize() every row. */
+    void normalizeAll() { m_->normalizeAll(); }
+
+  private:
+    friend class PreferenceMatrix;
+    explicit MatrixView(PreferenceMatrix *m) : m_(m) {}
+
+    PreferenceMatrix *m_;
+};
+
+inline PreferenceMatrix::RowView
+PreferenceMatrix::row(InstrId i)
+{
+    checkInstr(i);
+    return RowView(this, i);
+}
+
+inline PreferenceMatrix::ConstRowView
+PreferenceMatrix::row(InstrId i) const
+{
+    checkInstr(i);
+    return ConstRowView(this, i);
+}
+
+inline PreferenceMatrix::MatrixView
+PreferenceMatrix::view()
+{
+    return MatrixView(this);
+}
 
 } // namespace csched
 

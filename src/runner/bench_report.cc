@@ -43,6 +43,8 @@ benchReportToJson(const BenchReport &report)
             if (!cell.algorithm.empty())
                 w.key("algorithm").value(cell.algorithm);
             w.key("medianSeconds").value(cell.medianSeconds);
+            if (cell.minSeconds >= 0.0)
+                w.key("minSeconds").value(cell.minSeconds);
             w.key("reps").value(cell.reps);
             if (cell.instructions > 0)
                 w.key("instructions").value(cell.instructions);
@@ -80,6 +82,8 @@ parseCell(const JsonValue &value, BenchCell *cell, std::string *error)
         cell->kernel = kernel->string;
     if (const JsonValue *algorithm = value.find("algorithm"))
         cell->algorithm = algorithm->string;
+    if (const JsonValue *min = value.find("minSeconds"))
+        cell->minSeconds = min->asDouble();
     if (const JsonValue *reps = value.find("reps"))
         cell->reps = reps->asInt();
     if (const JsonValue *instrs = value.find("instructions"))
@@ -161,13 +165,19 @@ compareBenchReports(const BenchReport &baseline,
         }
         joined[cell.key()] = true;
         const BenchCell &base = *it->second;
+        // Gate on best-of-N when both sides carry it: the minimum is
+        // far less sensitive to ambient machine load than the median,
+        // so the gate flags engine regressions, not noisy neighbours.
+        const bool use_min =
+            base.minSeconds >= 0.0 && cell.minSeconds >= 0.0;
+        const double base_s =
+            use_min ? base.minSeconds : base.medianSeconds;
+        const double cur_s =
+            use_min ? cell.minSeconds : cell.medianSeconds;
         const double delta =
-            base.medianSeconds > 0.0
-                ? (cell.medianSeconds - base.medianSeconds) /
-                      base.medianSeconds
-                : 0.0;
+            base_s > 0.0 ? (cur_s - base_s) / base_s : 0.0;
         std::string verdict = "ok";
-        if (base.medianSeconds < options.minBaselineSeconds) {
+        if (base_s < options.minBaselineSeconds) {
             verdict = "noise";
         } else if (delta > options.slowdownThreshold) {
             verdict = "REGRESSED";
@@ -175,9 +185,8 @@ compareBenchReports(const BenchReport &baseline,
         } else if (delta < -options.slowdownThreshold) {
             verdict = "faster";
         }
-        table.addRow({cell.key(),
-                      formatDouble(base.medianSeconds * 1e3, 3),
-                      formatDouble(cell.medianSeconds * 1e3, 3),
+        table.addRow({cell.key(), formatDouble(base_s * 1e3, 3),
+                      formatDouble(cur_s * 1e3, 3),
                       formatDouble(delta * 100.0, 1) + "%", verdict});
     }
     for (const auto &cell : baseline.cells)

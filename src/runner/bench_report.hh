@@ -23,10 +23,15 @@
  *     "meta": { "commit", "buildType", "compiler", "flags", "host",
  *               "repeats" },
  *     "cells": [ { "workload", "machine", "kernel" | "algorithm",
- *                  "medianSeconds", "reps",
+ *                  "medianSeconds", "minSeconds", "reps",
  *                  e2e only: "instructions", "makespan",
  *                  optional: "preRewriteSeconds" } ]
  *   }
+ *
+ * "medianSeconds" is the headline statistic; "minSeconds" (best-of-N)
+ * is what the regression gate compares when both sides carry it,
+ * because the minimum is far more robust to ambient machine load than
+ * the median on half-second cells.
  *
  * "preRewriteSeconds" carries the medians measured on the engine as
  * it was before the blocked-layout rewrite (see EXPERIMENTS.md), so
@@ -74,6 +79,8 @@ struct BenchCell
     /** Algorithm spec for "end-to-end" documents; empty otherwise. */
     std::string algorithm;
     double medianSeconds = 0.0;
+    /** Best-of-N; < 0 when absent (reports written before the field). */
+    double minSeconds = -1.0;
     int reps = 0;
     /** End-to-end context; 0 for pass-kernel cells. */
     int instructions = 0;

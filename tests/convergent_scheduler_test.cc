@@ -245,8 +245,9 @@ TEST(WeightInvariants, AcceptAFreshAndANormalizedMatrix)
     PreferenceMatrix weights(3, 4, 2);
     EXPECT_TRUE(checkWeightInvariants(weights, "INITTIME").ok());
 
-    weights.scaleCluster(1, 0, 0.25);
-    weights.normalize(1);
+    auto row = weights.row(1);
+    row.scaleCluster(0, 0.25);
+    row.normalize();
     EXPECT_TRUE(checkWeightInvariants(weights, "PLACE").ok());
 }
 
@@ -256,7 +257,7 @@ TEST(WeightInvariants, ScalingWithoutNormalizingIsCaughtAndHealable)
     // invariant: the guard flags it, and one renormalization -- the
     // scheduler's healing step -- restores the invariants.
     PreferenceMatrix weights(2, 3, 2);
-    weights.scaleCluster(0, 1, 3.0);
+    weights.row(0).scaleCluster(1, 3.0);
     const Status broken = checkWeightInvariants(weights, "PLACE");
     ASSERT_FALSE(broken.ok());
     EXPECT_EQ(broken.code(), ErrorCode::CheckFailed);
@@ -269,7 +270,7 @@ TEST(WeightInvariants, ScalingWithoutNormalizingIsCaughtAndHealable)
 TEST(WeightInvariants, NonFiniteWeightsCannotBeHealed)
 {
     PreferenceMatrix weights(2, 2, 2);
-    weights.set(1, 0, 1, INFINITY);
+    weights.row(1).set(0, 1, INFINITY);
     const Status broken = checkWeightInvariants(weights, "COMM");
     ASSERT_FALSE(broken.ok());
     EXPECT_EQ(broken.code(), ErrorCode::CheckFailed);

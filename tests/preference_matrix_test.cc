@@ -2,7 +2,8 @@
  * @file
  * Unit and property tests for the preference matrix: the paper's
  * invariants, marginals, preferred slots, confidence, and the basic
- * operations of Section 3.
+ * operations of Section 3, exercised through the batched RowView API
+ * (plus one compatibility test for the deprecated per-element shims).
  */
 
 #include <gtest/gtest.h>
@@ -15,7 +16,7 @@
 namespace csched {
 namespace {
 
-/** Sum of all weights of instruction @p i. */
+/** Sum of all weights of instruction @p i via the compat read path. */
 double
 rowSum(const PreferenceMatrix &w, InstrId i)
 {
@@ -41,9 +42,10 @@ TEST(PreferenceMatrix, MarginalsMatchBruteForce)
 {
     PreferenceMatrix w(1, 4, 3);
     Rng rng(3);
+    auto row = w.row(0);
     for (int t = 0; t < 4; ++t)
         for (int c = 0; c < 3; ++c)
-            w.set(0, t, c, rng.uniform());
+            row.set(t, c, rng.uniform());
     for (int c = 0; c < 3; ++c) {
         double expected = 0.0;
         for (int t = 0; t < 4; ++t)
@@ -61,7 +63,7 @@ TEST(PreferenceMatrix, MarginalsMatchBruteForce)
 TEST(PreferenceMatrix, ScaleClusterAffectsWholeColumn)
 {
     PreferenceMatrix w(1, 3, 2);
-    w.scaleCluster(0, 1, 4.0);
+    w.row(0).scaleCluster(1, 4.0);
     for (int t = 0; t < 3; ++t) {
         EXPECT_NEAR(w.at(0, t, 1), 4.0 / 6.0, 1e-12);
         EXPECT_NEAR(w.at(0, t, 0), 1.0 / 6.0, 1e-12);
@@ -69,10 +71,23 @@ TEST(PreferenceMatrix, ScaleClusterAffectsWholeColumn)
     EXPECT_EQ(w.preferredCluster(0), 1);
 }
 
+TEST(PreferenceMatrix, ScaleClustersAppliesPerClusterFactors)
+{
+    PreferenceMatrix w(1, 2, 3);
+    const double factors[3] = {1.0, 2.0, 4.0};
+    w.row(0).scaleClusters(factors);
+    for (int t = 0; t < 2; ++t) {
+        EXPECT_NEAR(w.at(0, t, 0), 1.0 / 6.0, 1e-12);
+        EXPECT_NEAR(w.at(0, t, 1), 2.0 / 6.0, 1e-12);
+        EXPECT_NEAR(w.at(0, t, 2), 4.0 / 6.0, 1e-12);
+    }
+    EXPECT_EQ(w.preferredCluster(0), 2);
+}
+
 TEST(PreferenceMatrix, ScaleTimeAffectsWholeRow)
 {
     PreferenceMatrix w(1, 3, 2);
-    w.scaleTime(0, 2, 5.0);
+    w.row(0).scaleTime(2, 5.0);
     EXPECT_EQ(w.preferredTime(0), 2);
     EXPECT_NEAR(w.at(0, 2, 0), 5.0 / 6.0, 1e-12);
 }
@@ -80,9 +95,10 @@ TEST(PreferenceMatrix, ScaleTimeAffectsWholeRow)
 TEST(PreferenceMatrix, NormalizeRestoresInvariant)
 {
     PreferenceMatrix w(1, 2, 2);
-    w.set(0, 0, 0, 3.0);
-    w.set(0, 1, 1, 1.0);
-    w.normalize(0);
+    auto row = w.row(0);
+    row.set(0, 0, 3.0);
+    row.set(1, 1, 1.0);
+    row.normalize();
     EXPECT_NEAR(rowSum(w, 0), 1.0, 1e-12);
     EXPECT_GT(w.at(0, 0, 0), w.at(0, 1, 1));
 }
@@ -90,19 +106,104 @@ TEST(PreferenceMatrix, NormalizeRestoresInvariant)
 TEST(PreferenceMatrix, NormalizeOfAllZeroResetsToUniform)
 {
     PreferenceMatrix w(1, 2, 2);
+    auto row = w.row(0);
     for (int t = 0; t < 2; ++t)
         for (int c = 0; c < 2; ++c)
-            w.set(0, t, c, 0.0);
-    w.normalize(0);
+            row.set(t, c, 0.0);
+    row.normalize();
     EXPECT_NEAR(w.at(0, 1, 1), 0.25, 1e-12);
+}
+
+TEST(PreferenceMatrix, NormalizeOfCleanRowIsANoOp)
+{
+    PreferenceMatrix w(1, 3, 2);
+    auto row = w.row(0);
+    row.scaleCluster(1, 3.0);
+    row.normalize();
+    const double before = w.at(0, 1, 1);
+    row.normalize();  // clean: must not rescale
+    EXPECT_EQ(w.at(0, 1, 1), before);
+    row.scaleCluster(1, 2.0);  // mutation clears the clean flag
+    row.normalize();
+    EXPECT_NEAR(rowSum(w, 0), 1.0, 1e-12);
+}
+
+TEST(PreferenceMatrix, RestrictTimeWindowZeroesOutsideSlots)
+{
+    PreferenceMatrix w(1, 6, 2);
+    auto row = w.row(0);
+    row.restrictTimeWindow(2, 5);
+    EXPECT_EQ(row.windowLo(), 2);
+    EXPECT_EQ(row.windowHi(), 5);
+    for (int c = 0; c < 2; ++c) {
+        EXPECT_EQ(w.at(0, 0, c), 0.0);
+        EXPECT_EQ(w.at(0, 1, c), 0.0);
+        EXPECT_EQ(w.at(0, 5, c), 0.0);
+        EXPECT_GT(w.at(0, 2, c), 0.0);
+        EXPECT_GT(w.at(0, 4, c), 0.0);
+    }
+    row.normalize();
+    EXPECT_NEAR(rowSum(w, 0), 1.0, 1e-12);
+    // Marginals outside the window are exactly zero.
+    EXPECT_EQ(w.timeMarginal(0, 0), 0.0);
+    EXPECT_GT(w.timeMarginal(0, 3), 0.0);
+}
+
+TEST(PreferenceMatrix, EmptyWindowResetsToUniformOnNormalize)
+{
+    PreferenceMatrix w(1, 4, 2);
+    auto row = w.row(0);
+    row.restrictTimeWindow(3, 3);  // empty: whole row squashed
+    EXPECT_NEAR(rowSum(w, 0), 0.0, 1e-300);
+    row.normalize();
+    EXPECT_NEAR(w.at(0, 0, 0), 1.0 / 8.0, 1e-12);
+    EXPECT_EQ(row.windowLo(), 0);
+    EXPECT_EQ(row.windowHi(), 4);
+}
+
+TEST(PreferenceMatrix, SetOutsideWindowWidensIt)
+{
+    PreferenceMatrix w(1, 8, 1);
+    auto row = w.row(0);
+    row.restrictTimeWindow(2, 4);
+    row.set(6, 0, 0.5);
+    EXPECT_LE(row.windowLo(), 2);
+    EXPECT_GE(row.windowHi(), 7);
+    EXPECT_NEAR(w.timeMarginal(0, 6), 0.5, 1e-12);
+    EXPECT_EQ(w.timeMarginal(0, 5), 0.0);
+}
+
+TEST(PreferenceMatrix, ZeroClusterClearsColumn)
+{
+    PreferenceMatrix w(1, 3, 2);
+    w.row(0).zeroCluster(0);
+    for (int t = 0; t < 3; ++t)
+        EXPECT_EQ(w.at(0, t, 0), 0.0);
+    EXPECT_EQ(w.spaceMarginal(0, 0), 0.0);
+    EXPECT_EQ(w.preferredCluster(0), 1);
+}
+
+TEST(PreferenceMatrix, AddPositiveNoiseSkipsZeros)
+{
+    PreferenceMatrix w(1, 4, 2);
+    Rng rng(11);
+    auto row = w.row(0);
+    row.restrictTimeWindow(1, 3);
+    row.zeroCluster(0);
+    row.addPositiveNoise(rng, 0.5);
+    for (int t = 0; t < 4; ++t)
+        EXPECT_EQ(w.at(0, t, 0), 0.0);  // zeros stay zero
+    EXPECT_GT(w.at(0, 1, 1), 1.0 / 8.0);  // positives grew
+    EXPECT_EQ(w.at(0, 0, 1), 0.0);
 }
 
 TEST(PreferenceMatrix, PreferredAndRunnerUp)
 {
     PreferenceMatrix w(1, 1, 3);
-    w.set(0, 0, 0, 0.2);
-    w.set(0, 0, 1, 0.5);
-    w.set(0, 0, 2, 0.3);
+    auto row = w.row(0);
+    row.set(0, 0, 0.2);
+    row.set(0, 1, 0.5);
+    row.set(0, 2, 0.3);
     EXPECT_EQ(w.preferredCluster(0), 1);
     EXPECT_EQ(w.runnerUpCluster(0), 2);
     EXPECT_NEAR(w.confidence(0), 0.5 / 0.3, 1e-12);
@@ -118,19 +219,22 @@ TEST(PreferenceMatrix, ConfidenceOfSingleClusterMachineIsOne)
 TEST(PreferenceMatrix, ConfidenceWithZeroRunnerUpIsLargeFinite)
 {
     PreferenceMatrix w(1, 1, 2);
-    w.set(0, 0, 0, 1.0);
-    w.set(0, 0, 1, 0.0);
+    auto row = w.row(0);
+    row.set(0, 0, 1.0);
+    row.set(0, 1, 0.0);
     EXPECT_GT(w.confidence(0), 1e6);
 }
 
 TEST(PreferenceMatrix, BlendIsConvexCombination)
 {
     PreferenceMatrix w(2, 1, 2);
-    w.set(0, 0, 0, 1.0);
-    w.set(0, 0, 1, 0.0);
-    w.set(1, 0, 0, 0.0);
-    w.set(1, 0, 1, 1.0);
-    w.blend(0, 1, 0.25);  // keep 25% of own weights
+    auto a = w.row(0);
+    auto b = w.row(1);
+    a.set(0, 0, 1.0);
+    a.set(0, 1, 0.0);
+    b.set(0, 0, 0.0);
+    b.set(0, 1, 1.0);
+    a.blendFrom(b, 0.25);  // keep 25% of own weights
     EXPECT_NEAR(w.at(0, 0, 0), 0.25, 1e-12);
     EXPECT_NEAR(w.at(0, 0, 1), 0.75, 1e-12);
     // The source row is untouched.
@@ -140,12 +244,29 @@ TEST(PreferenceMatrix, BlendIsConvexCombination)
 TEST(PreferenceMatrix, BlendOfNormalisedRowsStaysNormalised)
 {
     PreferenceMatrix w(2, 3, 3);
-    w.scaleCluster(0, 0, 9.0);
-    w.normalize(0);
-    w.scaleCluster(1, 2, 9.0);
-    w.normalize(1);
-    w.blend(0, 1, 0.5);
+    auto a = w.row(0);
+    auto b = w.row(1);
+    a.scaleCluster(0, 9.0);
+    a.normalize();
+    b.scaleCluster(2, 9.0);
+    b.normalize();
+    a.blendFrom(b, 0.5);
     EXPECT_NEAR(rowSum(w, 0), 1.0, 1e-12);
+}
+
+TEST(PreferenceMatrix, BlendWidensWindowToUnion)
+{
+    PreferenceMatrix w(2, 8, 1);
+    auto a = w.row(0);
+    auto b = w.row(1);
+    a.restrictTimeWindow(0, 3);
+    a.normalize();
+    b.restrictTimeWindow(5, 8);
+    b.normalize();
+    a.blendFrom(b, 0.5);
+    EXPECT_LE(a.windowLo(), 0);
+    EXPECT_GE(a.windowHi(), 8);
+    EXPECT_GT(w.at(0, 6, 0), 0.0);  // mass arrived from the source
 }
 
 TEST(PreferenceMatrix, ExpectedTimeOfSymmetricRowIsCentre)
@@ -157,7 +278,7 @@ TEST(PreferenceMatrix, ExpectedTimeOfSymmetricRowIsCentre)
 TEST(PreferenceMatrix, ExpectedTimeFollowsMass)
 {
     PreferenceMatrix w(1, 6, 1);
-    w.scaleTime(0, 5, 50.0);
+    w.row(0).scaleTime(5, 50.0);
     EXPECT_EQ(w.preferredTime(0), 5);
     EXPECT_GE(w.expectedTime(0), 4);
 }
@@ -165,14 +286,60 @@ TEST(PreferenceMatrix, ExpectedTimeFollowsMass)
 TEST(PreferenceMatrix, PreferredVectorsMatchScalars)
 {
     PreferenceMatrix w(3, 2, 2);
-    w.scaleCluster(1, 1, 10.0);
-    w.scaleTime(2, 1, 10.0);
+    w.row(1).scaleCluster(1, 10.0);
+    w.row(2).scaleTime(1, 10.0);
     const auto clusters = w.preferredClusters();
     const auto times = w.preferredTimes();
     for (InstrId i = 0; i < 3; ++i) {
         EXPECT_EQ(clusters[i], w.preferredCluster(i));
         EXPECT_EQ(times[i], w.preferredTime(i));
     }
+}
+
+TEST(PreferenceMatrix, WindowSpanExposesContiguousClusterBlock)
+{
+    PreferenceMatrix w(1, 6, 2);
+    auto row = w.row(0);
+    row.restrictTimeWindow(1, 4);
+    row.normalize();
+    const PreferenceMatrix &cw = w;
+    const auto view = cw.row(0);
+    const auto span = view.windowSpan(1);
+    ASSERT_EQ(span.size(), 3u);
+    for (size_t k = 0; k < span.size(); ++k)
+        EXPECT_EQ(span[k],
+                  w.at(0, view.windowLo() + static_cast<int>(k), 1));
+}
+
+TEST(PreferenceMatrix, MatrixViewRoundTrips)
+{
+    PreferenceMatrix w(2, 3, 2);
+    auto view = w.view();
+    EXPECT_EQ(view.numInstructions(), 2);
+    view.row(0).scaleCluster(1, 5.0);
+    view.normalizeAll();
+    EXPECT_EQ(view.constRow(0).preferredCluster(), 1);
+    EXPECT_NEAR(rowSum(w, 0), 1.0, 1e-12);
+}
+
+TEST(PreferenceMatrix, CopyIsIndependent)
+{
+    PreferenceMatrix w(1, 4, 2);
+    auto row = w.row(0);
+    row.restrictTimeWindow(1, 3);
+    row.normalize();
+    PreferenceMatrix copy = w;
+    copy.row(0).scaleCluster(0, 100.0);
+    copy.row(0).normalize();
+    EXPECT_NEAR(rowSum(w, 0), 1.0, 1e-12);
+    EXPECT_EQ(w.at(0, 1, 0), copy.at(0, 1, 0) == w.at(0, 1, 0)
+                                 ? copy.at(0, 1, 0)
+                                 : w.at(0, 1, 0));
+    // The copy preserved the window bookkeeping.
+    const PreferenceMatrix &cc = copy;
+    EXPECT_EQ(cc.row(0).windowLo(), 1);
+    EXPECT_EQ(cc.row(0).windowHi(), 3);
+    EXPECT_EQ(copy.at(0, 0, 0), 0.0);
 }
 
 /**
@@ -189,27 +356,36 @@ TEST(PreferenceMatrixProperty, RandomOperationsKeepInvariants)
         PreferenceMatrix w(n, times, clusters);
         for (int step = 0; step < 50; ++step) {
             const InstrId i = rng.range(n);
-            switch (rng.range(5)) {
+            auto row = w.row(i);
+            switch (rng.range(7)) {
               case 0:
-                w.scale(i, rng.range(times), rng.range(clusters),
-                        rng.uniform() * 3.0);
+                row.scaleSlot(rng.range(times), rng.range(clusters),
+                              rng.uniform() * 3.0);
                 break;
               case 1:
-                w.scaleCluster(i, rng.range(clusters),
-                               rng.uniform() * 3.0);
+                row.scaleCluster(rng.range(clusters),
+                                 rng.uniform() * 3.0);
                 break;
               case 2:
-                w.scaleTime(i, rng.range(times), rng.uniform() * 3.0);
+                row.scaleTime(rng.range(times), rng.uniform() * 3.0);
                 break;
               case 3:
-                w.blend(i, rng.range(n), rng.uniform());
+                row.blendFrom(w.row(rng.range(n)), rng.uniform());
                 break;
               case 4:
-                w.set(i, rng.range(times), rng.range(clusters),
-                      rng.uniform());
+                row.set(rng.range(times), rng.range(clusters),
+                        rng.uniform());
+                break;
+              case 5: {
+                const int lo = rng.range(times);
+                row.restrictTimeWindow(lo, lo + 1 + rng.range(times));
+                break;
+              }
+              case 6:
+                row.addPositiveNoise(rng, rng.uniform());
                 break;
             }
-            w.normalize(i);
+            row.normalize();
         }
         w.normalizeAll();
         for (InstrId i = 0; i < n; ++i) {
@@ -226,14 +402,43 @@ TEST(PreferenceMatrixProperty, RandomOperationsKeepInvariants)
             for (int c = 0; c < clusters; ++c)
                 EXPECT_LE(w.spaceMarginal(i, c),
                           w.spaceMarginal(i, pc) + 1e-12);
+            // Nothing outside the feasible window carries weight.
+            const PreferenceMatrix &cw = w;
+            const auto view = cw.row(i);
+            for (int t = 0; t < view.windowLo(); ++t)
+                for (int c = 0; c < clusters; ++c)
+                    EXPECT_EQ(w.at(i, t, c), 0.0);
+            for (int t = view.windowHi(); t < times; ++t)
+                for (int c = 0; c < clusters; ++c)
+                    EXPECT_EQ(w.at(i, t, c), 0.0);
         }
     }
 }
 
+// The deprecated per-element mutators must keep working for one
+// release; this is the only caller left in the tree.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(PreferenceMatrixCompat, DeprecatedShimsForwardToRowView)
+{
+    PreferenceMatrix w(2, 2, 2);
+    w.set(0, 0, 0, 3.0);
+    w.scale(0, 0, 0, 2.0);
+    w.scaleCluster(0, 1, 0.5);
+    w.scaleTime(0, 1, 0.25);
+    w.normalize(0);
+    EXPECT_NEAR(rowSum(w, 0), 1.0, 1e-12);
+    w.blend(1, 0, 0.5);
+    w.normalize(1);
+    EXPECT_NEAR(rowSum(w, 1), 1.0, 1e-12);
+    EXPECT_EQ(w.preferredCluster(0), 0);
+}
+#pragma GCC diagnostic pop
+
 TEST(PreferenceMatrixDeathTest, RejectsNegativeWeight)
 {
     PreferenceMatrix w(1, 1, 1);
-    EXPECT_DEATH(w.set(0, 0, 0, -0.5), "negative");
+    EXPECT_DEATH(w.row(0).set(0, 0, -0.5), "negative");
 }
 
 TEST(PreferenceMatrixDeathTest, RejectsOutOfRange)

@@ -129,6 +129,30 @@ TEST(Workloads, RegistryAndSuites)
         EXPECT_NO_FATAL_FAILURE(findWorkload(name));
 }
 
+TEST(Workloads, PerfRegistryIsSeparateAndDeterministic)
+{
+    // The large synthetic units live in their own registry so the
+    // interactive suites stay fast; tryFindWorkload searches both.
+    EXPECT_EQ(perfWorkloads().size(), 4u);
+    for (const auto &spec : perfWorkloads()) {
+        EXPECT_EQ(tryFindWorkload(spec.name), &spec);
+        for (const auto &interactive : allWorkloads())
+            EXPECT_NE(spec.name, interactive.name);
+    }
+    ASSERT_NE(tryFindWorkload("synth-wide-10k"), nullptr);
+    ASSERT_NE(tryFindWorkload("mxm"), nullptr);
+    EXPECT_EQ(tryFindWorkload("nonesuch"), nullptr);
+
+    // Seeded generators: the same spec builds the same graph, which
+    // is what makes perf cells comparable across runs and commits.
+    const WorkloadSpec *wide = tryFindWorkload("synth-wide-10k");
+    const auto a = wide->build(4, 4);
+    const auto b = wide->build(4, 4);
+    EXPECT_EQ(a.numInstructions(), 10000);
+    EXPECT_EQ(a.numInstructions(), b.numInstructions());
+    EXPECT_EQ(a.criticalPathLength(), b.criticalPathLength());
+}
+
 TEST(WorkloadsDeathTest, UnknownNameIsFatal)
 {
     EXPECT_DEATH(findWorkload("quicksort"), "unknown workload");

@@ -102,6 +102,24 @@ kill_resume_smoke() {
     echo "=== kill-and-resume ok (143 on SIGTERM, byte-identical resume)"
 }
 
+# Perf regression gate: re-measure the quick cell set in the optimised
+# build and compare against the checked-in BENCH_*.json baselines at
+# the repo root (csched-bench-report-v1; see DESIGN.md s10).  The gate
+# fails on a >15% median slowdown in any cell and prints the
+# per-kernel delta table.  Single-core timer noise at 3 repeats stays
+# well inside that margin; re-baseline with `csched_bench perf` when a
+# deliberate perf change moves the needle.
+perf_gate() {
+    local bench="$1/tools/csched_bench"
+    echo "=== perf gate (vs checked-in baselines)"
+    "${bench}" perf --quick --check --baseline-dir . \
+        --out-dir "$(mktemp -d)" || {
+        echo "perf gate: regression against the checked-in baseline" >&2
+        exit 1
+    }
+    echo "=== perf gate ok"
+}
+
 # End-to-end containment smoke against the real binary: one cell's
 # worker segfaults, another hangs past its deadline; under --isolate
 # both must come back as recorded per-cell outcomes (exit 1 per the
@@ -145,5 +163,6 @@ run_tier2_asan "${prefix}-asan"
 run_tier2_ubsan "${prefix}-ubsan"
 kill_resume_smoke "${prefix}-plain"
 containment_smoke "${prefix}-plain"
+perf_gate "${prefix}-plain"
 
-echo "=== all suites passed (plain + tsan + asan/ubsan tier2 + smokes)"
+echo "=== all suites passed (plain + tsan + asan/ubsan tier2 + smokes + perf gate)"

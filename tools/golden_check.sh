@@ -1,0 +1,41 @@
+#!/bin/sh
+# golden_check.sh BINARY GOLDEN -- run BINARY, compare its stdout
+# byte-for-byte against the checked-in GOLDEN file, and print a diff
+# on mismatch.  Used by the tier-2 golden tests to pin the paper
+# figures/tables to the pre-rewrite preference-matrix engine: any
+# numerical drift in the matrix kernels shows up here first.
+set -u
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 BINARY GOLDEN" >&2
+    exit 2
+fi
+
+binary=$1
+golden=$2
+
+if [ ! -x "$binary" ]; then
+    echo "golden_check: binary '$binary' not found or not executable" >&2
+    exit 2
+fi
+if [ ! -f "$golden" ]; then
+    echo "golden_check: golden file '$golden' not found" >&2
+    exit 2
+fi
+
+actual=$(mktemp "${TMPDIR:-/tmp}/golden_check.XXXXXX") || exit 1
+trap 'rm -f "$actual"' EXIT
+
+if ! "$binary" >"$actual"; then
+    echo "golden_check: '$binary' failed" >&2
+    exit 1
+fi
+
+if cmp -s "$actual" "$golden"; then
+    echo "golden_check: $(basename "$binary") matches $(basename "$golden")"
+    exit 0
+fi
+
+echo "golden_check: output of '$binary' differs from '$golden':" >&2
+diff -u "$golden" "$actual" >&2
+exit 1
