@@ -633,7 +633,8 @@ describeDeath(const Dispatch &dispatch)
         return "worker gave no reply within the " +
                std::to_string(dispatch.budgetMs) +
                " ms watchdog budget; killed";
-    if (dispatch.frame.kind == FrameResult::Kind::Malformed)
+    if (dispatch.frame.kind == FrameResult::Kind::Malformed ||
+        dispatch.frame.kind == FrameResult::Kind::Oversized)
         return "worker protocol error: " + dispatch.frame.error;
     const int status = dispatch.waitStatus;
     if (WIFSIGNALED(status))

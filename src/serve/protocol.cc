@@ -1,0 +1,211 @@
+#include "serve/protocol.hh"
+
+#include <sstream>
+
+#include "runner/json_report.hh"
+#include "support/json.hh"
+
+namespace csched {
+
+namespace {
+
+/**
+ * Read a non-negative integral id out of a JSON number.  Ids are
+ * client correlation handles, not arithmetic values; anything
+ * negative or fractional is shape abuse from an untrusted peer.
+ */
+bool
+parseId(const JsonValue &value, uint64_t *out)
+{
+    if (value.kind != JsonValue::Kind::Number)
+        return false;
+    if (value.number < 0 ||
+        value.number != static_cast<double>(
+                            static_cast<uint64_t>(value.number)))
+        return false;
+    *out = static_cast<uint64_t>(value.number);
+    return true;
+}
+
+} // namespace
+
+std::string
+encodeServeRequest(const ServeRequest &request)
+{
+    std::ostringstream out;
+    {
+        JsonWriter w(out);
+        w.beginObject();
+        w.key("schema").value(kServeRequestSchema);
+        w.key("id").value(request.id);
+        w.key("workload").value(request.workload);
+        w.key("machine").value(request.machine);
+        w.key("algorithm").value(request.algorithm);
+        w.key("deadlineMs").value(request.deadlineMs);
+        w.key("computeSpeedup").value(request.computeSpeedup);
+        w.endObject();
+    }
+    return compactJson(out.str());
+}
+
+StatusOr<ServeRequest>
+decodeServeRequest(const std::string &payload, uint64_t *id_out)
+{
+    std::string error;
+    const auto parsed = parseJson(payload, &error);
+    if (!parsed.has_value())
+        return Status::invalidSpec("request frame is not JSON: " +
+                                   error);
+    if (parsed->kind != JsonValue::Kind::Object)
+        return Status::invalidSpec(
+            "request frame is not a JSON object");
+
+    // Salvage the id first so even a rejected request can be answered
+    // under the exactly-one-reply contract.
+    uint64_t id = 0;
+    if (const JsonValue *found = parsed->find("id"))
+        if (parseId(*found, &id) && id_out != nullptr)
+            *id_out = id;
+
+    const JsonValue *schema = parsed->find("schema");
+    if (schema == nullptr ||
+        schema->kind != JsonValue::Kind::String ||
+        schema->string != kServeRequestSchema)
+        return Status::invalidSpec(
+            std::string("request schema is not ") +
+            kServeRequestSchema);
+
+    for (const char *field : {"id", "workload", "machine",
+                              "algorithm"}) {
+        if (parsed->find(field) == nullptr)
+            return Status::invalidSpec(
+                std::string("request is missing '") + field + "'");
+    }
+    const JsonValue &id_value = parsed->at("id");
+    if (!parseId(id_value, &id))
+        return Status::invalidSpec(
+            "request id must be a non-negative integer");
+    for (const char *field : {"workload", "machine", "algorithm"}) {
+        if (parsed->at(field).kind != JsonValue::Kind::String)
+            return Status::invalidSpec(std::string("request '") +
+                                       field + "' must be a string");
+    }
+
+    ServeRequest request;
+    request.id = id;
+    request.workload = parsed->at("workload").string;
+    request.machine = parsed->at("machine").string;
+    request.algorithm = parsed->at("algorithm").string;
+    if (const JsonValue *deadline = parsed->find("deadlineMs")) {
+        if (deadline->kind != JsonValue::Kind::Number ||
+            deadline->asInt() < 0)
+            return Status::invalidSpec(
+                "request deadlineMs must be a non-negative integer");
+        request.deadlineMs = deadline->asInt();
+    }
+    if (const JsonValue *speedup = parsed->find("computeSpeedup")) {
+        if (speedup->kind != JsonValue::Kind::Bool)
+            return Status::invalidSpec(
+                "request computeSpeedup must be a boolean");
+        request.computeSpeedup = speedup->boolean;
+    }
+    return request;
+}
+
+std::string
+encodeServeResponse(const ServeResponse &response, bool timings)
+{
+    std::ostringstream out;
+    {
+        JsonWriter w(out);
+        w.beginObject();
+        w.key("schema").value(kServeResponseSchema);
+        w.key("id").value(response.id);
+        w.key("status").value(response.status);
+        w.key("cached").value(response.cached);
+        w.key("coalesced").value(response.coalesced);
+        if (timings)
+            w.key("queueMs").value(response.queueMs);
+        w.key("serverDiagnostic").value(response.serverDiagnostic);
+        w.key("result").beginObject();
+        writeJobResultFields(w, response.result);
+        w.endObject();
+        w.endObject();
+    }
+    return compactJson(out.str());
+}
+
+StatusOr<ServeResponse>
+decodeServeResponse(const std::string &payload)
+{
+    std::string error;
+    const auto parsed = parseJson(payload, &error);
+    if (!parsed.has_value())
+        return Status::invalidSpec("response frame is not JSON: " +
+                                   error);
+    if (parsed->kind != JsonValue::Kind::Object)
+        return Status::invalidSpec(
+            "response frame is not a JSON object");
+    const JsonValue *schema = parsed->find("schema");
+    if (schema == nullptr ||
+        schema->kind != JsonValue::Kind::String ||
+        schema->string != kServeResponseSchema)
+        return Status::invalidSpec(
+            std::string("response schema is not ") +
+            kServeResponseSchema);
+    for (const char *field :
+         {"id", "status", "cached", "coalesced", "result"}) {
+        if (parsed->find(field) == nullptr)
+            return Status::invalidSpec(
+                std::string("response is missing '") + field + "'");
+    }
+
+    ServeResponse response;
+    if (!parseId(parsed->at("id"), &response.id))
+        return Status::invalidSpec(
+            "response id must be a non-negative integer");
+    response.status = parsed->at("status").string;
+    response.cached = parsed->at("cached").boolean;
+    response.coalesced = parsed->at("coalesced").boolean;
+    if (const JsonValue *queue = parsed->find("queueMs"))
+        response.queueMs = queue->asDouble();
+    if (const JsonValue *note = parsed->find("serverDiagnostic"))
+        response.serverDiagnostic = note->string;
+    auto result = parseJobResultFields(parsed->at("result"));
+    if (!result.has_value())
+        return Status::invalidSpec(
+            "response result is missing job fields");
+    response.result = std::move(*result);
+    return response;
+}
+
+std::string
+serveStatusOf(const JobResult &result)
+{
+    if (result.outcome == JobOutcome::Ok)
+        return "ok";
+    return errorCodeName(result.error);
+}
+
+ServeResponse
+makeRejection(const ServeRequest &request, const Status &status)
+{
+    ServeResponse response;
+    response.id = request.id;
+    response.status = errorCodeName(status.code());
+    response.result.workload = request.workload;
+    response.result.machine = request.machine;
+    response.result.algorithm = request.algorithm;
+    response.result.outcome =
+        status.code() == ErrorCode::Interrupted
+            ? JobOutcome::Interrupted
+            : (status.code() == ErrorCode::Timeout
+                   ? JobOutcome::Timeout
+                   : JobOutcome::Failed);
+    response.result.error = status.code();
+    response.result.diagnostic = status.message();
+    response.result.attempts = 0;  // no attempt consumed a worker
+    return response;
+}
+
+} // namespace csched

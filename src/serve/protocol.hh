@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Wire protocol of the scheduler-as-a-service daemon: one JSON
+ * request frame in, exactly one JSON response frame out, carried over
+ * the 4-byte LE length-prefixed codec from support/subprocess.hh on a
+ * UNIX-domain stream socket.
+ *
+ * The exactly-one-reply contract is the protocol's whole point: every
+ * request the server ever reads produces one structured response --
+ * a result, `overloaded` backpressure, a deadline expiry, or
+ * `interrupted` during a drain -- so a load generator can prove zero
+ * lost and zero duplicated replies under fault injection (see
+ * tools/csched_load.cc).
+ *
+ * Responses embed the job's result in the same field layout as a
+ * csched-grid-report-v2 job object (runner/json_report.hh
+ * writeJobResultFields), so everything downstream that reads grid
+ * cells can read serve replies.  The envelope adds serve-only fields:
+ * the echoed request id, a summary status, cache/coalescing marks,
+ * queue latency, and a server-side diagnostic (e.g. the deterministic
+ * retry-backoff delays behind a healed worker crash).
+ */
+
+#ifndef CSCHED_SERVE_PROTOCOL_HH
+#define CSCHED_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "runner/job.hh"
+#include "support/status.hh"
+
+namespace csched {
+
+/** Schema identifiers stamped into every frame. */
+inline const char *kServeRequestSchema = "csched-serve-request-v1";
+inline const char *kServeResponseSchema = "csched-serve-response-v1";
+
+/**
+ * Socket peers are far less trusted than our own forked workers, so
+ * the serve-side frame cap is deliberately small: a request is a few
+ * hundred bytes of spec text, a response tops out at an assignment
+ * vector.  Configurable per server (ServeOptions::maxFrameBytes).
+ */
+inline constexpr uint32_t kServeMaxFrameBytes = 1u << 20;
+
+/** One schedule request from a client. */
+struct ServeRequest
+{
+    /** Client-chosen correlation id, echoed verbatim in the reply. */
+    uint64_t id = 0;
+    std::string workload;
+    std::string machine;    ///< validated machine spec, e.g. "vliw4"
+    std::string algorithm;  ///< AlgorithmSpec::text() form
+    /**
+     * End-to-end deadline in milliseconds, attached at admission:
+     * covers the queue wait *and* the schedule run.  0 = use the
+     * server's default.
+     */
+    int deadlineMs = 0;
+    /** Also run the one-cluster normalisation to compute speedup. */
+    bool computeSpeedup = false;
+};
+
+/** The server's one structured reply to a request. */
+struct ServeResponse
+{
+    uint64_t id = 0;
+    /**
+     * Summary verdict: "ok" or an errorCodeName -- "overloaded"
+     * (queue full or crash-looping pool), "timeout" (aged out in
+     * queue, or the run exceeded the deadline), "interrupted"
+     * (drain), "invalid-spec", "worker-crashed", ...  Always equal to
+     * result.outcome/result.error collapsed to one string.
+     */
+    std::string status = "ok";
+    /** Served from the memoized result cache (no job ran). */
+    bool cached = false;
+    /** Coalesced onto an identical in-flight request (single-flight). */
+    bool coalesced = false;
+    /** Wall-clock spent queued before dispatch, in milliseconds. */
+    double queueMs = 0.0;
+    /**
+     * Serve-layer diagnostic: shed reasons, crash-loop notes, and the
+     * deterministic retry-backoff delays behind a healed worker death
+     * (pure recomputation via retryBackoffMs, so it is reproducible).
+     */
+    std::string serverDiagnostic;
+    /** The csched-grid-report-v2-compatible per-request result. */
+    JobResult result;
+};
+
+/** Serialize @p request as one compact frame payload. */
+std::string encodeServeRequest(const ServeRequest &request);
+
+/**
+ * Decode a request frame from an untrusted peer.  Never throws; any
+ * shape problem (not JSON, wrong schema, missing fields, wrong types)
+ * comes back as an InvalidSpec status whose message names the defect.
+ * When the frame is parseable enough to carry an id, @p id_out (if
+ * non-null) receives it even on failure, so the server can still
+ * address its error reply.
+ */
+StatusOr<ServeRequest> decodeServeRequest(const std::string &payload,
+                                          uint64_t *id_out = nullptr);
+
+/**
+ * Serialize @p response as one compact frame payload.  @p timings
+ * false drops the envelope's wall-clock queueMs field for
+ * byte-comparable output (the embedded result keeps the grid-report
+ * layout either way).
+ */
+std::string encodeServeResponse(const ServeResponse &response,
+                                bool timings = true);
+
+/** Decode a response frame; InvalidSpec on any shape problem. */
+StatusOr<ServeResponse> decodeServeResponse(const std::string &payload);
+
+/**
+ * Collapse a JobResult to the envelope status string: "ok" for an ok
+ * outcome, else the errorCodeName of its error.
+ */
+std::string serveStatusOf(const JobResult &result);
+
+/**
+ * Build the failure half of a response when no job ran (admission
+ * rejection, queue shed, drain): a synthesized JobResult carrying
+ * @p status as outcome/error/diagnostic, identified by @p request.
+ */
+ServeResponse makeRejection(const ServeRequest &request,
+                            const Status &status);
+
+} // namespace csched
+
+#endif // CSCHED_SERVE_PROTOCOL_HH

@@ -1,0 +1,66 @@
+#include "serve/request_queue.hh"
+
+namespace csched {
+
+RequestQueue::RequestQueue(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity)
+{
+}
+
+Status
+RequestQueue::push(QueuedRequest item)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_)
+            return Status::interrupted(
+                "the daemon is draining; request not admitted");
+        if (items_.size() >= capacity_)
+            return Status::overloaded(
+                "request queue is full (" +
+                std::to_string(capacity_) +
+                " queued); retry later");
+        items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return Status();
+}
+
+bool
+RequestQueue::pop(QueuedRequest *out, int timeout_ms)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                    [this] { return closed_ || !items_.empty(); });
+    if (items_.empty())
+        return false;  // timed out, or closed with an empty backlog
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+}
+
+void
+RequestQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    ready_.notify_all();
+}
+
+bool
+RequestQueue::closed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+}
+
+std::size_t
+RequestQueue::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+}
+
+} // namespace csched

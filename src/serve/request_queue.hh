@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The serve daemon's admission queue: a bounded MPMC queue between the
+ * per-connection reader threads (producers) and the dispatcher pool
+ * (consumers).
+ *
+ * Boundedness *is* the backpressure mechanism: push() never blocks and
+ * never grows the queue past its capacity -- a full queue refuses with
+ * ErrorCode::Overloaded, which the reader turns into a structured
+ * rejection reply instead of buffering unbounded work the daemon
+ * cannot keep up with.  Each queued item carries the wall-clock
+ * deadline attached at admission, so a dispatcher can shed requests
+ * that aged out while waiting without spending a worker on them.
+ *
+ * close() flips the queue into drain mode: pushes fail with
+ * Interrupted (readers answer late arrivals themselves), pops keep
+ * succeeding until the backlog is empty so the drain logic can reply
+ * Interrupted to every queued request, and then pop() returns false
+ * forever -- the dispatcher exit condition.
+ */
+
+#ifndef CSCHED_SERVE_REQUEST_QUEUE_HH
+#define CSCHED_SERVE_REQUEST_QUEUE_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "serve/protocol.hh"
+#include "support/status.hh"
+
+namespace csched {
+
+class Session;
+
+/** One admitted request waiting for a dispatcher. */
+struct QueuedRequest
+{
+    /**
+     * The connection to answer on.  Shared ownership: the session must
+     * outlive the reply even if the reader thread (and its client)
+     * already went away.
+     */
+    std::shared_ptr<Session> session;
+    ServeRequest request;
+    /** When admission happened (queue-latency measurement). */
+    std::chrono::steady_clock::time_point admitted;
+    /**
+     * End-to-end deadline fixed at admission; queue wait counts
+     * against it.  time_point::max() when the request has none.
+     */
+    std::chrono::steady_clock::time_point deadline;
+};
+
+/** Bounded MPMC queue; see the file comment for the drain contract. */
+class RequestQueue
+{
+  public:
+    explicit RequestQueue(std::size_t capacity);
+
+    /**
+     * Admit @p item.  Fails with Overloaded when the queue is at
+     * capacity and with Interrupted after close(); never blocks.
+     */
+    Status push(QueuedRequest item);
+
+    /**
+     * Take the oldest item, waiting up to @p timeout_ms.  Returns
+     * false on timeout or when the queue is closed *and* empty (the
+     * consumer's signal to exit -- a closed queue still hands out its
+     * backlog first).
+     */
+    bool pop(QueuedRequest *out, int timeout_ms);
+
+    /** Refuse further pushes and wake every waiting consumer. */
+    void close();
+
+    bool closed() const;
+    std::size_t size() const;
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable ready_;
+    std::deque<QueuedRequest> items_;
+    bool closed_ = false;
+};
+
+} // namespace csched
+
+#endif // CSCHED_SERVE_REQUEST_QUEUE_HH

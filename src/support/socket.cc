@@ -1,0 +1,153 @@
+#include "support/socket.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace csched {
+
+namespace {
+
+/** Fill a sockaddr_un; fails when @p path exceeds sun_path. */
+Status
+makeAddress(const std::string &path, sockaddr_un *addr)
+{
+    std::memset(addr, 0, sizeof(*addr));
+    addr->sun_family = AF_UNIX;
+    if (path.empty())
+        return Status::invalidSpec("socket path is empty");
+    if (path.size() >= sizeof(addr->sun_path))
+        return Status::invalidSpec(
+            "socket path '" + path + "' exceeds the " +
+            std::to_string(sizeof(addr->sun_path) - 1) +
+            "-byte sun_path limit");
+    std::memcpy(addr->sun_path, path.data(), path.size());
+    return Status();
+}
+
+} // namespace
+
+StatusOr<int>
+listenUnix(const std::string &path, int backlog)
+{
+    sockaddr_un addr;
+    const Status named = makeAddress(path, &addr);
+    if (!named.ok())
+        return named;
+
+    // A stale *socket* file from a previous daemon run is removed; any
+    // other file type at the path is someone else's data.
+    struct stat st;
+    if (::lstat(path.c_str(), &st) == 0) {
+        if (!S_ISSOCK(st.st_mode))
+            return Status::invalidSpec("'" + path +
+                                       "' exists and is not a socket");
+        ::unlink(path.c_str());
+    }
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return Status::internal(std::string("socket: ") +
+                                std::strerror(errno));
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        const Status status = Status::internal(
+            "bind '" + path + "': " + std::strerror(errno));
+        ::close(fd);
+        return status;
+    }
+    if (::listen(fd, backlog) != 0) {
+        const Status status = Status::internal(
+            "listen '" + path + "': " + std::strerror(errno));
+        ::close(fd);
+        ::unlink(path.c_str());
+        return status;
+    }
+    return fd;
+}
+
+StatusOr<int>
+acceptClient(int listen_fd, int timeout_ms)
+{
+    struct pollfd probe = {listen_fd, POLLIN, 0};
+    for (;;) {
+        const int ready = ::poll(&probe, 1, timeout_ms);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status::internal(std::string("poll: ") +
+                                    std::strerror(errno));
+        }
+        if (ready == 0)
+            return Status::timedOut("no client within the accept "
+                                    "budget");
+        break;
+    }
+    for (;;) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd >= 0)
+            return fd;
+        if (errno == EINTR)
+            continue;
+        // The client that woke the poll may already be gone; that is
+        // an idle tick, not an accept-loop failure.
+        if (errno == ECONNABORTED || errno == EAGAIN ||
+            errno == EWOULDBLOCK)
+            return Status::timedOut("client vanished before accept");
+        return Status::internal(std::string("accept: ") +
+                                std::strerror(errno));
+    }
+}
+
+StatusOr<int>
+connectUnix(const std::string &path, int timeout_ms)
+{
+    sockaddr_un addr;
+    const Status named = makeAddress(path, &addr);
+    if (!named.ok())
+        return named;
+
+    using Clock = std::chrono::steady_clock;
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(std::max(0, timeout_ms));
+    for (;;) {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            return Status::internal(std::string("socket: ") +
+                                    std::strerror(errno));
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) == 0)
+            return fd;
+        const int why = errno;
+        ::close(fd);
+        // ENOENT/ECONNREFUSED: the daemon is still starting (or its
+        // backlog is momentarily full); retry inside the budget.
+        if ((why == ENOENT || why == ECONNREFUSED) &&
+            Clock::now() < deadline) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+            continue;
+        }
+        return Status::internal("connect '" + path +
+                                "': " + std::strerror(why));
+    }
+}
+
+void
+setSendTimeout(int fd, int ms)
+{
+    if (ms <= 0)
+        return;
+    struct timeval tv;
+    tv.tv_sec = ms / 1000;
+    tv.tv_usec = (ms % 1000) * 1000;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+} // namespace csched

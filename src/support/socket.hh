@@ -1,0 +1,60 @@
+/**
+ * @file
+ * UNIX-domain socket helpers for the scheduler-as-a-service daemon
+ * (serve/server.hh) and its clients.
+ *
+ * Thin, Status-returning wrappers over the POSIX calls: bind/listen
+ * with stale-socket cleanup, poll-bounded accept (so the daemon's
+ * accept loop can wake up and notice a drain request), connect with a
+ * bounded wait, and a send-timeout knob so one stuck client cannot
+ * park a dispatcher thread in write() forever.  Stream payloads on
+ * top of these fds use the same 4-byte LE length-prefixed frame codec
+ * as the worker pipes (support/subprocess.hh) -- with a *smaller*
+ * frame cap, because socket peers are less trusted than our own
+ * forked workers.
+ */
+
+#ifndef CSCHED_SUPPORT_SOCKET_HH
+#define CSCHED_SUPPORT_SOCKET_HH
+
+#include <string>
+
+#include "support/status.hh"
+
+namespace csched {
+
+/**
+ * Create, bind, and listen on a UNIX-domain stream socket at @p path.
+ * An existing socket file at @p path is unlinked first (a daemon
+ * restarting over its own stale socket), a non-socket file is not
+ * touched (refuses with InvalidSpec).  Returns the listening fd.
+ */
+StatusOr<int> listenUnix(const std::string &path, int backlog = 64);
+
+/**
+ * Accept one client from @p listen_fd, waiting at most @p timeout_ms
+ * (0 polls once; < 0 blocks).  Returns the connected fd, a Timeout
+ * status when nothing arrived in the budget (the normal idle case --
+ * callers poll their drain flags and try again), or an Internal
+ * status for real accept errors.
+ */
+StatusOr<int> acceptClient(int listen_fd, int timeout_ms);
+
+/**
+ * Connect to the UNIX-domain socket at @p path, retrying connection
+ * refusal for up to @p timeout_ms (a client racing a daemon that is
+ * still binding).  Returns the connected fd.
+ */
+StatusOr<int> connectUnix(const std::string &path, int timeout_ms);
+
+/**
+ * Bound the time a blocking write on @p fd may stall on a peer that
+ * stopped reading (SO_SNDTIMEO).  A write that exceeds it fails with
+ * EAGAIN, which frame writers surface as a Status -- the serve
+ * daemon's defence against slow-client head-of-line blocking.
+ */
+void setSendTimeout(int fd, int ms);
+
+} // namespace csched
+
+#endif // CSCHED_SUPPORT_SOCKET_HH

@@ -24,6 +24,8 @@ errorCodeName(ErrorCode code)
         return "worker-crashed";
       case ErrorCode::WorkerKilled:
         return "worker-killed";
+      case ErrorCode::Overloaded:
+        return "overloaded";
     }
     CSCHED_PANIC("unreachable error code ", static_cast<int>(code));
 }
@@ -35,7 +37,7 @@ parseErrorCodeName(const std::string &name)
          {ErrorCode::InvalidSpec, ErrorCode::CheckFailed,
           ErrorCode::Timeout, ErrorCode::Injected, ErrorCode::Internal,
           ErrorCode::Interrupted, ErrorCode::WorkerCrashed,
-          ErrorCode::WorkerKilled}) {
+          ErrorCode::WorkerKilled, ErrorCode::Overloaded}) {
         if (name == errorCodeName(candidate))
             return candidate;
     }
@@ -96,6 +98,12 @@ Status
 Status::workerKilled(std::string message)
 {
     return error(ErrorCode::WorkerKilled, std::move(message));
+}
+
+Status
+Status::overloaded(std::string message)
+{
+    return error(ErrorCode::Overloaded, std::move(message));
 }
 
 Status

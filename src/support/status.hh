@@ -46,6 +46,13 @@ enum class ErrorCode {
     WorkerCrashed,
     /** The parent watchdog killed a worker stuck past its deadline. */
     WorkerKilled,
+    /**
+     * The serve daemon refused admission: its bounded request queue
+     * was full or the worker pool was crash-looping.  Backpressure,
+     * not a verdict about the request -- the client should retry
+     * later (see serve/server.hh).
+     */
+    Overloaded,
 };
 
 /** Stable lower-case name, e.g. "check-failed" (used in JSON). */
@@ -76,6 +83,7 @@ class Status
     static Status interrupted(std::string message);
     static Status workerCrashed(std::string message);
     static Status workerKilled(std::string message);
+    static Status overloaded(std::string message);
 
     bool ok() const { return code_ == ErrorCode::Ok; }
     ErrorCode code() const { return code_; }

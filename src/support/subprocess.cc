@@ -130,7 +130,7 @@ readFrame(int fd, int timeout_ms, uint32_t max_bytes)
                       static_cast<unsigned char>(header[k]))
                   << (8 * k);
     if (length > max_bytes) {
-        result.kind = FrameResult::Kind::Malformed;
+        result.kind = FrameResult::Kind::Oversized;
         result.error = "oversized frame length " +
                        std::to_string(length) + " (cap " +
                        std::to_string(max_bytes) + ")";

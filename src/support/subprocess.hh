@@ -39,7 +39,18 @@ struct FrameResult
         Payload,    ///< a complete frame was read
         Eof,        ///< clean end-of-stream before any length byte
         Timeout,    ///< the deadline passed before a full frame arrived
-        Malformed,  ///< truncated frame, oversized length, or I/O error
+        Malformed,  ///< truncated frame or I/O error
+        /**
+         * The length prefix exceeds the caller's frame cap.  Kept
+         * distinct from Malformed because the two call for different
+         * reactions from a server reading *untrusted* peers: a
+         * truncated frame usually means the peer died mid-write,
+         * while an oversized length is either corruption or a hostile
+         * client probing for a huge allocation -- the serve daemon
+         * reports it with its own structured error before dropping
+         * the connection (see serve/server.hh).
+         */
+        Oversized,
     };
 
     Kind kind = Kind::Eof;

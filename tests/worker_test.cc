@@ -154,10 +154,12 @@ TEST(FrameProtocol, OversizedLengthFailsFastWithoutAllocating)
 {
     // Garbage length bytes (~4 GiB) must be rejected as corruption,
     // not trigger an allocation-and-wait for data that never comes.
+    // The classification is Oversized, distinct from Malformed, so an
+    // untrusted-peer server can report it with its own error.
     Pipe pipe;
     writeRaw(pipe.writeFd(), std::string("\xff\xff\xff\xff", 4));
     const auto result = readFrame(pipe.readFd(), 1000);
-    EXPECT_EQ(result.kind, FrameResult::Kind::Malformed);
+    EXPECT_EQ(result.kind, FrameResult::Kind::Oversized);
     EXPECT_NE(result.error.find("frame length"), std::string::npos);
 }
 

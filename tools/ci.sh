@@ -11,7 +11,11 @@
 # graceful 143, resume, and demand a byte-identical report; then
 # inject a worker segfault and a worker hang under --isolate and
 # demand both are contained as per-cell outcomes (exit 1) with the
-# healthy cells salvaged.
+# healthy cells salvaged.  The serve drain smoke (plain and ASan) runs
+# the csched_serve daemon under fault-injected csched_load traffic,
+# SIGTERMs it mid-load, and demands a graceful drain: exit 143, no
+# orphaned workers, socket unlinked, and a load ledger proving every
+# request got exactly one structured reply.
 #
 #   tools/ci.sh [BUILD_DIR_PREFIX]
 #
@@ -157,12 +161,95 @@ containment_smoke() {
     echo "=== containment ok (crash + hang contained, healthy cells salvaged)"
 }
 
+# End-to-end serve drain smoke: the daemon under fault-injected load
+# (admission refusals, rewritten replies, workers that crash on first
+# dispatch and heal on retry), SIGTERM mid-load.  The daemon must
+# drain gracefully -- exit 143, socket unlinked, no orphaned worker
+# processes -- and the load ledger must balance: zero lost and zero
+# duplicated replies, with the drain visible as `interrupted` ones.
+serve_smoke() {
+    local build_dir="$1"
+    local tag="$2"
+    local serve="${build_dir}/tools/csched_serve"
+    local load="${build_dir}/tools/csched_load"
+    echo "=== serve drain smoke (${tag})"
+    local tmp
+    tmp="$(mktemp -d)"
+    local sock="${tmp}/serve.sock"
+
+    # --cache 0 so every admitted request runs a real job, which keeps
+    # the load running long enough that SIGTERM lands mid-run; the
+    # small queue exercises `overloaded` backpressure at the same time.
+    "${serve}" --socket "${sock}" --workers 2 --dispatchers 2 \
+        --queue 8 --cache 0 --retries 1 \
+        --inject 'serve.admit=fail:nth=3;serve.reply=fail:nth=5;worker.crash=fail:match=vvmul/vliw2/uas:nth=1' &
+    local serve_pid=$!
+
+    "${load}" --socket "${sock}" --clients 12 --requests 80 \
+        --json "${tmp}/load.json" &
+    local load_pid=$!
+
+    sleep 0.6
+    kill -TERM "${serve_pid}"
+    local serve_code=0
+    wait "${serve_pid}" || serve_code=$?
+    local load_code=0
+    wait "${load_pid}" || load_code=$?
+
+    if [ "${serve_code}" -ne 143 ]; then
+        echo "serve smoke: expected a graceful drain exit 143 after" \
+             "SIGTERM, got ${serve_code}" >&2
+        exit 1
+    fi
+    if [ "${load_code}" -ne 0 ]; then
+        echo "serve smoke: load ledger did not balance" \
+             "(csched_load exit ${load_code})" >&2
+        cat "${tmp}/load.json" >&2 || true
+        exit 1
+    fi
+    # Workers share the daemon's argv, so the unique per-run socket
+    # path finds any orphan -- without ever matching this shell.
+    if pgrep -f "${sock}" >/dev/null; then
+        echo "serve smoke: processes survived the drain:" >&2
+        pgrep -af "${sock}" >&2
+        exit 1
+    fi
+    if [ -e "${sock}" ]; then
+        echo "serve smoke: socket file not unlinked by the drain" >&2
+        exit 1
+    fi
+    grep -q '"schema": "csched-load-report-v1"' "${tmp}/load.json" || {
+        echo "serve smoke: malformed load report" >&2
+        exit 1
+    }
+    grep -q '"lost": 0' "${tmp}/load.json" || {
+        echo "serve smoke: lost replies under drain" >&2
+        cat "${tmp}/load.json" >&2
+        exit 1
+    }
+    grep -q '"duplicates": 0' "${tmp}/load.json" || {
+        echo "serve smoke: duplicated replies under drain" >&2
+        cat "${tmp}/load.json" >&2
+        exit 1
+    }
+    grep -q '"sawDrain": true' "${tmp}/load.json" || {
+        echo "serve smoke: SIGTERM did not land mid-load" \
+             "(no interrupted reply observed)" >&2
+        exit 1
+    }
+    rm -rf "${tmp}"
+    echo "=== serve drain smoke ok (${tag}: 143, ledger balanced," \
+         "no orphans)"
+}
+
 run_suite "${prefix}-plain"
 run_suite "${prefix}-tsan" -DCSCHED_SANITIZE=thread
 run_tier2_asan "${prefix}-asan"
 run_tier2_ubsan "${prefix}-ubsan"
 kill_resume_smoke "${prefix}-plain"
 containment_smoke "${prefix}-plain"
+serve_smoke "${prefix}-plain" plain
+serve_smoke "${prefix}-asan" asan
 perf_gate "${prefix}-plain"
 
-echo "=== all suites passed (plain + tsan + asan/ubsan tier2 + smokes + perf gate)"
+echo "=== all suites passed (plain + tsan + asan/ubsan tier2 + smokes + serve drain + perf gate)"

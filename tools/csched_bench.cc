@@ -112,6 +112,7 @@
 #include "support/stats.hh"
 #include "support/str.hh"
 #include "support/table.hh"
+#include "tool_version.hh"
 #include "workloads/workloads.hh"
 
 using namespace csched;
@@ -733,6 +734,8 @@ main(int argc, char **argv)
         return runPerf(argv[0], {args.begin() + 1, args.end()});
     if (!args.empty() && args[0] == "list")
         return runList();
+    if (!args.empty() && args[0] == "--version")
+        return printToolVersion("csched_bench");
     if (!args.empty() && args[0] == "help")
         usage(argv[0]);
     // Compatibility shim: bare grid flags keep meaning `suite` for

@@ -58,6 +58,7 @@
 #include "runner/failure_summary.hh"
 #include "runner/grid_runner.hh"
 #include "runner/json_report.hh"
+#include "tool_version.hh"
 #include "runner/shutdown.hh"
 #include "sched/register_pressure.hh"
 #include "sched/schedule_printer.hh"
@@ -84,7 +85,8 @@ usage(const char *argv0, const std::string &why = "")
               << "  [--trace] [--dot FILE] [--pressure] [--speedup]\n"
               << "  [--deadline-ms N] [--retries N] [--isolate]"
               << " [--mem-limit-mb N]\n"
-              << "  [--journal FILE] [--resume] [--keep-going]\n";
+              << "  [--journal FILE] [--resume] [--keep-going]"
+              << " [--version]\n";
     std::exit(2);
 }
 
@@ -121,7 +123,9 @@ main(int argc, char **argv)
                 usage(argv[0], arg + " needs a value");
             return argv[++k];
         };
-        if (arg == "--workload") {
+        if (arg == "--version") {
+            return printToolVersion("csched_cli");
+        } else if (arg == "--workload") {
             workload = next();
         } else if (arg == "--machine") {
             machine_spec = next();
