@@ -342,44 +342,6 @@ PreferenceMatrix::rowNormalize(InstrId i)
     clean_[i] = 1;
 }
 
-// ---- deprecated per-element shims ----------------------------------
-
-void
-PreferenceMatrix::set(InstrId i, int t, int c, double value)
-{
-    rowSet(i, t, c, value);
-}
-
-void
-PreferenceMatrix::scale(InstrId i, int t, int c, double factor)
-{
-    rowScaleSlot(i, t, c, factor);
-}
-
-void
-PreferenceMatrix::scaleCluster(InstrId i, int c, double factor)
-{
-    rowScaleCluster(i, c, factor);
-}
-
-void
-PreferenceMatrix::scaleTime(InstrId i, int t, double factor)
-{
-    rowScaleTime(i, t, factor);
-}
-
-void
-PreferenceMatrix::blend(InstrId i, InstrId other, double w)
-{
-    rowBlendFrom(i, other, w);
-}
-
-void
-PreferenceMatrix::normalize(InstrId i)
-{
-    rowNormalize(i);
-}
-
 void
 PreferenceMatrix::normalizeAll()
 {

@@ -41,8 +41,10 @@
  *
  * Mutation goes through RowView, a cursor that validates the row
  * index once and then applies fused batched kernels with no
- * per-element dispatch or bounds rechecks.  The per-element
- * matrix-level mutators survive one release as deprecated shims; the
+ * per-element dispatch or bounds rechecks.  (The per-element
+ * matrix-level mutators that bridged the rewrite are gone; their
+ * one-release deprecation window has closed, and ci.sh builds with
+ * -Werror=deprecated-declarations to keep such shims out.)  The
  * per-element read path at() is the supported compatibility surface
  * for traces and JSON emitters.
  *
@@ -100,30 +102,6 @@ class PreferenceMatrix
      * batched readers go through row().
      */
     double at(InstrId i, int t, int c) const;
-
-    /** @name Deprecated per-element mutation shims
-     * One-release compatibility surface: each forwards to the
-     * equivalent RowView operation.  New code mutates through row().
-     */
-    ///@{
-    [[deprecated("use row(i).set(t, c, value)")]]
-    void set(InstrId i, int t, int c, double value);
-
-    [[deprecated("use row(i).scaleSlot(t, c, factor)")]]
-    void scale(InstrId i, int t, int c, double factor);
-
-    [[deprecated("use row(i).scaleCluster(c, factor)")]]
-    void scaleCluster(InstrId i, int c, double factor);
-
-    [[deprecated("use row(i).scaleTime(t, factor)")]]
-    void scaleTime(InstrId i, int t, double factor);
-
-    [[deprecated("use row(i).blendFrom(row(other), w)")]]
-    void blend(InstrId i, InstrId other, double w);
-
-    [[deprecated("use row(i).normalize()")]]
-    void normalize(InstrId i);
-    ///@}
 
     /** normalize() every instruction. */
     void normalizeAll();

@@ -11,6 +11,7 @@
 #include "baseline/uas.hh"
 #include "convergent/pass_registry.hh"
 #include "convergent/sequences.hh"
+#include "online/policy.hh"
 #include "sched/schedule_checker.hh"
 #include "support/fault_injection.hh"
 #include "support/logging.hh"
@@ -75,10 +76,22 @@ parseAlgorithmSpec(const std::string &text, std::string *error)
     if (colon != std::string::npos)
         spec.sequence = trim(text.substr(colon + 1));
 
+    // Online policies parse as algorithms so they ride the grid's
+    // algorithm axis (and cross the worker pipe) unchanged; the grid
+    // runner routes them to the online job path.  tryMakeAlgorithm
+    // still rejects them -- they are not offline SchedulingAlgorithms.
+    if (isOnlinePolicyName(spec.name)) {
+        std::string why;
+        if (!parseOnlinePolicy(spec.text(), &why))
+            return fail(why);
+        return spec;
+    }
+
     const auto &names = knownAlgorithmNames();
     if (std::find(names.begin(), names.end(), spec.name) == names.end())
         return fail("unknown algorithm '" + spec.name + "' (expected " +
-                    join(names, "|") + ")");
+                    join(names, "|") + " or an online policy, see "
+                    "online/policy.hh)");
 
     if (!spec.sequence.empty() && spec.name != "convergent")
         return fail("algorithm '" + spec.name +

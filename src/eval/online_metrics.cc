@@ -1,0 +1,34 @@
+#include "eval/online_metrics.hh"
+
+#include <algorithm>
+
+namespace csched {
+
+OnlineMetrics
+computeOnlineMetrics(const std::vector<OnlineCommit> &commits)
+{
+    OnlineMetrics metrics;
+    metrics.regions = static_cast<int>(commits.size());
+    int64_t flowSum = 0;
+    for (const OnlineCommit &commit : commits) {
+        const int completion = commit.end();
+        const int flow = completion - commit.release;
+        metrics.instructions += commit.instructions;
+        metrics.makespan = std::max(metrics.makespan, completion);
+        metrics.weightedCompletion +=
+            static_cast<int64_t>(commit.weight) * completion;
+        metrics.maxFlowTime = std::max(metrics.maxFlowTime, flow);
+        flowSum += flow;
+        if (commit.deadline >= 0 && completion > commit.deadline)
+            ++metrics.deadlineMisses;
+        metrics.maxCriticalPathLength =
+            std::max(metrics.maxCriticalPathLength,
+                     commit.criticalPathLength);
+    }
+    if (!commits.empty())
+        metrics.meanFlowTime = static_cast<double>(flowSum) /
+                               static_cast<double>(commits.size());
+    return metrics;
+}
+
+} // namespace csched

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Scoring for online schedules.
+ *
+ * The bi-criteria framing (Dutot et al., PAPERS.md): an online policy
+ * is judged both on throughput (makespan of the whole committed
+ * timeline) and on responsiveness (weighted completion time, flow
+ * time).  Select-and-Permute's WSPT ordering optimizes the weighted
+ * completion objective; FIFO baselines trade it for simplicity.
+ * Every metric is integral or an exact ratio of integrals, so reports
+ * stay byte-identical across runs.
+ */
+
+#ifndef CSCHED_EVAL_ONLINE_METRICS_HH
+#define CSCHED_EVAL_ONLINE_METRICS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "online/online_scheduler.hh"
+
+namespace csched {
+
+/** Aggregate scores of one committed online timeline. */
+struct OnlineMetrics
+{
+    /** Regions committed. */
+    int regions = 0;
+    /** Instructions across all committed regions. */
+    int instructions = 0;
+    /** Last completion cycle (0 for an empty timeline). */
+    int makespan = 0;
+    /** Sum over regions of weight x completion cycle. */
+    int64_t weightedCompletion = 0;
+    /** Max over regions of completion - release. */
+    int maxFlowTime = 0;
+    /** Mean flow time (exact ratio; 0 for an empty timeline). */
+    double meanFlowTime = 0.0;
+    /** Regions whose completion exceeded their deadline. */
+    int deadlineMisses = 0;
+    /** Longest region critical path (the lower bound per region). */
+    int maxCriticalPathLength = 0;
+};
+
+/** Score a committed timeline; a pure function of the commits. */
+OnlineMetrics computeOnlineMetrics(const std::vector<OnlineCommit> &commits);
+
+} // namespace csched
+
+#endif // CSCHED_EVAL_ONLINE_METRICS_HH

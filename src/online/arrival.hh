@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Arrival streams: regions that arrive over time.
+ *
+ * The paper's convergent scheduling is purely offline -- every region
+ * is known before the first pass runs.  This module models the online
+ * scenario: a stream of RegionArrival events, each naming a region
+ * (by workload-registry name), a release cycle, a weight, and an
+ * optional completion deadline.  Streams are *deterministic*: a
+ * generator spec plus a seed reproduces the identical arrival
+ * sequence bit-for-bit, and every stream serializes to a JSONL trace
+ * (csched-stream-v1) so runs are replayable and diffable.
+ *
+ * A stream spec is a workload-shaped string (it rides the grid
+ * runner's workload axis, see online_grid.hh):
+ *
+ *   stream:poisson:n=16:seed=1:mean-gap=500:workloads=fir+vvmul
+ *   stream:bursty:n=16:seed=1:gap=2000:burst=4:workloads=fir+vvmul
+ *   stream:trace:file=PATH
+ *
+ * Common options (poisson/bursty): `max-weight=W` draws integer
+ * weights uniformly from [1, W] (default 8); `deadline-gap=G` attaches
+ * a deadline of release + G cycles to every region (default 0 = no
+ * deadlines).  Workload lists use `+` as the separator so stream
+ * specs stay comma-free and survive the drivers' CSV flags.
+ *
+ * Trace format (one JSON document per line):
+ *
+ *   {"schema": "csched-stream-v1", "spec": "<spec text>", "count": N}
+ *   {"id": 0, "workload": "fir", "release": 0, "weight": 3,
+ *    "deadline": -1}
+ *   ...
+ *
+ * Arrivals are sorted by (release, id) with dense unique ids; loaders
+ * reject traces that violate either invariant.
+ */
+
+#ifndef CSCHED_ONLINE_ARRIVAL_HH
+#define CSCHED_ONLINE_ARRIVAL_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/status.hh"
+
+namespace csched {
+
+/** Stream trace schema identifier (JSONL header line). */
+inline const char *kStreamTraceSchema = "csched-stream-v1";
+
+/** One region arriving at a point in virtual time. */
+struct RegionArrival
+{
+    /** Dense id, unique within the stream (the commit identity). */
+    int id = 0;
+    /** Workload-registry name of the region's dependence graph. */
+    std::string workload;
+    /** Cycle the region becomes known to the scheduler. */
+    int release = 0;
+    /** Completion-time weight (>= 1); heavier finishes earlier. */
+    int weight = 1;
+    /** Completion deadline in cycles; -1 = none. */
+    int deadline = -1;
+};
+
+/** Parsed description of a deterministic arrival stream. */
+struct StreamSpec
+{
+    /** The spec in its canonical text form (the stream's identity). */
+    std::string text;
+    /** Generator kind: "poisson", "bursty", or "trace". */
+    std::string kind;
+    uint64_t seed = 1;
+    /** Number of arrivals (poisson/bursty). */
+    int count = 16;
+    /** Mean exponential inter-arrival gap in cycles (poisson). */
+    int meanGap = 500;
+    /** Gap between bursts in cycles (bursty). */
+    int gap = 2000;
+    /** Arrivals per burst, all sharing one release (bursty). */
+    int burst = 4;
+    /** Weights are drawn uniformly from [1, maxWeight]. */
+    int maxWeight = 8;
+    /** Deadline = release + deadlineGap cycles; 0 = no deadlines. */
+    int deadlineGap = 0;
+    /** Workload mix the generator draws from. */
+    std::vector<std::string> workloads;
+    /** Trace file path (trace kind only). */
+    std::string file;
+};
+
+/** True when @p name is a stream spec ("stream:..."), not a workload. */
+bool isStreamWorkload(const std::string &name);
+
+/**
+ * Parse a stream spec.  The only place stream spellings are
+ * interpreted.  Returns std::nullopt on malformed input and, when
+ * @p error is non-null, stores a human-readable reason.  Generator
+ * workload names are validated against the workload registry.
+ */
+std::optional<StreamSpec> parseStreamSpec(const std::string &text,
+                                          std::string *error = nullptr);
+
+/**
+ * Produce the stream's arrival sequence: a pure function of the spec
+ * (generators draw from a seeded Rng; the trace kind loads its file).
+ * InvalidSpec when a trace file is missing/malformed or names an
+ * unknown workload.
+ */
+StatusOr<std::vector<RegionArrival>>
+generateArrivals(const StreamSpec &spec);
+
+/** Serialize a stream as a csched-stream-v1 JSONL trace. */
+std::string streamTraceText(const StreamSpec &spec,
+                            const std::vector<RegionArrival> &arrivals);
+
+/**
+ * Parse a csched-stream-v1 JSONL trace back into arrivals.
+ * InvalidSpec on a bad header, malformed record, unsorted releases,
+ * or non-dense ids.
+ */
+StatusOr<std::vector<RegionArrival>>
+parseStreamTrace(const std::string &text);
+
+} // namespace csched
+
+#endif // CSCHED_ONLINE_ARRIVAL_HH

@@ -1,0 +1,129 @@
+#include "online/online_grid.hh"
+
+#include <chrono>
+
+#include "eval/online_metrics.hh"
+#include "machine/machine_spec.hh"
+#include "online/online_scheduler.hh"
+#include "support/logging.hh"
+
+namespace csched {
+
+bool
+isOnlineJobSpec(const JobSpec &spec)
+{
+    return isStreamWorkload(spec.workload) ||
+           isOnlinePolicyName(spec.algorithm.name);
+}
+
+Status
+runOnlineJobAttempt(const JobSpec &spec, JobResult &out)
+{
+    // Both sides must be online: a stream needs a policy that commits
+    // over time, and a policy needs arrivals to react to.
+    if (!isStreamWorkload(spec.workload))
+        return Status::invalidSpec(
+            "online policy '" + spec.algorithm.text() +
+            "' requires a stream workload (stream:...), got '" +
+            spec.workload + "'");
+    if (!isOnlinePolicyName(spec.algorithm.name))
+        return Status::invalidSpec(
+            "stream workload '" + spec.workload +
+            "' requires an online policy (" +
+            "online-convergent|online-sp|online-list|online-uas|"
+            "online-pcc), got '" + spec.algorithm.text() + "'");
+
+    std::string error;
+    const auto machine = parseMachineSpec(spec.machine, &error);
+    if (machine == nullptr)
+        return Status::invalidSpec(error);
+
+    const auto stream = parseStreamSpec(spec.workload, &error);
+    if (!stream.has_value())
+        return Status::invalidSpec(error);
+
+    const auto policy = parseOnlinePolicy(spec.algorithm.text(), &error);
+    if (!policy.has_value())
+        return Status::invalidSpec(error);
+
+    auto arrivals = generateArrivals(*stream);
+    if (!arrivals.ok())
+        return arrivals.status();
+
+    const auto begin = std::chrono::steady_clock::now();
+    auto run = runOnline(*machine, *policy, *arrivals);
+    const auto end = std::chrono::steady_clock::now();
+    if (!run.ok())
+        return run.status();
+
+    const OnlineMetrics metrics = computeOnlineMetrics(run->commits);
+    out.algorithmName = policy->name;
+    out.instructions = metrics.instructions;
+    out.makespan = metrics.makespan;
+    out.criticalPathLength = metrics.maxCriticalPathLength;
+    out.assignment.clear();
+    out.assignment.reserve(run->commits.size());
+    for (const OnlineCommit &commit : run->commits)
+        out.assignment.push_back(commit.regionId);
+    out.regions = metrics.regions;
+    out.weightedCompletion = metrics.weightedCompletion;
+    out.maxFlowTime = metrics.maxFlowTime;
+    out.meanFlowTime = metrics.meanFlowTime;
+    out.deadlineMisses = metrics.deadlineMisses;
+    out.preemptions = run->preemptions;
+    out.fallbackDecisions = run->fallbackDecisions;
+    out.seconds =
+        std::chrono::duration<double>(end - begin).count();
+    return Status();
+}
+
+StatusOr<GridSpec>
+makeOnlineGrid(const OnlineGridSpec &spec)
+{
+    GridSpec grid;
+    std::string error;
+    for (const std::string &stream : spec.streams) {
+        if (!parseStreamSpec(stream, &error))
+            return Status::invalidSpec(error);
+        grid.workloads.push_back(stream);
+    }
+    for (const std::string &machine : spec.machines) {
+        if (parseMachineSpec(machine, &error) == nullptr)
+            return Status::invalidSpec(error);
+        grid.machines.push_back(machine);
+    }
+    for (const std::string &policy : spec.policies) {
+        if (!parseOnlinePolicy(policy, &error))
+            return Status::invalidSpec(error);
+        const auto parsed = parseAlgorithmSpec(policy, &error);
+        if (!parsed.has_value())
+            return Status::invalidSpec(error);
+        grid.algorithms.push_back(*parsed);
+    }
+    if (grid.workloads.empty() || grid.machines.empty() ||
+        grid.algorithms.empty())
+        return Status::invalidSpec(
+            "empty online grid: need at least one stream, machine, "
+            "and policy");
+    grid.jobs = spec.jobs;
+    grid.computeSpeedup = false;
+    grid.deadlineMs = spec.deadlineMs;
+    grid.retries = spec.retries;
+    grid.faults = spec.faults;
+    grid.journalPath = spec.journalPath;
+    grid.resume = spec.resume;
+    grid.isolate = spec.isolate;
+    grid.memLimitMb = spec.memLimitMb;
+    return grid;
+}
+
+GridReport
+runOnlineGrid(const OnlineGridSpec &spec)
+{
+    auto grid = makeOnlineGrid(spec);
+    if (!grid.ok())
+        CSCHED_FATAL("invalid online grid: ", grid.status().message());
+    return runGrid(*grid);
+}
+
+} // namespace csched

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Online sweeps on the offline grid substrate.
+ *
+ * An online experiment cell is (stream x machine x policy).  Instead
+ * of a parallel runner, streams ride the grid's *workload* axis
+ * (stream specs are workload-shaped strings, see arrival.hh) and
+ * policies ride its *algorithm* axis (policy specs parse through
+ * parseAlgorithmSpec) -- so runOnlineGrid is runGrid with the axes
+ * filled in, and every grid contract carries over unchanged: journal
+ * + resume, --isolate worker containment (specs cross the worker
+ * pipe in text form), fault injection, retries/deadlines, and
+ * byte-identical csched-grid-report-v2 output at any --jobs value.
+ *
+ * The split of responsibilities: grid_runner routes any job whose
+ * workload is a stream (or whose algorithm is an online policy) to
+ * runOnlineJobAttempt below, which parses both sides, generates the
+ * arrivals, runs the commit loop, and scores the timeline into the
+ * JobResult's online fields.  A stream workload with an offline
+ * algorithm (or vice versa) is an InvalidSpec job outcome, not a
+ * grid error.
+ */
+
+#ifndef CSCHED_ONLINE_ONLINE_GRID_HH
+#define CSCHED_ONLINE_ONLINE_GRID_HH
+
+#include <string>
+#include <vector>
+
+#include "runner/grid_runner.hh"
+
+namespace csched {
+
+/** True when @p spec is an online cell (stream and/or policy side). */
+bool isOnlineJobSpec(const JobSpec &spec);
+
+/**
+ * One attempt of one online job: parse stream + policy, generate the
+ * arrivals, run the commit loop, verify every region plan, score the
+ * timeline.  Measurement fields of @p out are written only on the
+ * success path (mirrors the offline runJobAttempt contract; called
+ * from inside its try block so StatusError unwinds identically).
+ */
+Status runOnlineJobAttempt(const JobSpec &spec, JobResult &out);
+
+/**
+ * Declarative description of an online sweep; the string axes are
+ * stream specs and online policy specs.  Execution knobs mirror
+ * GridSpec (same defaults, same journal/isolate semantics).
+ */
+struct OnlineGridSpec
+{
+    std::vector<std::string> streams;
+    std::vector<std::string> machines;
+    std::vector<std::string> policies;
+    int jobs = 1;
+    int deadlineMs = 0;
+    int retries = 0;
+    const FaultPlan *faults = nullptr;
+    std::string journalPath;
+    bool resume = false;
+    bool isolate = false;
+    int memLimitMb = 0;
+};
+
+/**
+ * Translate @p spec into the equivalent GridSpec (speedup off --
+ * the one-cluster normalisation is an offline concept).  InvalidSpec
+ * with a diagnosis on a malformed stream or policy.
+ */
+StatusOr<GridSpec> makeOnlineGrid(const OnlineGridSpec &spec);
+
+/**
+ * Run the sweep: makeOnlineGrid + runGrid.  Fatal on an invalid
+ * spec (validate via makeOnlineGrid first when input is untrusted).
+ */
+GridReport runOnlineGrid(const OnlineGridSpec &spec);
+
+} // namespace csched
+
+#endif // CSCHED_ONLINE_ONLINE_GRID_HH

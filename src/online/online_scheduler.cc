@@ -1,0 +1,339 @@
+#include "online/online_scheduler.hh"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "eval/experiment.hh"
+#include "support/cancel.hh"
+#include "support/fault_injection.hh"
+#include "support/logging.hh"
+#include "workloads/workloads.hh"
+
+namespace csched {
+
+void
+Timeline::commit(OnlineCommit commit)
+{
+    CSCHED_ASSERT(commit.start >= freeAt(),
+                  "online commit overlaps the timeline: start ",
+                  commit.start, " < freeAt ", freeAt());
+    CSCHED_ASSERT(commit.makespan >= 0, "negative commit makespan");
+    commits_.push_back(std::move(commit));
+}
+
+std::vector<OnlineCommit>
+Timeline::rollbackAfter(int time)
+{
+    std::vector<OnlineCommit> rolled;
+    while (!commits_.empty() && commits_.back().start > time) {
+        rolled.push_back(std::move(commits_.back()));
+        commits_.pop_back();
+    }
+    std::reverse(rolled.begin(), rolled.end());
+    return rolled;
+}
+
+namespace {
+
+/** A released region whose placement has been planned but not
+ *  committed (or whose commit was rolled back). */
+struct PendingRegion
+{
+    RegionArrival arrival;
+    int criticalPathLength = 0;
+    int instructions = 0;
+    int makespan = 0;
+    bool fallback = false;
+    std::optional<Schedule> schedule;
+};
+
+/** Strict weak order implementing the policy's pending-window rule;
+ *  every rule breaks ties by (release, id) for determinism. */
+bool
+orderedBefore(const PendingRegion &a, const PendingRegion &b,
+              OnlineOrder order)
+{
+    switch (order) {
+    case OnlineOrder::Fifo:
+        break;
+    case OnlineOrder::Wspt: {
+        // a before b iff a.weight / a.makespan > b.weight / b.makespan,
+        // cross-multiplied to stay in exact integer arithmetic.
+        const int64_t lhs = static_cast<int64_t>(a.arrival.weight) *
+                            std::max(1, b.makespan);
+        const int64_t rhs = static_cast<int64_t>(b.arrival.weight) *
+                            std::max(1, a.makespan);
+        if (lhs != rhs)
+            return lhs > rhs;
+        break;
+    }
+    case OnlineOrder::LongestCpl:
+        if (a.criticalPathLength != b.criticalPathLength)
+            return a.criticalPathLength > b.criticalPathLength;
+        break;
+    }
+    if (a.arrival.release != b.arrival.release)
+        return a.arrival.release < b.arrival.release;
+    return a.arrival.id < b.arrival.id;
+}
+
+OnlineCommit
+makeCommit(PendingRegion &&region, int start)
+{
+    return OnlineCommit{region.arrival.id,
+                        std::move(region.arrival.workload),
+                        region.arrival.release,
+                        region.arrival.weight,
+                        region.arrival.deadline,
+                        start,
+                        region.makespan,
+                        region.instructions,
+                        region.criticalPathLength,
+                        region.fallback,
+                        std::move(*region.schedule)};
+}
+
+PendingRegion
+reopenCommit(OnlineCommit &&commit)
+{
+    PendingRegion region;
+    region.arrival = RegionArrival{commit.regionId,
+                                   std::move(commit.workload),
+                                   commit.release, commit.weight,
+                                   commit.deadline};
+    region.criticalPathLength = commit.criticalPathLength;
+    region.instructions = commit.instructions;
+    region.makespan = commit.makespan;
+    region.fallback = commit.fallback;
+    region.schedule = std::move(commit.schedule);
+    return region;
+}
+
+/** Shared state of one runOnline invocation. */
+class OnlineDriver
+{
+  public:
+    OnlineDriver(const MachineModel &machine,
+                 const OnlinePolicySpec &policy,
+                 const std::vector<RegionArrival> &arrivals)
+        : machine_(machine), policy_(policy), arrivals_(arrivals)
+    {
+    }
+
+    StatusOr<OnlineRunResult>
+    run()
+    {
+        Status valid = validateArrivals();
+        if (!valid.ok())
+            return valid;
+        Status loop = policy_.planAhead ? runPlanAhead() : runLazy();
+        if (!loop.ok())
+            return loop;
+        OnlineRunResult result;
+        result.commits = timeline_.takeCommits();
+        result.preemptions = preemptions_;
+        result.fallbackDecisions = fallbacks_;
+        return result;
+    }
+
+  private:
+    Status
+    validateArrivals()
+    {
+        for (size_t i = 0; i < arrivals_.size(); ++i) {
+            if (arrivals_[i].id != static_cast<int>(i))
+                return Status::invalidSpec(
+                    "arrival ids must be dense and ordered");
+            if (arrivals_[i].release < 0 || arrivals_[i].weight < 1)
+                return Status::invalidSpec(
+                    "arrival with negative release or weight < 1");
+            if (i > 0 &&
+                arrivals_[i].release < arrivals_[i - 1].release)
+                return Status::invalidSpec(
+                    "arrival releases must be nondecreasing");
+        }
+        return Status();
+    }
+
+    /** Plan one region with @p name under the per-decision budget. */
+    StatusOr<RunResult>
+    planWith(const std::string &name, const DependenceGraph &graph)
+    {
+        AlgorithmSpec spec;
+        spec.name = name;
+        auto algorithm = tryMakeAlgorithm(spec, machine_);
+        if (!algorithm.ok())
+            return algorithm.status();
+        if (policy_.decisionBudgetMs <= 0)
+            return tryRunAndCheck(**algorithm, graph, machine_);
+        CancelToken budget;
+        budget.armDeadline(policy_.decisionBudgetMs);
+        ScopedCancelToken scope(&budget);
+        try {
+            return tryRunAndCheck(**algorithm, graph, machine_);
+        } catch (const StatusError &e) {
+            // A drain request must keep unwinding to the job
+            // boundary; only this decision's own deadline is ours.
+            if (e.status.code() != ErrorCode::Timeout)
+                throw;
+            return e.status;
+        }
+    }
+
+    StatusOr<PendingRegion>
+    admit(const RegionArrival &arrival)
+    {
+        const WorkloadSpec *workload = tryFindWorkload(arrival.workload);
+        if (workload == nullptr)
+            return Status::invalidSpec("stream names unknown workload '" +
+                                       arrival.workload + "'");
+        checkpoint("online.admit");
+        const DependenceGraph graph = workload->build(
+            machine_.numClusters(), machine_.numClusters());
+        PendingRegion region;
+        region.arrival = arrival;
+        region.criticalPathLength = graph.criticalPathLength();
+        auto planned = planWith(policy_.underlying, graph);
+        if (!planned.ok() &&
+            planned.status().code() == ErrorCode::Timeout &&
+            policy_.decisionBudgetMs > 0 && policy_.underlying != "uas") {
+            region.fallback = true;
+            ++fallbacks_;
+            planned = planWith("uas", graph);
+        }
+        if (!planned.ok())
+            return planned.status().withContext(
+                "online admit of region " +
+                std::to_string(arrival.id) + " (" + arrival.workload +
+                ")");
+        region.instructions = planned->instructions;
+        region.makespan = planned->makespan;
+        region.schedule = std::move(planned->result.schedule);
+        return region;
+    }
+
+    /** Admit every arrival with release <= @p time into pending_. */
+    Status
+    admitUpTo(int time)
+    {
+        while (next_ < arrivals_.size() &&
+               arrivals_[next_].release <= time) {
+            auto region = admit(arrivals_[next_]);
+            if (!region.ok())
+                return region.status();
+            pending_.push_back(std::move(*region));
+            ++next_;
+        }
+        return Status();
+    }
+
+    /**
+     * Lazy policies: one irrevocable commit per machine-idle point,
+     * chosen by the policy order among everything released by then.
+     */
+    Status
+    runLazy()
+    {
+        while (next_ < arrivals_.size() || !pending_.empty()) {
+            if (pending_.empty()) {
+                // Idle machine: jump time to the next arrival.
+                Status admitted = admitUpTo(arrivals_[next_].release);
+                if (!admitted.ok())
+                    return admitted;
+            }
+            int earliest = pending_.front().arrival.release;
+            for (const PendingRegion &region : pending_)
+                earliest = std::min(earliest, region.arrival.release);
+            const int now = std::max(timeline_.freeAt(), earliest);
+            // Arrivals during the busy window compete at this decision.
+            Status admitted = admitUpTo(now);
+            if (!admitted.ok())
+                return admitted;
+            auto pick = pending_.begin();
+            for (auto it = pending_.begin(); it != pending_.end(); ++it)
+                if (orderedBefore(*it, *pick, policy_.order))
+                    pick = it;
+            timeline_.commit(makeCommit(std::move(*pick), now));
+            pending_.erase(pick);
+        }
+        return Status();
+    }
+
+    /**
+     * Plan-ahead policies: on every release-time batch, optionally
+     * preempt unstarted commits, then reorder and commit the whole
+     * pending window back-to-back.
+     */
+    Status
+    runPlanAhead()
+    {
+        while (next_ < arrivals_.size()) {
+            const int now = arrivals_[next_].release;
+            const size_t firstNew = pending_.size();
+            Status admitted = admitUpTo(now);
+            if (!admitted.ok())
+                return admitted;
+            maybePreempt(firstNew, now);
+            std::stable_sort(pending_.begin(), pending_.end(),
+                             [&](const PendingRegion &a,
+                                 const PendingRegion &b) {
+                                 return orderedBefore(a, b, policy_.order);
+                             });
+            for (PendingRegion &region : pending_) {
+                const int start = std::max(timeline_.freeAt(), now);
+                timeline_.commit(makeCommit(std::move(region), start));
+            }
+            pending_.clear();
+        }
+        return Status();
+    }
+
+    /** Roll unstarted commits back into pending_ when the batch
+     *  starting at @p firstNew brings a sufficiently heavy region. */
+    void
+    maybePreempt(size_t firstNew, int now)
+    {
+        int heaviestNew = 0;
+        for (size_t i = firstNew; i < pending_.size(); ++i)
+            heaviestNew =
+                std::max(heaviestNew, pending_[i].arrival.weight);
+        int lightestUnstarted = -1;
+        for (const OnlineCommit &commit : timeline_.commits())
+            if (commit.start > now)
+                lightestUnstarted =
+                    lightestUnstarted < 0
+                        ? commit.weight
+                        : std::min(lightestUnstarted, commit.weight);
+        if (lightestUnstarted < 0 ||
+            static_cast<double>(heaviestNew) <
+                policy_.preemptFactor *
+                    static_cast<double>(lightestUnstarted))
+            return;
+        std::vector<OnlineCommit> rolled = timeline_.rollbackAfter(now);
+        preemptions_ += static_cast<int>(rolled.size());
+        for (OnlineCommit &commit : rolled)
+            pending_.push_back(reopenCommit(std::move(commit)));
+    }
+
+    const MachineModel &machine_;
+    const OnlinePolicySpec &policy_;
+    const std::vector<RegionArrival> &arrivals_;
+    Timeline timeline_;
+    std::vector<PendingRegion> pending_;
+    size_t next_ = 0;
+    int preemptions_ = 0;
+    int fallbacks_ = 0;
+};
+
+} // namespace
+
+StatusOr<OnlineRunResult>
+runOnline(const MachineModel &machine, const OnlinePolicySpec &policy,
+          const std::vector<RegionArrival> &arrivals)
+{
+    OnlineDriver driver(machine, policy, arrivals);
+    return driver.run();
+}
+
+} // namespace csched

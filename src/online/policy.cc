@@ -1,0 +1,105 @@
+#include "online/policy.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/str.hh"
+
+namespace csched {
+
+namespace {
+
+bool
+fail(std::string *error, const std::string &message)
+{
+    if (error != nullptr)
+        *error = message;
+    return false;
+}
+
+bool
+parsePolicyOptions(const std::vector<std::string> &fields,
+                   OnlinePolicySpec &spec, std::string *error)
+{
+    for (size_t i = 1; i < fields.size(); ++i) {
+        const std::string &field = fields[i];
+        const size_t eq = field.find('=');
+        if (eq == std::string::npos || eq == 0)
+            return fail(error, "online policy option must be key=value, "
+                               "got '" + field + "'");
+        const std::string key = field.substr(0, eq);
+        const std::string value = field.substr(eq + 1);
+        if (key == "budget-ms") {
+            char *end = nullptr;
+            const long ms = std::strtol(value.c_str(), &end, 10);
+            if (end == nullptr || *end != '\0' || ms < 0 || ms > 3600000)
+                return fail(error, "bad budget-ms '" + value + "'");
+            spec.decisionBudgetMs = static_cast<int>(ms);
+        } else if (key == "preempt-factor") {
+            char *end = nullptr;
+            const double factor = std::strtod(value.c_str(), &end);
+            if (end == nullptr || *end != '\0' || !(factor >= 1.0))
+                return fail(error,
+                            "preempt-factor must be >= 1, got '" + value +
+                                "'");
+            spec.preemptFactor = factor;
+        } else {
+            return fail(error, "unknown online policy option '" + key + "'");
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+knownOnlinePolicyNames()
+{
+    static const std::vector<std::string> names{
+        "online-convergent", "online-sp", "online-list", "online-uas",
+        "online-pcc"};
+    return names;
+}
+
+bool
+isOnlinePolicyName(const std::string &name)
+{
+    const std::string head = trim(name.substr(0, name.find(':')));
+    const auto &names = knownOnlinePolicyNames();
+    return std::find(names.begin(), names.end(), head) != names.end();
+}
+
+std::optional<OnlinePolicySpec>
+parseOnlinePolicy(const std::string &text, std::string *error)
+{
+    const std::vector<std::string> fields = split(text, ':');
+    OnlinePolicySpec spec;
+    spec.name = trim(fields[0]);
+    spec.text = text;
+    if (spec.name == "online-convergent") {
+        spec.order = OnlineOrder::Wspt;
+        spec.underlying = "convergent";
+        spec.planAhead = true;
+    } else if (spec.name == "online-sp") {
+        spec.order = OnlineOrder::Wspt;
+        spec.underlying = "convergent";
+    } else if (spec.name == "online-list") {
+        spec.order = OnlineOrder::LongestCpl;
+        spec.underlying = "convergent";
+    } else if (spec.name == "online-uas") {
+        spec.order = OnlineOrder::Fifo;
+        spec.underlying = "uas";
+    } else if (spec.name == "online-pcc") {
+        spec.order = OnlineOrder::Fifo;
+        spec.underlying = "pcc";
+    } else {
+        fail(error, "unknown online policy '" + spec.name + "' (expected " +
+                        join(knownOnlinePolicyNames(), "|") + ")");
+        return std::nullopt;
+    }
+    if (!parsePolicyOptions(fields, spec, error))
+        return std::nullopt;
+    return spec;
+}
+
+} // namespace csched

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Online scheduling policies: how the commit loop orders its pending
+ * window and which offline algorithm plans each region.
+ *
+ * A policy is a declarative spec, spelled like an algorithm so it
+ * rides the grid's algorithm axis (see online_grid.hh):
+ *
+ *   online-convergent[:budget-ms=N][:preempt-factor=F]
+ *   online-uas | online-pcc | online-list | online-sp
+ *
+ *  - online-convergent: plan-ahead.  On every release-time batch the
+ *    whole pending window is reordered by WSPT (weighted shortest
+ *    processing time, the Select-and-Permute ordering) and committed;
+ *    already-committed-but-unstarted regions are preempted and
+ *    recommitted when a sufficiently heavy region arrives (see
+ *    online_scheduler.hh for the contract).  Regions are planned by
+ *    the offline convergent scheduler.
+ *  - online-sp: Select-and-Permute ordering (WSPT) but lazy -- one
+ *    irrevocable commit per machine-idle decision point, never
+ *    preempts.  Convergent-planned.
+ *  - online-list: lazy, longest-critical-path-first (classic list
+ *    scheduling priority applied across regions).  Convergent-planned.
+ *  - online-uas / online-pcc: lazy FIFO, greedy per-region planning by
+ *    the UAS / PCC baselines.
+ *
+ * Options: `budget-ms=N` arms a per-decision CancelToken deadline
+ * around each region's planning run; on expiry the decision falls
+ * back to the cheap UAS planner instead of failing the job
+ * (fallbacks are counted in the result).  `preempt-factor=F` tunes
+ * the preemption threshold of plan-ahead policies (default 2).
+ */
+
+#ifndef CSCHED_ONLINE_POLICY_HH
+#define CSCHED_ONLINE_POLICY_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace csched {
+
+/** Pending-window ordering rule. */
+enum class OnlineOrder {
+    Fifo,        ///< (release, id): arrival order
+    Wspt,        ///< weight/makespan descending (Select-and-Permute)
+    LongestCpl,  ///< critical-path length descending (list scheduling)
+};
+
+/** Parsed description of one online policy. */
+struct OnlinePolicySpec
+{
+    /** Canonical policy name, e.g. "online-convergent". */
+    std::string name;
+    /** The spec in its parseable text form (the identity in reports). */
+    std::string text;
+    OnlineOrder order = OnlineOrder::Fifo;
+    /** Offline algorithm that plans each region's placement. */
+    std::string underlying = "convergent";
+    /** Plan-ahead: reorder + recommit the whole window per batch. */
+    bool planAhead = false;
+    /** Per-decision planning deadline in ms; 0 = unbounded. */
+    int decisionBudgetMs = 0;
+    /** Preempt unstarted commits when a new region's weight is >=
+     *  preemptFactor x the lightest unstarted committed weight. */
+    double preemptFactor = 2.0;
+};
+
+/** Policy names accepted by parseOnlinePolicy, in display order. */
+const std::vector<std::string> &knownOnlinePolicyNames();
+
+/** True when @p name (the part before any ':') is an online policy. */
+bool isOnlinePolicyName(const std::string &name);
+
+/**
+ * Parse "name[:key=value:...]" into a policy spec.  The only place
+ * online-policy spellings are interpreted.  Returns std::nullopt on
+ * malformed input and, when @p error is non-null, stores a reason.
+ */
+std::optional<OnlinePolicySpec>
+parseOnlinePolicy(const std::string &text, std::string *error = nullptr);
+
+} // namespace csched
+
+#endif // CSCHED_ONLINE_POLICY_HH

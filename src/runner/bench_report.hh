@@ -3,7 +3,7 @@
  * The csched-bench-report-v1 schema: the persistent perf-trajectory
  * record emitted by `csched_bench perf` and gated by tools/ci.sh.
  *
- * Two documents share the schema, distinguished by "kind":
+ * Three documents share the schema, distinguished by "kind":
  *
  *  - "pass-kernels" (BENCH_pass_kernels.json): one cell per
  *    (workload, machine, kernel) where kernel is a convergent pass
@@ -14,12 +14,18 @@
  *    wall time of a complete schedule() call (graph construction
  *    excluded), with the resulting makespan and instruction count for
  *    context.
+ *  - "online" (BENCH_online.json): one cell per
+ *    (stream spec, machine, online policy); medianSeconds is the
+ *    median-of-N wall time of one full runOnline() commit loop over a
+ *    pre-generated arrival stream (stream generation untimed), with
+ *    the committed timeline's makespan and instruction count for
+ *    context.  The workload field carries the stream spec text.
  *
- * Document layout (the one spelling both kinds share):
+ * Document layout (the one spelling every kind shares):
  *
  *   {
  *     "schema": "csched-bench-report-v1",
- *     "kind": "pass-kernels" | "end-to-end",
+ *     "kind": "pass-kernels" | "end-to-end" | "online",
  *     "meta": { "commit", "buildType", "compiler", "flags", "host",
  *               "repeats" },
  *     "cells": [ { "workload", "machine", "kernel" | "algorithm",
@@ -95,7 +101,7 @@ struct BenchCell
 /** One complete bench document. */
 struct BenchReport
 {
-    std::string kind;  ///< "pass-kernels" or "end-to-end"
+    std::string kind;  ///< "pass-kernels", "end-to-end", or "online"
     BenchMeta meta;
     std::vector<BenchCell> cells;
 };

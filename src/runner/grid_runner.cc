@@ -8,6 +8,8 @@
 
 #include "eval/speedup.hh"
 #include "machine/machine_spec.hh"
+#include "online/arrival.hh"
+#include "online/online_grid.hh"
 #include "runner/journal.hh"
 #include "runner/shutdown.hh"
 #include "runner/thread_pool.hh"
@@ -76,6 +78,12 @@ runJobAttempt(const JobSpec &spec, const JobPolicy &policy,
         ScopedCancelToken cancel_guard(&token);
 
         checkpoint("runner.job.start");
+
+        // Online cells (stream workload x policy) take their own
+        // path: same cancel token, same fault scope, same StatusError
+        // unwinding through the catch below.
+        if (isOnlineJobSpec(spec))
+            return runOnlineJobAttempt(spec, out);
 
         std::string machine_error;
         const auto machine = parseMachineSpec(spec.machine, &machine_error);
@@ -390,6 +398,12 @@ validateGrid(const GridSpec &grid, std::string *error)
                     "and algorithm");
 
     for (const auto &name : grid.workloads) {
+        if (isStreamWorkload(name)) {
+            std::string why;
+            if (!parseStreamSpec(name, &why))
+                return fail(why);
+            continue;
+        }
         bool known = false;
         for (const auto &spec : allWorkloads())
             known |= spec.name == name;
@@ -489,8 +503,10 @@ runGrid(const GridSpec &grid)
         // only pairs with at least one job still to run are computed.
         BaselineMemo baselines;
         if (grid.computeSpeedup) {
+            // Stream cells have no one-cluster normalisation (their
+            // job path never consults the memo), so don't compute one.
             for (size_t k = 0; k < jobs.size(); ++k)
-                if (!replayed[k])
+                if (!replayed[k] && !isStreamWorkload(jobs[k].workload))
                     baselines.try_emplace(
                         {jobs[k].workload, jobs[k].machine});
             for (auto &pair : baselines)

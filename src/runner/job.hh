@@ -130,8 +130,26 @@ struct JobResult
     int singleClusterMakespan = 0;
     /** makespan(1 cluster) / makespan; 0 when not requested. */
     double speedup = 0.0;
-    /** Cluster per instruction (the spatial assignment). */
+    /** Cluster per instruction (the spatial assignment); for online
+     *  jobs, the committed region ids in timeline order instead. */
     std::vector<int> assignment;
+
+    // Online measurements, set only for stream/policy cells (see
+    // online/online_grid.hh); regions == 0 marks an offline job.
+    /** Regions committed by the online run. */
+    int regions = 0;
+    /** Sum over regions of weight x completion cycle. */
+    int64_t weightedCompletion = 0;
+    /** Max over regions of completion - release. */
+    int maxFlowTime = 0;
+    /** Mean flow time (exact ratio of integers). */
+    double meanFlowTime = 0.0;
+    /** Regions that completed after their deadline. */
+    int deadlineMisses = 0;
+    /** Commits rolled back by preempt-and-recommit. */
+    int preemptions = 0;
+    /** Decisions that fell back to UAS on a budget expiry. */
+    int fallbackDecisions = 0;
 
     // Wall-clock observability (excluded from deterministic output).
     double seconds = 0.0;  ///< scheduling time of the measured run

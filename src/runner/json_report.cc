@@ -34,6 +34,19 @@ writeJob(JsonWriter &w, const JobResult &job, const ReportOptions &options)
     w.key("instructions").value(job.instructions);
     w.key("makespan").value(job.makespan);
     w.key("criticalPathLength").value(job.criticalPathLength);
+    if (job.regions > 0) {
+        // Online cells (stream workload x policy): the responsiveness
+        // scores next to the shared throughput fields above.
+        w.key("online").beginObject();
+        w.key("regions").value(job.regions);
+        w.key("weightedCompletion").value(job.weightedCompletion);
+        w.key("maxFlowTime").value(job.maxFlowTime);
+        w.key("meanFlowTime").value(job.meanFlowTime);
+        w.key("deadlineMisses").value(job.deadlineMisses);
+        w.key("preemptions").value(job.preemptions);
+        w.key("fallbackDecisions").value(job.fallbackDecisions);
+        w.endObject();
+    }
     if (job.singleClusterMakespan > 0) {
         w.key("singleClusterMakespan")
             .value(job.singleClusterMakespan);
@@ -124,6 +137,13 @@ writeJobResultFields(JsonWriter &w, const JobResult &result)
         .value(result.singleClusterMakespan);
     w.key("speedup").value(result.speedup);
     w.key("assignment").value(result.assignment);
+    w.key("regions").value(result.regions);
+    w.key("weightedCompletion").value(result.weightedCompletion);
+    w.key("maxFlowTime").value(result.maxFlowTime);
+    w.key("meanFlowTime").value(result.meanFlowTime);
+    w.key("deadlineMisses").value(result.deadlineMisses);
+    w.key("preemptions").value(result.preemptions);
+    w.key("fallbackDecisions").value(result.fallbackDecisions);
     w.key("seconds").value(result.seconds);
     w.key("trace").beginArray();
     for (const auto &step : result.trace) {
@@ -173,6 +193,21 @@ parseJobResultFields(const JsonValue &value)
         result.workerSignal = sig->asInt();
     if (const JsonValue *status = value.find("workerExitStatus"))
         result.workerExitStatus = status->asInt();
+    // Online fields: also post-v1, also tolerant.
+    if (const JsonValue *regions = value.find("regions"))
+        result.regions = regions->asInt();
+    if (const JsonValue *wc = value.find("weightedCompletion"))
+        result.weightedCompletion = static_cast<int64_t>(wc->asDouble());
+    if (const JsonValue *flow = value.find("maxFlowTime"))
+        result.maxFlowTime = flow->asInt();
+    if (const JsonValue *flow = value.find("meanFlowTime"))
+        result.meanFlowTime = flow->asDouble();
+    if (const JsonValue *misses = value.find("deadlineMisses"))
+        result.deadlineMisses = misses->asInt();
+    if (const JsonValue *preempts = value.find("preemptions"))
+        result.preemptions = preempts->asInt();
+    if (const JsonValue *fallbacks = value.find("fallbackDecisions"))
+        result.fallbackDecisions = fallbacks->asInt();
     result.instructions = value.at("instructions").asInt();
     result.makespan = value.at("makespan").asInt();
     result.criticalPathLength =

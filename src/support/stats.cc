@@ -52,6 +52,23 @@ median(std::vector<double> values)
     return values[(values.size() - 1) / 2];
 }
 
+double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    CSCHED_ASSERT(p > 0.0 && p <= 100.0,
+                  "percentile p must be in (0, 100], got ", p);
+    std::sort(values.begin(), values.end());
+    const double n = static_cast<double>(values.size());
+    size_t rank = static_cast<size_t>(std::ceil(p / 100.0 * n));
+    if (rank == 0)
+        rank = 1;  // guard against rounding below the first rank
+    if (rank > values.size())
+        rank = values.size();
+    return values[rank - 1];
+}
+
 void
 Accumulator::add(double value)
 {

@@ -33,6 +33,16 @@ double stddev(const std::vector<double> &values);
  */
 double median(std::vector<double> values);
 
+/**
+ * Nearest-rank percentile: the smallest sorted element whose rank
+ * covers at least p percent of the sample (index ceil(p/100 * n) - 1).
+ * Like median(), this always returns an actual sample value and never
+ * interpolates, so reports stay deterministic and exact.  p must be in
+ * (0, 100]; returns 0 for an empty vector.  percentile(v, 50) equals
+ * median(v).
+ */
+double percentile(std::vector<double> values, double p);
+
 /** Streaming accumulator for count/min/max/mean of a sample set. */
 class Accumulator
 {

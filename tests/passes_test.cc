@@ -192,10 +192,10 @@ TEST_F(PassTest, CommAttractsTowardsNeighbourClusters)
     init(builder.build(), 4);
 
     // Bias both producers to cluster 2, then let COMM pull the join.
-    weights_->scaleCluster(a, 2, 50.0);
-    weights_->normalize(a);
-    weights_->scaleCluster(b, 2, 50.0);
-    weights_->normalize(b);
+    weights_->row(a).scaleCluster(2, 50.0);
+    weights_->row(a).normalize();
+    weights_->row(b).scaleCluster(2, 50.0);
+    weights_->row(b).normalize();
     runPass("COMM");
     EXPECT_EQ(weights_->preferredCluster(join), 2);
 }
@@ -271,8 +271,8 @@ TEST_F(PassTest, LoadBalanceDrainsOverloadedCluster)
 
     // Pile everything on cluster 0.
     for (InstrId i = 0; i < 6; ++i) {
-        weights_->scaleCluster(i, 0, 3.0);
-        weights_->normalize(i);
+        weights_->row(i).scaleCluster(0, 3.0);
+        weights_->row(i).normalize();
     }
     runPass("LOAD");
     // A uniform pile-up is exactly equalised in one application:
@@ -311,8 +311,8 @@ TEST_F(PassTest, LevelDistributeKeepsNeighboursTogether)
     const InstrId seed = builder.op(Opcode::IAdd);
     const InstrId child = builder.op(Opcode::IAdd, {seed});
     init(builder.build(), 4);
-    weights_->scaleCluster(seed, 3, 100.0);
-    weights_->normalize(seed);
+    weights_->row(seed).scaleCluster(3, 100.0);
+    weights_->row(seed).normalize();
     params_.levelStride = 10;
     params_.levelGranularity = 2;
 
@@ -327,8 +327,8 @@ TEST_F(PassTest, PathPropSpreadsConfidenceDownstream)
     const InstrId child = builder.op(Opcode::IAdd, {source});
     const InstrId grand = builder.op(Opcode::IAdd, {child});
     init(builder.build(), 4);
-    weights_->scaleCluster(source, 2, 100.0);
-    weights_->normalize(source);
+    weights_->row(source).scaleCluster(2, 100.0);
+    weights_->row(source).normalize();
 
     runPass("PATHPROP");
     EXPECT_EQ(weights_->preferredCluster(child), 2);
@@ -341,10 +341,10 @@ TEST_F(PassTest, PathPropLeavesConfidentInstructionsAlone)
     const InstrId source = builder.op(Opcode::IAdd);
     const InstrId other = builder.op(Opcode::IAdd, {source});
     init(builder.build(), 4);
-    weights_->scaleCluster(source, 2, 100.0);
-    weights_->normalize(source);
-    weights_->scaleCluster(other, 1, 100.0);
-    weights_->normalize(other);
+    weights_->row(source).scaleCluster(2, 100.0);
+    weights_->row(source).normalize();
+    weights_->row(other).scaleCluster(1, 100.0);
+    weights_->row(other).normalize();
 
     runPass("PATHPROP");
     // Both are above threshold: neither is dragged.
@@ -400,8 +400,8 @@ TEST_F(PassTest, RegPressDrainsOverloadedCluster)
     builder.op(Opcode::Select, values);
     init(builder.build(), 2);
     for (int k = 0; k < 48; ++k) {
-        weights_->scaleCluster(k, 0, 30.0);
-        weights_->normalize(k);
+        weights_->row(k).scaleCluster(0, 30.0);
+        weights_->row(k).normalize();
     }
     const double before = weights_->spaceMarginal(0, 0);
     runPass("REGPRESS");

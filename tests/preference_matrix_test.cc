@@ -2,8 +2,7 @@
  * @file
  * Unit and property tests for the preference matrix: the paper's
  * invariants, marginals, preferred slots, confidence, and the basic
- * operations of Section 3, exercised through the batched RowView API
- * (plus one compatibility test for the deprecated per-element shims).
+ * operations of Section 3, exercised through the batched RowView API.
  */
 
 #include <gtest/gtest.h>
@@ -415,25 +414,23 @@ TEST(PreferenceMatrixProperty, RandomOperationsKeepInvariants)
     }
 }
 
-// The deprecated per-element mutators must keep working for one
-// release; this is the only caller left in the tree.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(PreferenceMatrixCompat, DeprecatedShimsForwardToRowView)
+// The same mutation sequence the removed per-element shims used to
+// cover, spelled natively in RowView: the coverage survives the
+// compatibility surface it was written for.
+TEST(PreferenceMatrixCompat, RowViewMutationSequence)
 {
     PreferenceMatrix w(2, 2, 2);
-    w.set(0, 0, 0, 3.0);
-    w.scale(0, 0, 0, 2.0);
-    w.scaleCluster(0, 1, 0.5);
-    w.scaleTime(0, 1, 0.25);
-    w.normalize(0);
+    w.row(0).set(0, 0, 3.0);
+    w.row(0).scaleSlot(0, 0, 2.0);
+    w.row(0).scaleCluster(1, 0.5);
+    w.row(0).scaleTime(1, 0.25);
+    w.row(0).normalize();
     EXPECT_NEAR(rowSum(w, 0), 1.0, 1e-12);
-    w.blend(1, 0, 0.5);
-    w.normalize(1);
+    w.row(1).blendFrom(w.row(0), 0.5);
+    w.row(1).normalize();
     EXPECT_NEAR(rowSum(w, 1), 1.0, 1e-12);
     EXPECT_EQ(w.preferredCluster(0), 0);
 }
-#pragma GCC diagnostic pop
 
 TEST(PreferenceMatrixDeathTest, RejectsNegativeWeight)
 {

@@ -117,6 +117,39 @@ TEST(Stats, Stddev)
     EXPECT_NEAR(stddev({2.0, 4.0}), 1.0, 1e-12);
 }
 
+TEST(Stats, PercentileNearestRank)
+{
+    EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 1.0), 7.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 100.0), 7.0);
+
+    // Unsorted input; nearest rank never interpolates, so every
+    // answer is an actual sample.
+    const std::vector<double> v{40.0, 10.0, 30.0, 20.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 25.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 20.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 75.0), 30.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 40.0);
+
+    // p50 agrees with the lower median on both parities.
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), median(v));
+    const std::vector<double> odd{5.0, 1.0, 3.0};
+    EXPECT_DOUBLE_EQ(percentile(odd, 50.0), median(odd));
+}
+
+TEST(Stats, PercentileTailOfSyntheticLatencyLedger)
+{
+    // 100 replies: 1ms..100ms.  The load tool's p50/p95/p99 must pick
+    // exact ranks out of such a merged ledger.
+    std::vector<double> ledger;
+    for (int i = 100; i >= 1; --i)
+        ledger.push_back(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(percentile(ledger, 50.0), 50.0);
+    EXPECT_DOUBLE_EQ(percentile(ledger, 95.0), 95.0);
+    EXPECT_DOUBLE_EQ(percentile(ledger, 99.0), 99.0);
+    EXPECT_DOUBLE_EQ(percentile(ledger, 100.0), 100.0);
+}
+
 TEST(Stats, AccumulatorTracksMinMaxMean)
 {
     Accumulator acc;

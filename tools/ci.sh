@@ -30,7 +30,10 @@ build() {
     local build_dir="$1"
     shift
     echo "=== configure ${build_dir} ($*)"
-    cmake -B "${build_dir}" -S . "$@" >/dev/null
+    # Deprecation windows are one release long; erroring on deprecated
+    # declarations here keeps expired shims from creeping back.
+    cmake -B "${build_dir}" -S . \
+        -DCSCHED_WERROR_DEPRECATED=ON "$@" >/dev/null
     echo "=== build ${build_dir}"
     cmake --build "${build_dir}" -j >/dev/null
 }
@@ -161,6 +164,55 @@ containment_smoke() {
     echo "=== containment ok (crash + hang contained, healthy cells salvaged)"
 }
 
+# Online replay smoke: stream scheduling must be deterministic and
+# replayable.  Run an online grid serially and with a thread pool and
+# demand byte-identical reports; then emit the arrival trace from a
+# generated stream, replay it through stream:trace:file=, and demand
+# the replay reproduces the same weighted-completion numbers.  Run on
+# the TSan build so the online commit loop inside worker threads is
+# also race-checked.
+online_replay_smoke() {
+    local bench="$1/tools/csched_bench"
+    local cli="$1/tools/csched_cli"
+    echo "=== online replay smoke"
+    local tmp
+    tmp="$(mktemp -d)"
+    local stream='stream:bursty:n=10:seed=7:gap=400:burst=3:workloads=fir+vvmul'
+    local args=(--workloads "${stream}" --machines vliw2,vliw4
+                --algorithms online-convergent,online-pcc
+                --quiet --no-timings)
+
+    "${bench}" "${args[@]}" --jobs 1 --json "${tmp}/serial.json"
+    "${bench}" "${args[@]}" --jobs 4 --json "${tmp}/parallel.json"
+    diff "${tmp}/serial.json" "${tmp}/parallel.json" || {
+        echo "online smoke: report depends on --jobs" >&2
+        exit 1
+    }
+    grep -q '"weightedCompletion"' "${tmp}/serial.json" || {
+        echo "online smoke: report carries no online metrics" >&2
+        exit 1
+    }
+
+    "${cli}" --online --streams "${stream}" --machines vliw4 \
+        --policies online-convergent --emit-trace "${tmp}/trace.jsonl" \
+        --json "${tmp}/live.json" >/dev/null
+    "${cli}" --online --streams "stream:trace:file=${tmp}/trace.jsonl" \
+        --machines vliw4 --policies online-convergent \
+        --json "${tmp}/replay.json" >/dev/null
+    local live replay
+    live="$(grep -o '"weightedCompletion": [0-9]*' "${tmp}/live.json")"
+    replay="$(grep -o '"weightedCompletion": [0-9]*' "${tmp}/replay.json")"
+    if [ -z "${live}" ] || [ "${live}" != "${replay}" ]; then
+        echo "online smoke: trace replay diverged from the live run" >&2
+        echo "live:   ${live}" >&2
+        echo "replay: ${replay}" >&2
+        exit 1
+    fi
+    rm -rf "${tmp}"
+    echo "=== online replay smoke ok (byte-identical across --jobs," \
+         "trace replay reproduces metrics)"
+}
+
 # End-to-end serve drain smoke: the daemon under fault-injected load
 # (admission refusals, rewritten replies, workers that crash on first
 # dispatch and heal on retry), SIGTERM mid-load.  The daemon must
@@ -237,6 +289,11 @@ serve_smoke() {
              "(no interrupted reply observed)" >&2
         exit 1
     }
+    grep -q '"p99":' "${tmp}/load.json" || {
+        echo "serve smoke: load report missing latency percentiles" >&2
+        cat "${tmp}/load.json" >&2
+        exit 1
+    }
     rm -rf "${tmp}"
     echo "=== serve drain smoke ok (${tag}: 143, ledger balanced," \
          "no orphans)"
@@ -248,8 +305,9 @@ run_tier2_asan "${prefix}-asan"
 run_tier2_ubsan "${prefix}-ubsan"
 kill_resume_smoke "${prefix}-plain"
 containment_smoke "${prefix}-plain"
+online_replay_smoke "${prefix}-tsan"
 serve_smoke "${prefix}-plain" plain
 serve_smoke "${prefix}-asan" asan
 perf_gate "${prefix}-plain"
 
-echo "=== all suites passed (plain + tsan + asan/ubsan tier2 + smokes + serve drain + perf gate)"
+echo "=== all suites passed (plain + tsan + asan/ubsan tier2 + smokes + online replay + serve drain + perf gate)"

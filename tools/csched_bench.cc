@@ -57,23 +57,28 @@
  * fault-injection harness used by the robustness tests; see
  * fault_injection.hh for the rule grammar.)
  *
- * `perf` measures the convergent-scheduler hot path and emits the two
+ * `perf` measures the convergent-scheduler hot path and emits the
  * csched-bench-report-v1 documents of the tracked perf trajectory
  * (see runner/bench_report.hh for the schema):
  *
  *   csched_bench perf [options]
- *     --out-dir DIR         where BENCH_pass_kernels.json and
- *                           BENCH_end_to_end.json are written
+ *     --out-dir DIR         where BENCH_pass_kernels.json,
+ *                           BENCH_end_to_end.json, and
+ *                           BENCH_online.json are written
  *                           (default ".")
  *     --repeats N           samples per cell, median-of-N (default 5)
  *     --quick               repeats 3 and the small cell set; the
  *                           ci.sh perf gate uses this
  *     --cells W/M[/ALG],... override the end-to-end cell list
  *     --kernel-cells W/M,.. override the pass-kernel cell list
- *     --check               compare the end-to-end medians against the
- *                           baseline and exit 1 on >threshold
- *                           slowdown; prints the per-kernel delta
- *                           table as the diagnostic on failure
+ *     --online-cells S/M/P,..
+ *                           override the online cell list (stream
+ *                           spec / machine / online policy)
+ *     --check               compare the end-to-end and online medians
+ *                           against the baseline and exit 1 on
+ *                           >threshold slowdown; prints the
+ *                           per-kernel delta table as the diagnostic
+ *                           on failure
  *     --baseline-dir DIR    where --check finds the baseline
  *                           (default: the repository checkout, ".")
  *     --threshold PCT       --check slowdown gate (default 15)
@@ -101,7 +106,11 @@
 
 #include "convergent/pass_registry.hh"
 #include "eval/experiment.hh"
+#include "eval/online_metrics.hh"
 #include "machine/machine_spec.hh"
+#include "online/arrival.hh"
+#include "online/online_scheduler.hh"
+#include "online/policy.hh"
 #include "runner/bench_report.hh"
 #include "runner/failure_summary.hh"
 #include "runner/grid_runner.hh"
@@ -137,8 +146,10 @@ usage(const char *argv0, const std::string &why = "")
         << "    [--keep-going] [--quiet]\n"
         << "  perf [--out-dir DIR] [--repeats N] [--quick]"
         << " [--cells W/M,..]\n"
-        << "    [--kernel-cells W/M,..] [--check] [--baseline-dir DIR]\n"
-        << "    [--threshold PCT] [--annotate-pre-rewrite FILE]\n"
+        << "    [--kernel-cells W/M,..] [--online-cells S/M/P,..]"
+        << " [--check]\n"
+        << "    [--baseline-dir DIR] [--threshold PCT]"
+        << " [--annotate-pre-rewrite FILE]\n"
         << "  list\n";
     std::exit(2);
 }
@@ -438,6 +449,7 @@ runPerf(const char *argv0, const std::vector<std::string> &args)
     double threshold = 15.0;
     std::string cells_arg;
     std::string kernel_cells_arg;
+    std::string online_cells_arg;
 
     for (size_t k = 0; k < args.size(); ++k) {
         const std::string arg = args[k];
@@ -464,6 +476,8 @@ runPerf(const char *argv0, const std::vector<std::string> &args)
             cells_arg = next();
         } else if (arg == "--kernel-cells") {
             kernel_cells_arg = next();
+        } else if (arg == "--online-cells") {
+            online_cells_arg = next();
         } else if (arg == "--annotate-pre-rewrite") {
             annotate_file = next();
         } else {
@@ -489,15 +503,30 @@ runPerf(const char *argv0, const std::vector<std::string> &args)
         {"synth-narrow-2k", "raw4", "convergent"},
         {"mxm", "vliw4", "convergent"},
     };
+    // Online cells measure the whole commit loop -- admission,
+    // per-region planning, and (for plan-ahead) preempt-and-recommit
+    // -- over a deterministic arrival stream.  Stream specs are '+'
+    // and ':' separated, so they survive the ','/'/' cell grammar.
+    const std::string perf_stream =
+        "stream:bursty:n=12:seed=11:gap=200:burst=4:"
+        "workloads=fir+vvmul+jacobi";
+    std::vector<PerfCell> online_cells = {
+        {perf_stream, "vliw4", "online-convergent"},
+        {perf_stream, "vliw4", "online-sp"},
+        {perf_stream, "vliw4", "online-pcc"},
+    };
     if (quick) {
         e2e_cells = {{"synth-wide-10k", "vliw4", "convergent"},
                      {"synth-narrow-2k", "raw4", "convergent"}};
         kernel_cells = {{"synth-wide-10k", "vliw4", "convergent"}};
+        online_cells = {{perf_stream, "vliw4", "online-convergent"}};
     }
     if (!cells_arg.empty())
         e2e_cells = parsePerfCells(argv0, cells_arg);
     if (!kernel_cells_arg.empty())
         kernel_cells = parsePerfCells(argv0, kernel_cells_arg);
+    if (!online_cells_arg.empty())
+        online_cells = parsePerfCells(argv0, online_cells_arg);
 
     BenchReport kernels_report;
     kernels_report.kind = "pass-kernels";
@@ -505,6 +534,9 @@ runPerf(const char *argv0, const std::vector<std::string> &args)
     BenchReport e2e_report;
     e2e_report.kind = "end-to-end";
     e2e_report.meta = collectMeta(repeats);
+    BenchReport online_report;
+    online_report.kind = "online";
+    online_report.meta = collectMeta(repeats);
 
     auto prepare = [&](const PerfCell &cell,
                        std::unique_ptr<MachineModel> *machine,
@@ -594,6 +626,60 @@ runPerf(const char *argv0, const std::vector<std::string> &args)
                   << " passes x " << repeats << " reps)\n";
     }
 
+    // Online cells: median-of-N wall time of one full runOnline()
+    // commit loop over a pre-generated arrival stream (generation is
+    // untimed -- the stream is the fixture, the loop is the engine).
+    for (const auto &cell : online_cells) {
+        std::string error;
+        const auto machine = parseMachineSpec(cell.machine, &error);
+        if (machine == nullptr)
+            usage(argv0, error);
+        const auto stream = parseStreamSpec(cell.workload, &error);
+        if (!stream.has_value())
+            usage(argv0, error);
+        const auto policy = parseOnlinePolicy(cell.algorithm, &error);
+        if (!policy.has_value())
+            usage(argv0, error);
+        const auto arrivals = generateArrivals(*stream);
+        if (!arrivals.ok())
+            usage(argv0, arrivals.status().toString());
+
+        OnlineMetrics metrics;
+        std::vector<double> seconds;
+        for (int rep = 0; rep <= repeats; ++rep) {
+            const auto begin = std::chrono::steady_clock::now();
+            const auto run = runOnline(*machine, *policy, *arrivals);
+            const auto end = std::chrono::steady_clock::now();
+            if (!run.ok()) {
+                std::cerr << argv0 << ": online cell " << cell.workload
+                          << "/" << cell.machine << "/"
+                          << cell.algorithm << ": "
+                          << run.status().toString() << "\n";
+                return 1;
+            }
+            if (rep == 0)
+                continue;  // warm-up, untimed
+            seconds.push_back(
+                std::chrono::duration<double>(end - begin).count());
+            metrics = computeOnlineMetrics(run->commits);
+        }
+        BenchCell out;
+        out.workload = cell.workload;
+        out.machine = cell.machine;
+        out.algorithm = cell.algorithm;
+        out.medianSeconds = median(seconds);
+        out.minSeconds =
+            *std::min_element(seconds.begin(), seconds.end());
+        out.reps = repeats;
+        out.instructions = metrics.instructions;
+        out.makespan = metrics.makespan;
+        online_report.cells.push_back(out);
+        std::cerr << "perf: " << out.key() << " median "
+                  << formatDouble(out.medianSeconds * 1e3, 2)
+                  << " ms over " << repeats << " reps ("
+                  << metrics.regions << " regions)\n";
+    }
+
     // Optionally attach pre-rewrite medians so the trajectory's
     // starting point travels with the report.
     if (!annotate_file.empty()) {
@@ -640,7 +726,8 @@ runPerf(const char *argv0, const std::vector<std::string> &args)
     };
     if (!writeReport(out_dir + "/BENCH_pass_kernels.json",
                      kernels_report) ||
-        !writeReport(out_dir + "/BENCH_end_to_end.json", e2e_report))
+        !writeReport(out_dir + "/BENCH_end_to_end.json", e2e_report) ||
+        !writeReport(out_dir + "/BENCH_online.json", online_report))
         return 1;
 
     if (!check)
@@ -672,15 +759,23 @@ runPerf(const char *argv0, const std::vector<std::string> &args)
         return baseline;
     };
     const auto e2e_baseline = load("BENCH_end_to_end.json");
-    if (!e2e_baseline.has_value()) {
+    const auto online_baseline = load("BENCH_online.json");
+    if (!e2e_baseline.has_value() || !online_baseline.has_value()) {
         std::cerr << argv0 << ": perf gate FAILED\n";
         return 1;
     }
     std::cout << "perf gate: end-to-end vs " << baseline_dir
               << "/BENCH_end_to_end.json (threshold "
               << formatDouble(threshold, 0) << "%)\n";
-    const bool ok = compareBenchReports(*e2e_baseline, e2e_report,
-                                        compare, std::cout);
+    bool ok = compareBenchReports(*e2e_baseline, e2e_report, compare,
+                                  std::cout);
+    std::cout << "\n";
+    std::cout << "perf gate: online vs " << baseline_dir
+              << "/BENCH_online.json (threshold "
+              << formatDouble(threshold, 0) << "%)\n";
+    ok = compareBenchReports(*online_baseline, online_report, compare,
+                             std::cout) &&
+         ok;
     std::cout << "\n";
     if (!ok) {
         const auto kernels_baseline = load("BENCH_pass_kernels.json");
@@ -714,6 +809,10 @@ runList()
     std::cout << "machines: vliwN, rawN, rawRxC, single\n";
     std::cout << "algorithms:";
     for (const auto &name : knownAlgorithmNames())
+        std::cout << " " << name;
+    std::cout << "\nonline policies (stream workloads, see "
+                 "online/policy.hh):";
+    for (const auto &name : knownOnlinePolicyNames())
         std::cout << " " << name;
     std::cout << "\npasses:";
     for (const auto &name : knownPassNames())

@@ -37,6 +37,19 @@
  *     --keep-going        exit 0 even when the run (or a grid job)
  *                         failed
  *
+ * Online mode (see online/online_grid.hh) sweeps arrival streams
+ * instead of single workloads; it shares --json/--jobs/--journal/
+ * --resume/--isolate and the execution knobs above:
+ *     --online            run a (stream x machine x policy) sweep
+ *     --streams CSV       stream specs, e.g.
+ *                         stream:poisson:n=12:seed=1:mean-gap=500:
+ *                         workloads=fir+vvmul (specs are comma-free)
+ *     --machines CSV      machine specs for the sweep
+ *     --policies CSV      online policies (default: all five)
+ *     --emit-trace FILE   also write the streams' csched-stream-v1
+ *                         JSONL traces (replay with stream:trace:
+ *                         file=FILE when sweeping a single stream)
+ *
  * Failures are structured: a bad spec is a usage error (exit 2), while
  * a run that fails -- checker rejection, deadline, injected fault --
  * prints a diagnostic and exits 1 unless --keep-going.  SIGINT/SIGTERM
@@ -55,6 +68,8 @@
 #include "eval/speedup.hh"
 #include "ir/dot_export.hh"
 #include "machine/machine_spec.hh"
+#include "online/arrival.hh"
+#include "online/online_grid.hh"
 #include "runner/failure_summary.hh"
 #include "runner/grid_runner.hh"
 #include "runner/json_report.hh"
@@ -86,7 +101,9 @@ usage(const char *argv0, const std::string &why = "")
               << "  [--deadline-ms N] [--retries N] [--isolate]"
               << " [--mem-limit-mb N]\n"
               << "  [--journal FILE] [--resume] [--keep-going]"
-              << " [--version]\n";
+              << " [--version]\n"
+              << "  [--online [--streams CSV] [--machines CSV]"
+              << " [--policies CSV] [--emit-trace FILE]]\n";
     std::exit(2);
 }
 
@@ -109,6 +126,14 @@ main(int argc, char **argv)
     bool isolate = false;
     int mem_limit_mb = 0;
     bool keep_going = false;
+    bool online = false;
+    std::string streams_csv =
+        "stream:poisson:n=12:seed=1:mean-gap=500:workloads=fir+vvmul+"
+        "jacobi";
+    std::string machines_csv = "vliw4";
+    std::string policies_csv = "online-convergent,online-sp,online-list,"
+                               "online-uas,online-pcc";
+    std::string trace_file;
     FaultPlan fault_plan;
     bool want_gantt = false;
     bool want_placements = false;
@@ -159,6 +184,16 @@ main(int argc, char **argv)
             resume = true;
         } else if (arg == "--keep-going") {
             keep_going = true;
+        } else if (arg == "--online") {
+            online = true;
+        } else if (arg == "--streams") {
+            streams_csv = next();
+        } else if (arg == "--machines") {
+            machines_csv = next();
+        } else if (arg == "--policies") {
+            policies_csv = next();
+        } else if (arg == "--emit-trace") {
+            trace_file = next();
         } else if (arg == "--inject") {
             // Hidden: deterministic fault injection for the
             // robustness tests (see fault_injection.hh).
@@ -198,6 +233,86 @@ main(int argc, char **argv)
                        "structured run)");
 
     installGridSignalHandlers();
+
+    if (online) {
+        OnlineGridSpec sweep;
+        sweep.streams = split(streams_csv, ',');
+        sweep.machines = split(machines_csv, ',');
+        sweep.policies = split(policies_csv, ',');
+        sweep.jobs = jobs;
+        sweep.deadlineMs = deadline_ms;
+        sweep.retries = retries;
+        sweep.journalPath = journal_file;
+        sweep.resume = resume;
+        sweep.isolate = isolate;
+        sweep.memLimitMb = mem_limit_mb;
+        if (!fault_plan.empty())
+            sweep.faults = &fault_plan;
+        auto grid = makeOnlineGrid(sweep);
+        if (!grid.ok())
+            usage(argv[0], grid.status().message());
+
+        if (!trace_file.empty()) {
+            std::string traces;
+            for (const std::string &stream : sweep.streams) {
+                const auto parsed_stream = parseStreamSpec(stream);
+                auto arrivals = generateArrivals(*parsed_stream);
+                if (!arrivals.ok()) {
+                    std::cerr << argv[0] << ": "
+                              << arrivals.status().toString() << "\n";
+                    return 1;
+                }
+                traces += streamTraceText(*parsed_stream, *arrivals);
+            }
+            const Status written = writeFileAtomic(trace_file, traces);
+            if (!written.ok()) {
+                std::cerr << argv[0] << ": " << written.toString()
+                          << "\n";
+                return 1;
+            }
+            std::cout << "wrote " << trace_file << "\n";
+        }
+
+        const GridReport report = runGrid(*grid);
+        if (json_file.empty() || json_file == "-") {
+            for (const auto &job : report.results) {
+                std::cout << job.workload << " on " << job.machine
+                          << " via " << job.algorithm << ": ";
+                if (!job.ok()) {
+                    std::cout << jobOutcomeName(job.outcome) << " ("
+                              << job.diagnostic << ")\n";
+                    continue;
+                }
+                std::cout << job.regions << " regions, weighted "
+                          << "completion " << job.weightedCompletion
+                          << ", makespan " << job.makespan
+                          << ", max flow " << job.maxFlowTime
+                          << ", mean flow "
+                          << formatDouble(job.meanFlowTime, 1)
+                          << ", misses " << job.deadlineMisses
+                          << ", preemptions " << job.preemptions
+                          << "\n";
+            }
+        }
+        if (!json_file.empty()) {
+            if (json_file == "-") {
+                writeGridReport(std::cout, report);
+            } else {
+                FaultScope report_faults(sweep.faults, "report");
+                ScopedFaultScope report_fault_guard(&report_faults);
+                const Status written = writeFileAtomic(
+                    json_file, gridReportToJson(report));
+                if (!written.ok()) {
+                    std::cerr << argv[0] << ": " << written.toString()
+                              << "\n";
+                    return 1;
+                }
+                std::cout << "wrote " << json_file << "\n";
+            }
+        }
+        printFailureSummary(std::cerr, report);
+        return gridExitCode(report, keep_going);
+    }
 
     std::string error;
     const auto machine = parseMachineSpec(machine_spec, &error);

@@ -54,6 +54,7 @@
 #include "support/atomic_file.hh"
 #include "support/json.hh"
 #include "support/socket.hh"
+#include "support/stats.hh"
 #include "support/str.hh"
 #include "support/subprocess.hh"
 #include "tool_version.hh"
@@ -95,6 +96,9 @@ struct Tally
     double latencySumMs = 0.0;
     double latencyMaxMs = 0.0;
     double latencyMinMs = 0.0;
+    /// Every per-reply latency, kept raw so the merged report can take
+    /// exact nearest-rank percentiles instead of approximations.
+    std::vector<double> latencySamplesMs;
     bool sawInterrupted = false;
 
     void
@@ -112,6 +116,9 @@ struct Tally
         for (const auto &entry : other.statusCounts)
             statusCounts[entry.first] += entry.second;
         latencySumMs += other.latencySumMs;
+        latencySamplesMs.insert(latencySamplesMs.end(),
+                                other.latencySamplesMs.begin(),
+                                other.latencySamplesMs.end());
         latencyMaxMs = std::max(latencyMaxMs, other.latencyMaxMs);
         if (other.replies > 0)
             latencyMinMs = latencyMinMs == 0.0
@@ -258,6 +265,7 @@ clientMain(const LoadConfig &config, int client, Tally *tally)
                             Clock::now() - wrote)
                             .count();
                     tally->latencySumMs += latency;
+                    tally->latencySamplesMs.push_back(latency);
                     tally->latencyMaxMs =
                         std::max(tally->latencyMaxMs, latency);
                     tally->latencyMinMs =
@@ -367,6 +375,11 @@ loadReport(const LoadConfig &config, const Tally &total,
                                       static_cast<double>(
                                           total.replies)
                                 : 0.0);
+        // Nearest-rank percentiles over the merged per-reply samples:
+        // exact observed values, deterministic for a fixed ledger.
+        w.key("p50").value(percentile(total.latencySamplesMs, 50.0));
+        w.key("p95").value(percentile(total.latencySamplesMs, 95.0));
+        w.key("p99").value(percentile(total.latencySamplesMs, 99.0));
         w.key("max").value(total.latencyMaxMs);
         w.endObject();
         w.key("sawDrain").value(total.sawInterrupted);
