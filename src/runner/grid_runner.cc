@@ -6,6 +6,7 @@
 #include <memory>
 #include <thread>
 
+#include "dist/remote_pool.hh"
 #include "eval/speedup.hh"
 #include "machine/machine_spec.hh"
 #include "online/arrival.hh"
@@ -18,6 +19,7 @@
 #include "support/fault_injection.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
+#include "support/socket.hh"
 #include "support/str.hh"
 #include "workloads/workloads.hh"
 
@@ -396,6 +398,16 @@ validateGrid(const GridSpec &grid, std::string *error)
         grid.algorithms.empty())
         return fail("empty grid: need at least one workload, machine, "
                     "and algorithm");
+    if (!grid.hosts.empty() && grid.isolate)
+        return fail("--hosts and --isolate are mutually exclusive "
+                    "(remote hosts already isolate every job)");
+    for (const auto &endpoint : grid.hosts) {
+        std::string host;
+        uint16_t port = 0;
+        const Status parsed = parseHostPort(endpoint, &host, &port);
+        if (!parsed.ok())
+            return fail("--hosts: " + parsed.message());
+    }
 
     for (const auto &name : grid.workloads) {
         if (isStreamWorkload(name)) {
@@ -489,6 +501,25 @@ runGrid(const GridSpec &grid)
             grid.deadlineMs > 0 ? 900 : 0);
     }
 
+    // Distribution: connect the fleet before the thread pool exists
+    // (same quiescent-parent stance as the worker pool -- the dist
+    // client's own reader/controller threads come up here).  Baselines
+    // stay client-computed: they are part of the deterministic report
+    // layer, and shipping them in each job frame keeps every host's
+    // execution a pure function of the frame.
+    std::unique_ptr<RemoteWorkerPool> fleet;
+    if (!grid.hosts.empty()) {
+        DistOptions dist_options =
+            grid.dist != nullptr ? *grid.dist : DistOptions{};
+        dist_options.hosts = grid.hosts;
+        fleet = std::make_unique<RemoteWorkerPool>(
+            std::move(dist_options));
+        const Status started = fleet->start();
+        if (!started.ok())
+            CSCHED_FATAL("cannot start remote fleet: ",
+                         started.toString());
+    }
+
     const auto begin = std::chrono::steady_clock::now();
     {
         // Each task writes only its own pre-assigned slot; the pool
@@ -524,12 +555,15 @@ runGrid(const GridSpec &grid)
             if (replayed[k])
                 continue;
             pool.submit([&jobs, &report, &policy, &baselines, &journal,
-                         &workers, k] {
+                         &workers, &fleet, k] {
                 report.results[k] =
-                    workers != nullptr
-                        ? runJobIsolated(jobs[k], policy, *workers,
-                                         &baselines)
-                        : runJob(jobs[k], policy, &baselines);
+                    fleet != nullptr
+                        ? runJobRemote(jobs[k], policy, *fleet,
+                                       &baselines)
+                        : workers != nullptr
+                              ? runJobIsolated(jobs[k], policy,
+                                               *workers, &baselines)
+                              : runJob(jobs[k], policy, &baselines);
                 const JobResult &result = report.results[k];
                 if (journal == nullptr ||
                     result.outcome == JobOutcome::Interrupted)

@@ -28,6 +28,8 @@
 
 namespace csched {
 
+struct DistOptions;
+
 /** Declarative description of a whole experiment grid. */
 struct GridSpec
 {
@@ -71,6 +73,19 @@ struct GridSpec
      * Only meaningful with isolate.
      */
     int memLimitMb = 0;
+    /**
+     * Remote worker endpoints ("host:port" each).  When non-empty the
+     * grid's jobs execute on a fleet of csched_workerd daemons through
+     * a RemoteWorkerPool (dist/remote_pool.hh) instead of in-process;
+     * each daemon contains its jobs exactly as --isolate would, so --
+     * like isolate -- this is pure packaging: the deterministic report
+     * layer is byte-identical at any host count, gridFingerprint()
+     * excludes it, and a journal written in any mode resumes under any
+     * other.  Mutually exclusive with isolate.
+     */
+    std::vector<std::string> hosts;
+    /** Dist-client tuning; nullptr = defaults (borrowed). */
+    const DistOptions *dist = nullptr;
 };
 
 /** Outcome tally of one grid run. */

@@ -120,68 +120,24 @@ encodeWorkerReply(const JobResult &result)
 JobResult
 runWorkerJob(const JsonValue &msg)
 {
-    JobResult bad;
-    bad.outcome = JobOutcome::Failed;
-    bad.error = ErrorCode::Internal;
-
-    for (const char *field :
-         {"workload", "machine", "algorithm", "computeSpeedup",
-          "deadlineMs", "retries", "faults"}) {
-        if (msg.find(field) == nullptr) {
-            bad.diagnostic =
-                std::string("worker job frame missing '") + field + "'";
-            return bad;
-        }
-    }
-
-    JobSpec spec;
-    spec.workload = msg.at("workload").string;
-    spec.machine = msg.at("machine").string;
-    spec.computeSpeedup = msg.at("computeSpeedup").boolean;
-    std::string error;
-    const auto algorithm =
-        parseAlgorithmSpec(msg.at("algorithm").string, &error);
-    if (!algorithm.has_value()) {
-        bad.workload = spec.workload;
-        bad.machine = spec.machine;
-        bad.algorithm = msg.at("algorithm").string;
-        bad.error = ErrorCode::InvalidSpec;
-        bad.diagnostic = error;
+    auto frame = decodeWorkerJobFields(msg);
+    if (!frame.ok()) {
+        JobResult bad;
+        bad.outcome = JobOutcome::Failed;
+        bad.error = ErrorCode::Internal;
+        if (const JsonValue *workload = msg.find("workload"))
+            bad.workload = workload->string;
+        if (const JsonValue *machine = msg.find("machine"))
+            bad.machine = machine->string;
+        if (const JsonValue *algorithm = msg.find("algorithm"))
+            bad.algorithm = algorithm->string;
+        bad.error = frame.status().code();
+        bad.diagnostic = frame.status().message();
         return bad;
     }
-    spec.algorithm = *algorithm;
-
-    std::optional<FaultPlan> plan;
-    const std::string faults_text = msg.at("faults").string;
-    if (!faults_text.empty()) {
-        plan = FaultPlan::parse(faults_text, &error);
-        if (!plan.has_value()) {
-            bad.workload = spec.workload;
-            bad.machine = spec.machine;
-            bad.algorithm = spec.algorithm.text();
-            bad.diagnostic = "worker fault plan did not parse: " + error;
-            return bad;
-        }
-    }
-
-    JobPolicy policy;
-    policy.deadlineMs = msg.at("deadlineMs").asInt();
-    policy.retries = msg.at("retries").asInt();
-    policy.faults = plan.has_value() ? &*plan : nullptr;
-
-    BaselineMemo baselines;
-    const BaselineMemo *memo = nullptr;
-    if (const JsonValue *makespan = msg.find("baselineMakespan")) {
-        BaselineEntry entry;
-        entry.status =
-            statusFromWire(msg.at("baselineError").string,
-                           msg.at("baselineMessage").string);
-        entry.makespan = makespan->asInt();
-        baselines[{spec.workload, spec.machine}] = entry;
-        memo = &baselines;
-    }
-
-    return runJob(spec, policy, memo);
+    const BaselineMemo memo = frame->baselineMemo();
+    return runJob(frame->spec, frame->policy(),
+                  memo.empty() ? nullptr : &memo);
 }
 
 /**
@@ -675,6 +631,34 @@ fillInterrupted(JobResult &result, const char *when)
 
 } // namespace
 
+void
+writeWorkerJobFields(JsonWriter &w, const JobSpec &spec,
+                     const JobPolicy &policy, int retries,
+                     const std::string &die,
+                     const BaselineMemo *baselines)
+{
+    w.key("workload").value(spec.workload);
+    w.key("machine").value(spec.machine);
+    w.key("algorithm").value(spec.algorithm.text());
+    w.key("computeSpeedup").value(spec.computeSpeedup);
+    w.key("deadlineMs").value(policy.deadlineMs);
+    w.key("retries").value(retries);
+    w.key("faults").value(
+        policy.faults != nullptr ? policy.faults->text() : "");
+    w.key("die").value(die);
+    if (baselines != nullptr) {
+        const auto it = baselines->find({spec.workload, spec.machine});
+        if (it != baselines->end()) {
+            w.key("baselineError")
+                .value(std::string(
+                    errorCodeName(it->second.status.code())));
+            w.key("baselineMessage")
+                .value(it->second.status.message());
+            w.key("baselineMakespan").value(it->second.makespan);
+        }
+    }
+}
+
 std::string
 encodeWorkerJob(const JobSpec &spec, const JobPolicy &policy,
                 int retries, const std::string &die,
@@ -684,30 +668,55 @@ encodeWorkerJob(const JobSpec &spec, const JobPolicy &policy,
     {
         JsonWriter w(out);
         w.beginObject();
-        w.key("workload").value(spec.workload);
-        w.key("machine").value(spec.machine);
-        w.key("algorithm").value(spec.algorithm.text());
-        w.key("computeSpeedup").value(spec.computeSpeedup);
-        w.key("deadlineMs").value(policy.deadlineMs);
-        w.key("retries").value(retries);
-        w.key("faults").value(
-            policy.faults != nullptr ? policy.faults->text() : "");
-        w.key("die").value(die);
-        if (baselines != nullptr) {
-            const auto it =
-                baselines->find({spec.workload, spec.machine});
-            if (it != baselines->end()) {
-                w.key("baselineError")
-                    .value(std::string(
-                        errorCodeName(it->second.status.code())));
-                w.key("baselineMessage")
-                    .value(it->second.status.message());
-                w.key("baselineMakespan").value(it->second.makespan);
-            }
-        }
+        writeWorkerJobFields(w, spec, policy, retries, die, baselines);
         w.endObject();
     }
     return compactJson(out.str());
+}
+
+StatusOr<WorkerJobFrame>
+decodeWorkerJobFields(const JsonValue &msg)
+{
+    for (const char *field :
+         {"workload", "machine", "algorithm", "computeSpeedup",
+          "deadlineMs", "retries", "faults"}) {
+        if (msg.find(field) == nullptr)
+            return Status::internal(
+                std::string("worker job frame missing '") + field +
+                "'");
+    }
+
+    WorkerJobFrame frame;
+    frame.spec.workload = msg.at("workload").string;
+    frame.spec.machine = msg.at("machine").string;
+    frame.spec.computeSpeedup = msg.at("computeSpeedup").boolean;
+    std::string error;
+    const auto algorithm =
+        parseAlgorithmSpec(msg.at("algorithm").string, &error);
+    if (!algorithm.has_value())
+        return Status::invalidSpec(error);
+    frame.spec.algorithm = *algorithm;
+
+    const std::string faults_text = msg.at("faults").string;
+    if (!faults_text.empty()) {
+        frame.faults = FaultPlan::parse(faults_text, &error);
+        if (!frame.faults.has_value())
+            return Status::internal(
+                "worker fault plan did not parse: " + error);
+    }
+
+    frame.deadlineMs = msg.at("deadlineMs").asInt();
+    frame.retries = msg.at("retries").asInt();
+    if (const JsonValue *die = msg.find("die"))
+        frame.die = die->string;
+    if (const JsonValue *makespan = msg.find("baselineMakespan")) {
+        frame.hasBaseline = true;
+        frame.baseline.status =
+            statusFromWire(msg.at("baselineError").string,
+                           msg.at("baselineMessage").string);
+        frame.baseline.makespan = makespan->asInt();
+    }
+    return frame;
 }
 
 StatusOr<JobResult>
@@ -728,7 +737,8 @@ decodeWorkerReply(const std::string &payload)
 
 JobResult
 runJobIsolated(const JobSpec &spec, const JobPolicy &policy,
-               WorkerPool &pool, const BaselineMemo *baselines)
+               WorkerPool &pool, const BaselineMemo *baselines,
+               bool propagate_interrupt)
 {
     JobResult result;
     result.workload = spec.workload;
@@ -790,8 +800,10 @@ runJobIsolated(const JobSpec &spec, const JobPolicy &policy,
                 result.attempts += consumed;
                 // A job interrupted inside the worker (its own signal
                 // or an injected runner.interrupt) must drain the
-                // whole grid, exactly as it would in-process.
-                if (result.outcome == JobOutcome::Interrupted &&
+                // whole grid, exactly as it would in-process -- unless
+                // the caller is a daemon serving someone else's grid.
+                if (propagate_interrupt &&
+                    result.outcome == JobOutcome::Interrupted &&
                     !interruptRequested())
                     requestInterrupt(SIGINT);
                 pool.release(std::move(worker));

@@ -45,14 +45,18 @@
 
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "runner/job.hh"
+#include "support/fault_injection.hh"
 
 namespace csched {
 
 class Worker;
+class JsonWriter;
+struct JsonValue;
 
 /**
  * A pool of forked worker processes, one job in flight per worker.
@@ -108,10 +112,19 @@ class WorkerPool
  * memoized single-cluster entry when spec.computeSpeedup is set (the
  * grid always does); the entry ships to the child in the job frame so
  * baseline failures poison dependents identically to in-process runs.
+ *
+ * @p propagate_interrupt: an `interrupted` reply from the worker
+ * (its own signal, or an injected runner.interrupt inside the job)
+ * normally drains the whole grid, exactly as it would in-process.
+ * The remote worker daemon (dist/workerd.hh) passes false: there the
+ * interrupt belongs to the *client's* grid, and draining the daemon
+ * for a job-level interrupt would take every other client's jobs
+ * down with it.
  */
 JobResult runJobIsolated(const JobSpec &spec, const JobPolicy &policy,
                          WorkerPool &pool,
-                         const BaselineMemo *baselines = nullptr);
+                         const BaselineMemo *baselines = nullptr,
+                         bool propagate_interrupt = true);
 
 /**
  * Serialize one job dispatch frame: the spec in text form, the policy
@@ -131,6 +144,64 @@ std::string encodeWorkerJob(const JobSpec &spec,
  * WorkerCrashed status with the reason, never a throw or a hang.
  */
 StatusOr<JobResult> decodeWorkerReply(const std::string &payload);
+
+/**
+ * The field layer under encodeWorkerJob: writes the job-dispatch
+ * fields into an already-open JSON object, so other envelopes -- the
+ * dist protocol's `job` message (dist/protocol.hh) -- can carry the
+ * exact same text-form job crossing with their own framing around it.
+ */
+void writeWorkerJobFields(JsonWriter &w, const JobSpec &spec,
+                          const JobPolicy &policy, int retries,
+                          const std::string &die,
+                          const BaselineMemo *baselines);
+
+/**
+ * One decoded job-dispatch frame: everything a remote executor needs
+ * to run the job, with owned storage for the parts JobPolicy only
+ * borrows (the fault plan) and the baseline memo entry.
+ */
+struct WorkerJobFrame
+{
+    JobSpec spec;
+    int deadlineMs = 0;
+    int retries = 0;
+    std::optional<FaultPlan> faults;  ///< owned; policy() points here
+    std::string die;                  ///< "", "crash", "hang", "oom"
+    bool hasBaseline = false;
+    BaselineEntry baseline;
+
+    /**
+     * The policy for running this frame.  Borrows this->faults: only
+     * valid while the frame outlives the returned policy's use.
+     */
+    JobPolicy policy() const
+    {
+        JobPolicy out;
+        out.deadlineMs = deadlineMs;
+        out.retries = retries;
+        out.faults = faults.has_value() ? &*faults : nullptr;
+        return out;
+    }
+
+    /** The baseline entry as a one-entry memo (empty when absent). */
+    BaselineMemo baselineMemo() const
+    {
+        BaselineMemo memo;
+        if (hasBaseline)
+            memo[{spec.workload, spec.machine}] = baseline;
+        return memo;
+    }
+};
+
+/**
+ * Inverse of writeWorkerJobFields over a parsed JSON object: the
+ * decoder both the forked worker child and the remote worker daemon
+ * run on every incoming job frame.  Missing fields, an unparsable
+ * algorithm, or a garbled fault plan come back as an InvalidSpec
+ * status -- the frame is addressable garbage, never a crash.
+ */
+StatusOr<WorkerJobFrame> decodeWorkerJobFields(const JsonValue &msg);
 
 } // namespace csched
 

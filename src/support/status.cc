@@ -26,6 +26,8 @@ errorCodeName(ErrorCode code)
         return "worker-killed";
       case ErrorCode::Overloaded:
         return "overloaded";
+      case ErrorCode::HostLost:
+        return "host-lost";
     }
     CSCHED_PANIC("unreachable error code ", static_cast<int>(code));
 }
@@ -37,7 +39,8 @@ parseErrorCodeName(const std::string &name)
          {ErrorCode::InvalidSpec, ErrorCode::CheckFailed,
           ErrorCode::Timeout, ErrorCode::Injected, ErrorCode::Internal,
           ErrorCode::Interrupted, ErrorCode::WorkerCrashed,
-          ErrorCode::WorkerKilled, ErrorCode::Overloaded}) {
+          ErrorCode::WorkerKilled, ErrorCode::Overloaded,
+          ErrorCode::HostLost}) {
         if (name == errorCodeName(candidate))
             return candidate;
     }
@@ -104,6 +107,12 @@ Status
 Status::overloaded(std::string message)
 {
     return error(ErrorCode::Overloaded, std::move(message));
+}
+
+Status
+Status::hostLost(std::string message)
+{
+    return error(ErrorCode::HostLost, std::move(message));
 }
 
 Status

@@ -53,6 +53,14 @@ enum class ErrorCode {
      * later (see serve/server.hh).
      */
     Overloaded,
+    /**
+     * Every remote worker host was lost (dead, partitioned, or
+     * quarantined) before the job could complete.  Only produced
+     * under --hosts (dist/remote_pool.hh), and only after the lease
+     * layer ran out of healthy hosts to reassign to -- a single host
+     * death never surfaces this code, it just moves the lease.
+     */
+    HostLost,
 };
 
 /** Stable lower-case name, e.g. "check-failed" (used in JSON). */
@@ -84,6 +92,7 @@ class Status
     static Status workerCrashed(std::string message);
     static Status workerKilled(std::string message);
     static Status overloaded(std::string message);
+    static Status hostLost(std::string message);
 
     bool ok() const { return code_ == ErrorCode::Ok; }
     ErrorCode code() const { return code_; }

@@ -15,7 +15,11 @@
 # the csched_serve daemon under fault-injected csched_load traffic,
 # SIGTERMs it mid-load, and demands a graceful drain: exit 143, no
 # orphaned workers, socket unlinked, and a load ledger proving every
-# request got exactly one structured reply.
+# request got exactly one structured reply.  The dist fleet smoke
+# (plain and ASan) runs a grid over two localhost csched_workerd
+# daemons, injects a network partition and SIGKILLs one daemon
+# mid-grid, and demands the grid heal by lease reassignment with a
+# report byte-identical to the in-process run.
 #
 #   tools/ci.sh [BUILD_DIR_PREFIX]
 #
@@ -299,6 +303,88 @@ serve_smoke() {
          "no orphans)"
 }
 
+# End-to-end distributed smoke: a two-daemon localhost fleet under
+# injected network faults (a partition on one cell's primary dispatch)
+# plus a real SIGKILL of one daemon mid-grid.  The grid must heal by
+# lease reassignment -- exit 0, report byte-identical to the same grid
+# run in-process -- and the killed fleet must leave no orphaned
+# processes behind.
+dist_smoke() {
+    local build_dir="$1"
+    local tag="$2"
+    local bench="${build_dir}/tools/csched_bench"
+    local workerd="${build_dir}/tools/csched_workerd"
+    echo "=== dist fleet smoke (${tag})"
+    local tmp
+    tmp="$(mktemp -d)"
+    local args=(--workloads fir,vvmul,jacobi,mxm --machines vliw2,vliw4
+                --algorithms uas,convergent --jobs 4 --quiet
+                --no-timings)
+
+    "${bench}" "${args[@]}" --json "${tmp}/base.json"
+
+    # The port-file handshake: ephemeral ports, discovered once the
+    # daemon is actually listening.  The unique --port-file path also
+    # marks each daemon's argv for the orphan sweep below.
+    "${workerd}" --port 0 --workers 2 --port-file "${tmp}/a.port" &
+    local pid_a=$!
+    "${workerd}" --port 0 --workers 2 --port-file "${tmp}/b.port" &
+    local pid_b=$!
+    for _ in $(seq 100); do
+        [ -s "${tmp}/a.port" ] && [ -s "${tmp}/b.port" ] && break
+        sleep 0.05
+    done
+    if [ ! -s "${tmp}/a.port" ] || [ ! -s "${tmp}/b.port" ]; then
+        echo "dist smoke: workerd never wrote its port file" >&2
+        exit 1
+    fi
+    local hosts="127.0.0.1:$(cat "${tmp}/a.port"),127.0.0.1:$(cat "${tmp}/b.port")"
+
+    # Slow the jobs so the SIGKILL lands mid-grid, partition one cell's
+    # first dispatch, and shrink the liveness/reconnect knobs so the
+    # healing happens inside smoke-test time.
+    "${bench}" "${args[@]}" --json "${tmp}/dist.json" \
+        --hosts "${hosts}" \
+        --dist-opts 'liveness-timeout-ms=800,heartbeat-interval-ms=100,reconnect-base-ms=20,partition-ms=300' \
+        --inject 'runner.job.start=slow:ms=150;net.partition=fail:nth=1:match=fir/*' &
+    local bench_pid=$!
+    sleep 0.9
+    kill -KILL "${pid_a}"
+    local code=0
+    wait "${bench_pid}" || code=$?
+    wait "${pid_a}" 2>/dev/null || true
+    if [ "${code}" -ne 0 ]; then
+        echo "dist smoke: grid did not survive the partition +" \
+             "SIGKILL (exit ${code})" >&2
+        cat "${tmp}/dist.json" >&2 || true
+        exit 1
+    fi
+    diff "${tmp}/base.json" "${tmp}/dist.json" || {
+        echo "dist smoke: fleet report differs from the in-process" \
+             "run" >&2
+        exit 1
+    }
+
+    # Graceful drain of the survivor: SIGTERM, exit 143, no orphans.
+    kill -TERM "${pid_b}"
+    local drain_code=0
+    wait "${pid_b}" || drain_code=$?
+    if [ "${drain_code}" -ne 143 ]; then
+        echo "dist smoke: surviving workerd did not drain gracefully" \
+             "(exit ${drain_code})" >&2
+        exit 1
+    fi
+    if pgrep -f "${tmp}/a.port" >/dev/null || \
+       pgrep -f "${tmp}/b.port" >/dev/null; then
+        echo "dist smoke: processes survived the fleet shutdown:" >&2
+        pgrep -af "${tmp}" >&2
+        exit 1
+    fi
+    rm -rf "${tmp}"
+    echo "=== dist fleet smoke ok (${tag}: partition + SIGKILL healed," \
+         "byte-identical report, no orphans)"
+}
+
 run_suite "${prefix}-plain"
 run_suite "${prefix}-tsan" -DCSCHED_SANITIZE=thread
 run_tier2_asan "${prefix}-asan"
@@ -308,6 +394,8 @@ containment_smoke "${prefix}-plain"
 online_replay_smoke "${prefix}-tsan"
 serve_smoke "${prefix}-plain" plain
 serve_smoke "${prefix}-asan" asan
+dist_smoke "${prefix}-plain" plain
+dist_smoke "${prefix}-asan" asan
 perf_gate "${prefix}-plain"
 
-echo "=== all suites passed (plain + tsan + asan/ubsan tier2 + smokes + online replay + serve drain + perf gate)"
+echo "=== all suites passed (plain + tsan + asan/ubsan tier2 + smokes + online replay + serve drain + dist fleet + perf gate)"

@@ -43,6 +43,11 @@
  *                           and replay their outcomes; the final
  *                           report is byte-identical to an
  *                           uninterrupted run
+ *     --hosts CSV           execute jobs on a fleet of csched_workerd
+ *                           daemons ("host:port" each) instead of
+ *                           in-process; partition-tolerant (leases
+ *                           reassign on host loss) and byte-identical
+ *                           to an in-process run at any host count
  *     --keep-going          exit 0 even when jobs failed (the report
  *                           still marks every failed cell)
  *     --quiet               suppress the human-readable table
@@ -63,8 +68,8 @@
  *
  *   csched_bench perf [options]
  *     --out-dir DIR         where BENCH_pass_kernels.json,
- *                           BENCH_end_to_end.json, and
- *                           BENCH_online.json are written
+ *                           BENCH_end_to_end.json, BENCH_online.json,
+ *                           and BENCH_dist.json are written
  *                           (default ".")
  *     --repeats N           samples per cell, median-of-N (default 5)
  *     --quick               repeats 3 and the small cell set; the
@@ -74,11 +79,15 @@
  *     --online-cells S/M/P,..
  *                           override the online cell list (stream
  *                           spec / machine / online policy)
- *     --check               compare the end-to-end and online medians
- *                           against the baseline and exit 1 on
- *                           >threshold slowdown; prints the
+ *     --check               compare the end-to-end, online, and dist
+ *                           medians against the baseline and exit 1
+ *                           on >threshold slowdown; prints the
  *                           per-kernel delta table as the diagnostic
  *                           on failure
+ *
+ * The dist cells fork two localhost csched_workerd daemons and time a
+ * small fixed grid through them against the same grid under --isolate,
+ * so the remote-dispatch overhead is a gated number, not a guess.
  *     --baseline-dir DIR    where --check finds the baseline
  *                           (default: the repository checkout, ".")
  *     --threshold PCT       --check slowdown gate (default 15)
@@ -91,8 +100,13 @@
  * working as `suite` for one release (compatibility shim).
  */
 
+#include <sys/prctl.h>
 #include <sys/stat.h>
 #include <sys/utsname.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
 
 #include <algorithm>
 #include <chrono>
@@ -105,6 +119,8 @@
 #include <vector>
 
 #include "convergent/pass_registry.hh"
+#include "dist/remote_pool.hh"
+#include "dist/workerd.hh"
 #include "eval/experiment.hh"
 #include "eval/online_metrics.hh"
 #include "machine/machine_spec.hh"
@@ -143,7 +159,7 @@ usage(const char *argv0, const std::string &why = "")
         << " [--retries N]\n"
         << "    [--isolate] [--mem-limit-mb N] [--journal FILE]"
         << " [--resume]\n"
-        << "    [--keep-going] [--quiet]\n"
+        << "    [--hosts CSV] [--keep-going] [--quiet]\n"
         << "  perf [--out-dir DIR] [--repeats N] [--quick]"
         << " [--cells W/M,..]\n"
         << "    [--kernel-cells W/M,..] [--online-cells S/M/P,..]"
@@ -186,6 +202,7 @@ runSuite(const char *argv0, const std::vector<std::string> &args)
     bool quiet = false;
     bool keep_going = false;
     FaultPlan fault_plan;
+    DistOptions dist_options;
 
     for (size_t k = 0; k < args.size(); ++k) {
         const std::string arg = args[k];
@@ -230,6 +247,15 @@ runSuite(const char *argv0, const std::vector<std::string> &args)
             grid.journalPath = next();
         } else if (arg == "--resume") {
             grid.resume = true;
+        } else if (arg == "--hosts") {
+            grid.hosts = split(next(), ',');
+        } else if (arg == "--dist-opts") {
+            // Hidden: dist-client timing overrides for tests and CI
+            // (see DistOptions::applyOverrides).
+            const Status applied =
+                DistOptions::applyOverrides(&dist_options, next());
+            if (!applied.ok())
+                usage(argv0, "--dist-opts: " + applied.message());
         } else if (arg == "--keep-going") {
             keep_going = true;
         } else if (arg == "--inject") {
@@ -289,6 +315,8 @@ runSuite(const char *argv0, const std::vector<std::string> &args)
 
     if (!fault_plan.empty())
         grid.faults = &fault_plan;
+    if (!grid.hosts.empty())
+        grid.dist = &dist_options;
     if (grid.resume && grid.journalPath.empty())
         usage(argv0, "--resume requires --journal");
 
@@ -418,6 +446,68 @@ collectMeta(int repeats)
     return meta;
 }
 
+/** One forked localhost csched_workerd for the dist perf cells. */
+struct WorkerdChild
+{
+    pid_t pid = -1;
+    uint16_t port = 0;
+};
+
+/**
+ * Fork a csched_workerd serving on an ephemeral loopback port and
+ * report the port back over a pipe.  The child dies with the bench
+ * process (PDEATHSIG) or on the explicit SIGTERM of reapWorkerd().
+ */
+std::optional<WorkerdChild>
+spawnPerfWorkerd(int workers)
+{
+    int fds[2];
+    if (::pipe(fds) != 0)
+        return std::nullopt;
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(fds[0]);
+        ::close(fds[1]);
+        return std::nullopt;
+    }
+    if (pid == 0) {
+        ::close(fds[0]);
+        ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+        installServeSignalHandlers();
+        WorkerdOptions options;
+        options.workers = workers;
+        WorkerdServer server(std::move(options));
+        if (!server.start().ok())
+            ::_exit(1);
+        const std::string line = std::to_string(server.port());
+        (void)!::write(fds[1], line.data(), line.size());
+        ::close(fds[1]);
+        ::_exit(server.run());
+    }
+    ::close(fds[1]);
+    char buffer[16] = {0};
+    const ssize_t got = ::read(fds[0], buffer, sizeof(buffer) - 1);
+    ::close(fds[0]);
+    if (got <= 0) {
+        ::kill(pid, SIGKILL);
+        ::waitpid(pid, nullptr, 0);
+        return std::nullopt;
+    }
+    WorkerdChild child;
+    child.pid = pid;
+    child.port = static_cast<uint16_t>(std::atoi(buffer));
+    return child;
+}
+
+void
+reapWorkerd(const WorkerdChild &child)
+{
+    if (child.pid <= 0)
+        return;
+    ::kill(child.pid, SIGTERM);
+    ::waitpid(child.pid, nullptr, 0);
+}
+
 /**
  * Per-pass kernel names for a trace, disambiguating repeated passes
  * by occurrence ("PATHPROP", "PATHPROP.2", "PATHPROP.3").
@@ -537,6 +627,9 @@ runPerf(const char *argv0, const std::vector<std::string> &args)
     BenchReport online_report;
     online_report.kind = "online";
     online_report.meta = collectMeta(repeats);
+    BenchReport dist_report;
+    dist_report.kind = "dist";
+    dist_report.meta = collectMeta(repeats);
 
     auto prepare = [&](const PerfCell &cell,
                        std::unique_ptr<MachineModel> *machine,
@@ -680,6 +773,88 @@ runPerf(const char *argv0, const std::vector<std::string> &args)
                   << metrics.regions << " regions)\n";
     }
 
+    // Dist cells: the distributed execution path end to end.  One
+    // fixed small grid is timed through runGrid() twice -- under
+    // --isolate (the in-process containment baseline) and over a
+    // localhost fleet of two forked workerd daemons -- so the gate
+    // tracks the dispatch/lease/heartbeat overhead the RemoteWorkerPool
+    // adds on top of the same forked-worker execution.
+    {
+        // One fixed grid for quick and full runs alike, so the gate's
+        // key join always finds both cells in the baseline.
+        GridSpec dist_grid;
+        dist_grid.workloads = {"fir", "vvmul", "jacobi"};
+        dist_grid.machines = {"vliw4"};
+        std::string error;
+        const auto convergent =
+            parseAlgorithmSpec("convergent", &error);
+        if (!convergent.has_value())
+            usage(argv0, error);
+        dist_grid.algorithms = {*convergent};
+        dist_grid.jobs = 4;
+        dist_grid.computeSpeedup = true;
+
+        const auto workerd_a = spawnPerfWorkerd(2);
+        const auto workerd_b = spawnPerfWorkerd(2);
+        if (!workerd_a.has_value() || !workerd_b.has_value()) {
+            if (workerd_a.has_value())
+                reapWorkerd(*workerd_a);
+            std::cerr << argv0
+                      << ": dist cells: cannot fork workerd\n";
+            return 1;
+        }
+
+        std::string workload_label;
+        for (const auto &name : dist_grid.workloads)
+            workload_label +=
+                (workload_label.empty() ? "" : "+") + name;
+
+        // (mode label, grid mutation) pairs; the label lands in the
+        // cell's kernel field so the two modes join as distinct keys.
+        bool dist_ok = true;
+        for (const std::string mode : {"isolate", "dist-2x2"}) {
+            GridSpec grid = dist_grid;
+            if (mode == "isolate") {
+                grid.isolate = true;
+            } else {
+                grid.hosts = {
+                    "127.0.0.1:" + std::to_string(workerd_a->port),
+                    "127.0.0.1:" + std::to_string(workerd_b->port)};
+            }
+            std::vector<double> seconds;
+            for (int rep = 0; rep <= repeats; ++rep) {
+                const GridReport report = runGrid(grid);
+                if (!report.allOk()) {
+                    std::cerr << argv0 << ": dist cell " << mode
+                              << ": grid run failed\n";
+                    dist_ok = false;
+                    break;
+                }
+                if (rep == 0)
+                    continue;  // warm-up, untimed
+                seconds.push_back(report.wallSeconds);
+            }
+            if (!dist_ok)
+                break;
+            BenchCell out;
+            out.workload = workload_label;
+            out.machine = "vliw4";
+            out.kernel = mode;
+            out.medianSeconds = median(seconds);
+            out.minSeconds =
+                *std::min_element(seconds.begin(), seconds.end());
+            out.reps = repeats;
+            dist_report.cells.push_back(out);
+            std::cerr << "perf: " << out.key() << " median "
+                      << formatDouble(out.medianSeconds * 1e3, 2)
+                      << " ms over " << repeats << " reps\n";
+        }
+        reapWorkerd(*workerd_a);
+        reapWorkerd(*workerd_b);
+        if (!dist_ok)
+            return 1;
+    }
+
     // Optionally attach pre-rewrite medians so the trajectory's
     // starting point travels with the report.
     if (!annotate_file.empty()) {
@@ -727,7 +902,8 @@ runPerf(const char *argv0, const std::vector<std::string> &args)
     if (!writeReport(out_dir + "/BENCH_pass_kernels.json",
                      kernels_report) ||
         !writeReport(out_dir + "/BENCH_end_to_end.json", e2e_report) ||
-        !writeReport(out_dir + "/BENCH_online.json", online_report))
+        !writeReport(out_dir + "/BENCH_online.json", online_report) ||
+        !writeReport(out_dir + "/BENCH_dist.json", dist_report))
         return 1;
 
     if (!check)
@@ -760,7 +936,9 @@ runPerf(const char *argv0, const std::vector<std::string> &args)
     };
     const auto e2e_baseline = load("BENCH_end_to_end.json");
     const auto online_baseline = load("BENCH_online.json");
-    if (!e2e_baseline.has_value() || !online_baseline.has_value()) {
+    const auto dist_baseline = load("BENCH_dist.json");
+    if (!e2e_baseline.has_value() || !online_baseline.has_value() ||
+        !dist_baseline.has_value()) {
         std::cerr << argv0 << ": perf gate FAILED\n";
         return 1;
     }
@@ -774,6 +952,13 @@ runPerf(const char *argv0, const std::vector<std::string> &args)
               << "/BENCH_online.json (threshold "
               << formatDouble(threshold, 0) << "%)\n";
     ok = compareBenchReports(*online_baseline, online_report, compare,
+                             std::cout) &&
+         ok;
+    std::cout << "\n";
+    std::cout << "perf gate: dist vs " << baseline_dir
+              << "/BENCH_dist.json (threshold "
+              << formatDouble(threshold, 0) << "%)\n";
+    ok = compareBenchReports(*dist_baseline, dist_report, compare,
                              std::cout) &&
          ok;
     std::cout << "\n";

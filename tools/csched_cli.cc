@@ -34,6 +34,10 @@
  *                         to FILE as they complete
  *     --resume            (with --journal) replay journaled outcomes
  *                         instead of re-running those jobs
+ *     --hosts CSV         (with --json) execute jobs on a fleet of
+ *                         csched_workerd daemons, "host:port" each;
+ *                         partition-tolerant (see dist/remote_pool.hh)
+ *                         and byte-identical to an in-process run
  *     --keep-going        exit 0 even when the run (or a grid job)
  *                         failed
  *
@@ -64,6 +68,7 @@
 #include <sstream>
 #include <string>
 
+#include "dist/remote_pool.hh"
 #include "eval/experiment.hh"
 #include "eval/speedup.hh"
 #include "ir/dot_export.hh"
@@ -100,8 +105,8 @@ usage(const char *argv0, const std::string &why = "")
               << "  [--trace] [--dot FILE] [--pressure] [--speedup]\n"
               << "  [--deadline-ms N] [--retries N] [--isolate]"
               << " [--mem-limit-mb N]\n"
-              << "  [--journal FILE] [--resume] [--keep-going]"
-              << " [--version]\n"
+              << "  [--journal FILE] [--resume] [--hosts CSV]"
+              << " [--keep-going] [--version]\n"
               << "  [--online [--streams CSV] [--machines CSV]"
               << " [--policies CSV] [--emit-trace FILE]]\n";
     std::exit(2);
@@ -125,6 +130,8 @@ main(int argc, char **argv)
     int retries = 0;
     bool isolate = false;
     int mem_limit_mb = 0;
+    std::string hosts_csv;
+    DistOptions dist_options;
     bool keep_going = false;
     bool online = false;
     std::string streams_csv =
@@ -182,6 +189,15 @@ main(int argc, char **argv)
             journal_file = next();
         } else if (arg == "--resume") {
             resume = true;
+        } else if (arg == "--hosts") {
+            hosts_csv = next();
+        } else if (arg == "--dist-opts") {
+            // Hidden: dist-client timing overrides for tests and CI
+            // (see DistOptions::applyOverrides).
+            const Status applied =
+                DistOptions::applyOverrides(&dist_options, next());
+            if (!applied.ok())
+                usage(argv[0], "--dist-opts: " + applied.message());
         } else if (arg == "--keep-going") {
             keep_going = true;
         } else if (arg == "--online") {
@@ -231,6 +247,12 @@ main(int argc, char **argv)
     if (!journal_file.empty() && json_file.empty())
         usage(argv[0], "--journal requires --json (it journals the "
                        "structured run)");
+    if (!hosts_csv.empty() && json_file.empty())
+        usage(argv[0], "--hosts requires --json (remote execution "
+                       "runs the structured grid)");
+    if (!hosts_csv.empty() && isolate)
+        usage(argv[0], "--hosts and --isolate are mutually exclusive "
+                       "(remote hosts already isolate every job)");
 
     installGridSignalHandlers();
 
@@ -251,6 +273,10 @@ main(int argc, char **argv)
         auto grid = makeOnlineGrid(sweep);
         if (!grid.ok())
             usage(argv[0], grid.status().message());
+        if (!hosts_csv.empty()) {
+            grid->hosts = split(hosts_csv, ',');
+            grid->dist = &dist_options;
+        }
 
         if (!trace_file.empty()) {
             std::string traces;
@@ -455,6 +481,10 @@ main(int argc, char **argv)
         grid.resume = resume;
         grid.isolate = isolate;
         grid.memLimitMb = mem_limit_mb;
+        if (!hosts_csv.empty()) {
+            grid.hosts = split(hosts_csv, ',');
+            grid.dist = &dist_options;
+        }
         if (!fault_plan.empty())
             grid.faults = &fault_plan;
         const GridReport report = runGrid(grid);

@@ -8,6 +8,13 @@
  * counted defect that fails the run.
  *
  *   csched_load --socket PATH [options]
+ *   csched_load --endpoint HOST:PORT [options]
+ *     --socket PATH         drive a csched_serve daemon over its
+ *                           UNIX-domain socket (serve protocol)
+ *     --endpoint HOST:PORT  drive a csched_workerd daemon over TCP
+ *                           (csched-dist-v1 protocol: hello/welcome
+ *                           handshake, then one job frame per request
+ *                           and exactly one result frame back)
  *     --clients N           concurrent client connections (default 8)
  *     --requests N          requests per client (default 10)
  *     --deadline-ms N       per-request deadline sent to the server
@@ -50,6 +57,7 @@
 
 #include <unistd.h>
 
+#include "dist/protocol.hh"
 #include "serve/protocol.hh"
 #include "support/atomic_file.hh"
 #include "support/json.hh"
@@ -67,6 +75,8 @@ using Clock = std::chrono::steady_clock;
 struct LoadConfig
 {
     std::string socketPath;
+    /** TCP "host:port" of a csched_workerd; selects the dist mode. */
+    std::string endpoint;
     int clients = 8;
     int requests = 10;
     int deadlineMs = 0;
@@ -78,6 +88,12 @@ struct LoadConfig
     std::vector<std::string> algorithms = {"uas", "convergent"};
     bool speedup = false;
     std::string jsonFile;
+
+    bool dist() const { return !endpoint.empty(); }
+    uint32_t maxFrameBytes() const
+    {
+        return dist() ? kDistMaxFrameBytes : kServeMaxFrameBytes;
+    }
 };
 
 /** Per-client outcome ledger, merged after the join. */
@@ -135,7 +151,8 @@ usage(const char *argv0, const std::string &why = "")
     if (!why.empty())
         std::cerr << argv0 << ": " << why << "\n";
     std::cerr << "usage: " << argv0
-              << " --socket PATH [--clients N] [--requests N]\n"
+              << " --socket PATH | --endpoint HOST:PORT\n"
+              << "  [--clients N] [--requests N]\n"
               << "  [--deadline-ms N] [--reply-timeout-ms N]"
               << " [--conn-retries N]\n"
               << "  [--workloads CSV] [--machines CSV]"
@@ -164,6 +181,69 @@ requestAt(const LoadConfig &config, int client, int index)
 }
 
 /**
+ * The wire form of one request: a serve frame, or -- in dist mode --
+ * a csched-dist-v1 job frame carrying the same (workload, machine,
+ * algorithm) cell.  Algorithm specs are validated in main(), so the
+ * parse here cannot fail.
+ */
+std::string
+encodeRequestPayload(const LoadConfig &config,
+                     const ServeRequest &request)
+{
+    if (!config.dist())
+        return encodeServeRequest(request);
+    JobSpec spec;
+    spec.workload = request.workload;
+    spec.machine = request.machine;
+    spec.algorithm = *parseAlgorithmSpec(request.algorithm);
+    spec.computeSpeedup = request.computeSpeedup;
+    JobPolicy policy;
+    policy.deadlineMs = request.deadlineMs;
+    return encodeDistJob(request.id, spec, policy, /*retries=*/0,
+                         /*baselines=*/nullptr);
+}
+
+/** Protocol-neutral view of one reply frame for the ledger. */
+struct ReplyView
+{
+    bool decodable = false;
+    uint64_t id = 0;
+    std::string status;
+    bool cached = false;
+    bool coalesced = false;
+};
+
+ReplyView
+decodeReply(const LoadConfig &config, const std::string &payload)
+{
+    ReplyView view;
+    if (config.dist()) {
+        auto decoded = decodeDistMessage(payload);
+        if (!decoded.ok())
+            return view;
+        view.decodable = true;
+        if (decoded->kind != DistMessage::Kind::Result) {
+            // Unsolicited non-result frame: an id that cannot match
+            // routes it into the duplicate-frame defect count.
+            view.id = ~static_cast<uint64_t>(0);
+            return view;
+        }
+        view.id = decoded->id;
+        view.status = jobOutcomeName(decoded->result->outcome);
+        return view;
+    }
+    auto response = decodeServeResponse(payload);
+    if (!response.ok())
+        return view;
+    view.decodable = true;
+    view.id = response->id;
+    view.status = response->status;
+    view.cached = response->cached;
+    view.coalesced = response->coalesced;
+    return view;
+}
+
+/**
  * One synchronous client: connect, then write request / read reply in
  * lockstep until the budget is spent or a drain is observed.
  */
@@ -175,6 +255,36 @@ clientMain(const LoadConfig &config, int client, Tally *tally)
         if (fd >= 0)
             ::close(fd);
         fd = -1;
+        if (config.dist()) {
+            std::string host;
+            uint16_t port = 0;
+            if (!parseHostPort(config.endpoint, &host, &port).ok())
+                return false;
+            auto connected =
+                connectTcp(host, port, config.connectTimeoutMs);
+            if (!connected.ok())
+                return false;
+            // The dist protocol admits jobs only after the
+            // hello/welcome handshake.
+            bool welcomed = false;
+            if (writeFrame(*connected, encodeDistHello()).ok()) {
+                const FrameResult frame =
+                    readFrame(*connected, config.connectTimeoutMs,
+                              config.maxFrameBytes());
+                if (frame.ok()) {
+                    auto decoded = decodeDistMessage(frame.payload);
+                    welcomed =
+                        decoded.ok() &&
+                        decoded->kind == DistMessage::Kind::Welcome;
+                }
+            }
+            if (!welcomed) {
+                ::close(*connected);
+                return false;
+            }
+            fd = *connected;
+            return true;
+        }
         auto connected =
             connectUnix(config.socketPath, config.connectTimeoutMs);
         if (!connected.ok())
@@ -197,7 +307,8 @@ clientMain(const LoadConfig &config, int client, Tally *tally)
             break;
         }
         const ServeRequest request = requestAt(config, client, index);
-        const std::string payload = encodeServeRequest(request);
+        const std::string payload =
+            encodeRequestPayload(config, request);
 
         bool counted_sent = false;
         bool answered = false;
@@ -237,28 +348,29 @@ clientMain(const LoadConfig &config, int client, Tally *tally)
             for (;;) {
                 FrameResult frame =
                     readFrame(fd, config.replyTimeoutMs,
-                              kServeMaxFrameBytes);
+                              config.maxFrameBytes());
                 if (frame.kind == FrameResult::Kind::Payload) {
-                    auto response = decodeServeResponse(frame.payload);
-                    if (!response.ok()) {
+                    const ReplyView reply =
+                        decodeReply(config, frame.payload);
+                    if (!reply.decodable) {
                         ++tally->statusCounts["undecodable"];
                         ++tally->replies;
                         answered = true;
                         break;
                     }
-                    if (response->id != request.id) {
+                    if (reply.id != request.id) {
                         ++tally->duplicates;
                         continue;
                     }
                     ++tally->replies;
                     ++replies_on_connection;
                     answered = true;
-                    ++tally->statusCounts[response->status];
-                    if (response->cached)
+                    ++tally->statusCounts[reply.status];
+                    if (reply.cached)
                         ++tally->cached;
-                    if (response->coalesced)
+                    if (reply.coalesced)
                         ++tally->coalesced;
-                    if (response->status == "interrupted")
+                    if (reply.status == "interrupted")
                         tally->sawInterrupted = true;
                     const double latency =
                         std::chrono::duration<double, std::milli>(
@@ -316,7 +428,8 @@ clientMain(const LoadConfig &config, int client, Tally *tally)
     // silence; anything readable here is a duplicated reply.
     if (fd >= 0) {
         for (;;) {
-            FrameResult frame = readFrame(fd, 50, kServeMaxFrameBytes);
+            FrameResult frame =
+                readFrame(fd, 50, config.maxFrameBytes());
             if (frame.kind != FrameResult::Kind::Payload)
                 break;
             ++tally->duplicates;
@@ -334,7 +447,10 @@ loadReport(const LoadConfig &config, const Tally &total,
         JsonWriter w(out);
         w.beginObject();
         w.key("schema").value("csched-load-report-v1");
-        w.key("socket").value(config.socketPath);
+        w.key("transport").value(config.dist() ? "tcp-dist"
+                                               : "unix-serve");
+        w.key("socket").value(config.dist() ? config.endpoint
+                                            : config.socketPath);
         w.key("config").beginObject();
         w.key("clients").value(config.clients);
         w.key("requestsPerClient").value(config.requests);
@@ -421,6 +537,8 @@ main(int argc, char **argv)
             return printToolVersion("csched_load");
         } else if (arg == "--socket") {
             config.socketPath = next();
+        } else if (arg == "--endpoint") {
+            config.endpoint = next();
         } else if (arg == "--clients") {
             config.clients = nextInt();
         } else if (arg == "--requests") {
@@ -445,8 +563,22 @@ main(int argc, char **argv)
             usage(argv[0], "unknown option '" + arg + "'");
         }
     }
-    if (config.socketPath.empty())
-        usage(argv[0], "--socket is required");
+    if (config.socketPath.empty() == config.endpoint.empty())
+        usage(argv[0],
+              "exactly one of --socket or --endpoint is required");
+    if (config.dist()) {
+        std::string host;
+        uint16_t port = 0;
+        const Status parsed =
+            parseHostPort(config.endpoint, &host, &port);
+        if (!parsed.ok())
+            usage(argv[0], "--endpoint: " + parsed.message());
+        for (const std::string &algorithm : config.algorithms) {
+            std::string why;
+            if (!parseAlgorithmSpec(algorithm, &why).has_value())
+                usage(argv[0], "--algorithms: " + why);
+        }
+    }
     if (config.clients < 1 || config.requests < 1)
         usage(argv[0], "--clients and --requests must be >= 1");
     if (config.workloads.empty() || config.machines.empty() ||
