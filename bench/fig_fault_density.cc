@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Fault-density sweep: how gracefully each algorithm degrades as an
+ * 8x8 Raw mesh loses tiles.
+ *
+ * For every fault density in {0, 5, 10, 15, 20, 25, 30}% dead tiles
+ * (seeded fault maps, so the dead set is a deterministic function of
+ * the spec text) and every algorithm in {convergent, uas, pcc,
+ * rawcc}, runs a small Raw workload suite and reports the per-density
+ * geomean speedup over a single tile plus the retained fraction of
+ * the algorithm's own fault-free speedup.  The whole
+ * (workload x machine x algorithm) grid runs through the parallel
+ * experiment runner, so the numbers are byte-identical at any --jobs
+ * value, under --isolate, --hosts, and journal resume (the degraded
+ * machines are rebuilt from spec text on whichever worker gets the
+ * job).
+ */
+
+#include <iostream>
+#include <map>
+
+#include "runner/grid_runner.hh"
+#include "support/stats.hh"
+#include "support/str.hh"
+#include "support/table.hh"
+#include "workloads/workloads.hh"
+
+using namespace csched;
+
+namespace {
+
+const int kDensities[] = {0, 5, 10, 15, 20, 25, 30};
+
+std::string
+machineAt(int density)
+{
+    if (density == 0)
+        return "raw8x8";
+    return "raw8x8/faults=seed:12,tiles:" + std::to_string(density) +
+           "%";
+}
+
+} // namespace
+
+int
+main()
+{
+    GridSpec grid;
+    grid.workloads = {"jacobi", "life", "mxm", "sha"};
+    for (const int density : kDensities)
+        grid.machines.push_back(machineAt(density));
+    grid.algorithms = {
+        *parseAlgorithmSpec("convergent"), *parseAlgorithmSpec("uas"),
+        *parseAlgorithmSpec("pcc"), *parseAlgorithmSpec("rawcc")};
+    grid.jobs = 0;  // hardware concurrency
+    const GridReport report = runGrid(grid);
+
+    // speedup[machine][algorithm] -> per-workload speedups
+    std::map<std::string, std::map<std::string, std::vector<double>>>
+        speedups;
+    for (const auto &job : report.results) {
+        if (!job.ok()) {
+            std::cerr << "fault-density: " << job.workload << "/"
+                      << job.machine << "/" << job.algorithm << ": "
+                      << job.diagnostic << "\n";
+            return 1;
+        }
+        speedups[job.machine][job.algorithm].push_back(job.speedup);
+    }
+
+    const std::vector<std::string> algorithms{"convergent", "uas",
+                                              "pcc", "rawcc"};
+    std::map<std::string, double> pristine;
+    for (const auto &algorithm : algorithms)
+        pristine[algorithm] =
+            geomean(speedups.at(machineAt(0)).at(algorithm));
+
+    std::cout << "Fault-density sweep: geomean speedup over one tile "
+              << "on an 8x8 Raw mesh\n(" << join(grid.workloads, ", ")
+              << "; seeded fault maps, seed 12)\n\n";
+    std::vector<std::string> headers{"dead tiles"};
+    for (const auto &algorithm : algorithms) {
+        headers.push_back(algorithm);
+        headers.push_back("retained");
+    }
+    TablePrinter table(headers);
+    for (const int density : kDensities) {
+        std::vector<std::string> row{std::to_string(density) + "%"};
+        for (const auto &algorithm : algorithms) {
+            const double mean =
+                geomean(speedups.at(machineAt(density)).at(algorithm));
+            row.push_back(formatDouble(mean, 2));
+            row.push_back(formatDouble(
+                100.0 * mean / pristine.at(algorithm), 0) + "%");
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+    std::cout << "\nretained = percentage of the algorithm's own "
+              << "fault-free geomean speedup.\n";
+    return 0;
+}

@@ -17,8 +17,11 @@ PccScheduler::estimate(const DependenceGraph &graph,
 {
     const int n = graph.numInstructions();
     const int num_clusters = machine_.numClusters();
+    // Neighbour latency between the first two alive clusters (dead
+    // resources never host work, so they must not price the estimate).
+    const auto alive = machine_.aliveClusters();
     const int comm_cost =
-        num_clusters > 1 ? machine_.commLatency(0, 1) : 1;
+        alive.size() > 1 ? machine_.commLatency(alive[0], alive[1]) : 1;
 
     // Issue width per cluster: total FU slots, ignoring typing.
     std::vector<int> width(num_clusters);
@@ -57,7 +60,8 @@ PccScheduler::estimate(const DependenceGraph &graph,
         heap.pop();
         const int cluster = assignment[id];
         const int start = issue_slot(cluster, ready);
-        int finish = start + graph.latency(id);
+        int finish =
+            start + machine_.execLatency(cluster, graph.latency(id));
         const auto &instr = graph.instr(id);
         if (isMemory(instr.op))
             finish += machine_.memoryPenalty(instr.memBank, cluster);
@@ -207,15 +211,19 @@ PccScheduler::run(const DependenceGraph &graph) const
         if (comp_home[comp] != kNoCluster) {
             chosen = comp_home[comp];
         } else {
-            chosen = 0;
+            chosen = machine_.firstAliveCluster();
             double best_score = 0.0;
+            bool first = true;
             for (int c = 0; c < num_clusters; ++c) {
+                if (!machine_.clusterAlive(c))
+                    continue;  // dead clusters never host work
                 double affinity = 0.0;
                 for (const auto &[other, count] : comp_edges[comp])
                     if (comp_cluster[other] == c)
                         affinity += count;
                 const double score = cluster_load[c] - 2.0 * affinity;
-                if (c == 0 || score < best_score) {
+                if (first || score < best_score) {
+                    first = false;
                     best_score = score;
                     chosen = c;
                 }
@@ -251,7 +259,7 @@ PccScheduler::run(const DependenceGraph &graph) const
             const int original = comp_cluster[comp];
             int best_cluster = original;
             for (int c = 0; c < num_clusters; ++c) {
-                if (c == original)
+                if (c == original || !machine_.clusterAlive(c))
                     continue;
                 comp_cluster[comp] = c;
                 const int makespan = evaluate();

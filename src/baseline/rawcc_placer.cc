@@ -12,8 +12,10 @@ placeClusters(const DependenceGraph &graph, const MachineModel &machine,
 {
     const int num_tiles = machine.numClusters();
     const int num_vclusters = clustering.count;
-    CSCHED_ASSERT(num_vclusters <= num_tiles, "more virtual clusters (",
-                  num_vclusters, ") than tiles (", num_tiles, ")");
+    CSCHED_ASSERT(num_vclusters <= machine.numAliveClusters(),
+                  "more virtual clusters (", num_vclusters,
+                  ") than alive tiles (", machine.numAliveClusters(),
+                  ")");
 
     // Pairwise communication volume between virtual clusters.
     std::vector<std::vector<int>> volume(
@@ -31,6 +33,10 @@ placeClusters(const DependenceGraph &graph, const MachineModel &machine,
 
     std::vector<int> tile_of(num_vclusters, -1);
     std::vector<bool> tile_used(num_tiles, false);
+    // Dead tiles never receive a virtual cluster.
+    for (int tile = 0; tile < num_tiles; ++tile)
+        if (!machine.clusterAlive(tile))
+            tile_used[tile] = true;
 
     // Pinned clusters first.
     for (int v = 0; v < num_vclusters; ++v) {

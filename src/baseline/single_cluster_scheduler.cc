@@ -13,7 +13,10 @@ SingleClusterScheduler::SingleClusterScheduler(const MachineModel &machine)
 ScheduleResult
 SingleClusterScheduler::run(const DependenceGraph &graph) const
 {
-    const std::vector<int> assignment(graph.numInstructions(), 0);
+    // All work on one cluster: the first alive one (cluster 0 unless
+    // a fault map killed it).
+    const std::vector<int> assignment(graph.numInstructions(),
+                                      machine_.firstAliveCluster());
     const ListScheduler scheduler(machine_);
     return {scheduler.run(graph, assignment, criticalPathPriority(graph)),
             {}};

@@ -155,7 +155,7 @@ struct UasState
         placement.cycle = cycle;
         placement.fu = fu;
         placement.finish =
-            cycle + graph.latency(id) +
+            cycle + machine.execLatency(cluster, graph.latency(id)) +
             (isMemory(instr.op)
                  ? machine.memoryPenalty(instr.memBank, cluster)
                  : 0);

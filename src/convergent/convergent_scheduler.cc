@@ -86,6 +86,19 @@ ConvergentScheduler::schedule(const DependenceGraph &graph) const
 
     PreferenceMatrix weights(n, graph.criticalPathLength(),
                              machine_.numClusters());
+    // On a degraded machine, mask dead clusters out of every row up
+    // front (zero + renormalize): passes then redistribute preference
+    // mass among alive clusters only, and INITTIME's capability
+    // masking keeps the columns zero for the rest of the pipeline.
+    if (machine_.degraded()) {
+        for (InstrId i = 0; i < n; ++i) {
+            auto row = weights.row(i);
+            for (int c = 0; c < machine_.numClusters(); ++c)
+                if (!machine_.clusterAlive(c))
+                    row.zeroCluster(c);
+            row.normalize();
+        }
+    }
     Rng rng(params_.noiseSeed);
     PassContext ctx{graph, machine_, weights, params_, rng};
 

@@ -163,10 +163,41 @@ runAndCheck(const SchedulingAlgorithm &algorithm,
     return std::move(*run);
 }
 
+void
+remapPreplacedForMachine(DependenceGraph &graph,
+                         const MachineModel &machine)
+{
+    if (!machine.degraded())
+        return;
+    std::vector<int> remap(machine.numClusters());
+    for (int c = 0; c < machine.numClusters(); ++c)
+        remap[c] = machine.remapToAlive(c);
+    graph.remapPreplacedHomes(remap);
+}
+
 StatusOr<RunResult>
 tryRunAndCheck(const SchedulingAlgorithm &algorithm,
                const DependenceGraph &graph, const MachineModel &machine)
 {
+    // Pre-flight on degraded machines: a preplaced home on a dead
+    // cluster means the graph was never re-homed for this machine
+    // (remapPreplacedForMachine); no algorithm can satisfy both the
+    // preplacement and the dead-cluster checker rules, so fail
+    // structurally instead of letting a scheduler trip an invariant.
+    if (machine.degraded()) {
+        for (const auto &instr : graph.instructions()) {
+            if (instr.preplaced() &&
+                !machine.clusterAlive(instr.homeCluster)) {
+                return Status::invalidSpec(
+                    "preplaced instruction " + std::to_string(instr.id) +
+                    " is homed on dead cluster " +
+                    std::to_string(instr.homeCluster) +
+                    " (re-home the graph with "
+                    "remapPreplacedForMachine)");
+            }
+        }
+    }
+
     const auto begin = std::chrono::steady_clock::now();
     ScheduleResult produced = algorithm.run(graph);
     const auto end = std::chrono::steady_clock::now();

@@ -115,10 +115,23 @@ RunResult runAndCheck(const SchedulingAlgorithm &algorithm,
                       const MachineModel &machine);
 
 /**
+ * Re-home the graph's preplaced instructions onto the alive clusters
+ * of @p machine (graph.remapPreplacedHomes with the machine's
+ * remapToAlive table); a no-op on pristine machines.  Every driver
+ * must call this after building a workload graph for a degraded
+ * machine -- the workload generators interleave homes over all
+ * clusters, including dead ones.
+ */
+void remapPreplacedForMachine(DependenceGraph &graph,
+                              const MachineModel &machine);
+
+/**
  * Non-fatal variant of runAndCheck: a checker rejection becomes a
  * CheckFailed status carrying the violations, so the grid runner can
  * record it as a per-job outcome instead of killing the process.
- * Hits the "checker.verify" fault point before verification.
+ * Hits the "checker.verify" fault point before verification.  On a
+ * degraded machine, a graph whose preplaced homes were not re-homed
+ * (remapPreplacedForMachine) fails up front with InvalidSpec.
  */
 StatusOr<RunResult> tryRunAndCheck(const SchedulingAlgorithm &algorithm,
                                    const DependenceGraph &graph,

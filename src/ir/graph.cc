@@ -96,6 +96,29 @@ DependenceGraph::finalize()
 }
 
 void
+DependenceGraph::remapPreplacedHomes(const std::vector<int> &remap)
+{
+    CSCHED_ASSERT(finalized_, "remapPreplacedHomes() before finalize()");
+    bool changed = false;
+    for (auto &instr : instrs_) {
+        if (instr.homeCluster == kNoCluster)
+            continue;
+        CSCHED_ASSERT(instr.homeCluster >= 0 &&
+                          instr.homeCluster <
+                              static_cast<int>(remap.size()),
+                      "home cluster ", instr.homeCluster,
+                      " outside the remap table");
+        const int target = remap[instr.homeCluster];
+        if (target != instr.homeCluster) {
+            instr.homeCluster = target;
+            changed = true;
+        }
+    }
+    if (changed)
+        computePreplacedDistances();
+}
+
+void
 DependenceGraph::checkId(InstrId id) const
 {
     CSCHED_ASSERT(id >= 0 && id < numInstructions(),

@@ -63,6 +63,16 @@ class DependenceGraph
 
     bool finalized() const { return finalized_; }
 
+    /**
+     * Rewrite every preplaced home h to @p remap[h] and recompute the
+     * preplacement analyses.  The one permitted post-finalize
+     * mutation: it re-homes a graph built for a pristine machine onto
+     * the alive clusters of a degraded one (the latency-weighted
+     * analyses do not depend on homes, so only the preplacement index
+     * is recomputed).
+     */
+    void remapPreplacedHomes(const std::vector<int> &remap);
+
     // ---- Structure queries (valid any time) -------------------------
 
     int numInstructions() const

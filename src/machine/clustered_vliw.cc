@@ -5,17 +5,25 @@
 namespace csched {
 
 ClusteredVliwMachine::ClusteredVliwMachine(int num_clusters)
+    : ClusteredVliwMachine(num_clusters, FaultMap{})
+{
+}
+
+ClusteredVliwMachine::ClusteredVliwMachine(int num_clusters,
+                                           FaultMap faults)
     : numClusters_(num_clusters),
       fus_{FuKind::IntAlu, FuKind::IntAluMem, FuKind::Fpu, FuKind::Transfer}
 {
     CSCHED_ASSERT(num_clusters >= 1, "need at least one cluster, got ",
                   num_clusters);
+    faults_ = FaultIndex::build(std::move(faults), num_clusters);
 }
 
 std::string
 ClusteredVliwMachine::name() const
 {
-    return "vliw" + std::to_string(numClusters_);
+    const std::string base = "vliw" + std::to_string(numClusters_);
+    return degraded() ? base + "/degraded" : base;
 }
 
 const std::vector<FuKind> &

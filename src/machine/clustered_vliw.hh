@@ -13,6 +13,7 @@
 #ifndef CSCHED_MACHINE_CLUSTERED_VLIW_HH
 #define CSCHED_MACHINE_CLUSTERED_VLIW_HH
 
+#include "machine/fault_map.hh"
 #include "machine/machine.hh"
 
 namespace csched {
@@ -24,6 +25,12 @@ class ClusteredVliwMachine : public MachineModel
     /** Build a machine with @p num_clusters identical clusters. */
     explicit ClusteredVliwMachine(int num_clusters);
 
+    /**
+     * Build a degraded machine; @p faults must leave at least one
+     * cluster alive (validate via FaultSpec::materialize first).
+     */
+    ClusteredVliwMachine(int num_clusters, FaultMap faults);
+
     std::string name() const override;
     int numClusters() const override { return numClusters_; }
     const std::vector<FuKind> &clusterFus(int cluster) const override;
@@ -32,9 +39,27 @@ class ClusteredVliwMachine : public MachineModel
     int memoryPenalty(int bank, int cluster) const override;
     std::unique_ptr<MachineModel> makeSingleCluster() const override;
 
+    bool clusterAlive(int cluster) const override
+    {
+        return !faults_.map.clusterDead(cluster);
+    }
+    int numAliveClusters() const override
+    {
+        return static_cast<int>(faults_.alive.size());
+    }
+    int remapToAlive(int cluster) const override
+    {
+        return faults_.remap[cluster];
+    }
+    int latencyFactor(int cluster) const override
+    {
+        return faults_.map.factorOf(cluster);
+    }
+
   private:
     int numClusters_;
     std::vector<FuKind> fus_;
+    FaultIndex faults_;
 };
 
 } // namespace csched

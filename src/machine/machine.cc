@@ -1,14 +1,38 @@
 #include "machine/machine.hh"
 
+#include "support/logging.hh"
+
 namespace csched {
 
 bool
 MachineModel::canExecute(int cluster, Opcode op) const
 {
+    if (!clusterAlive(cluster))
+        return false;
     for (FuKind fu : clusterFus(cluster))
         if (fuCanExecute(fu, op))
             return true;
     return false;
+}
+
+std::vector<int>
+MachineModel::aliveClusters() const
+{
+    std::vector<int> alive;
+    alive.reserve(numClusters());
+    for (int c = 0; c < numClusters(); ++c)
+        if (clusterAlive(c))
+            alive.push_back(c);
+    return alive;
+}
+
+int
+MachineModel::firstAliveCluster() const
+{
+    for (int c = 0; c < numClusters(); ++c)
+        if (clusterAlive(c))
+            return c;
+    CSCHED_PANIC("machine has no alive cluster");
 }
 
 int

@@ -69,8 +69,63 @@ class MachineModel
     /** How values cross clusters (selects the scheduler's comm path). */
     virtual CommStyle commStyle() const = 0;
 
-    /** Cluster owning memory bank @p bank (banks interleave). */
-    int homeOfBank(int bank) const { return bank % numClusters(); }
+    // ---- Fault surface (see machine/fault_map.hh) -------------------
+    //
+    // A degraded machine is a first-class schedulable platform: dead
+    // clusters stay addressable (indices are stable) but report
+    // clusterAlive() == false and canExecute() == false, so every
+    // placement loop skips them; slowed clusters stretch FU latencies
+    // by latencyFactor().  Pristine machines use the defaults below.
+
+    /** True when @p cluster is usable (not marked dead). */
+    virtual bool clusterAlive(int cluster) const
+    {
+        (void)cluster;
+        return true;
+    }
+
+    /** Number of alive clusters (== numClusters() when pristine). */
+    virtual int numAliveClusters() const { return numClusters(); }
+
+    /**
+     * Deterministic dead->alive cluster remap: identity for alive
+     * clusters; a dead cluster maps to a fixed alive one.  Used to
+     * re-home preplaced instructions and memory banks on degraded
+     * machines (see remapPreplacedForMachine in eval/experiment.hh).
+     */
+    virtual int remapToAlive(int cluster) const { return cluster; }
+
+    /** FU-latency multiplier of @p cluster (1 = full speed). */
+    virtual int latencyFactor(int cluster) const
+    {
+        (void)cluster;
+        return 1;
+    }
+
+    /** @p latency cycles stretched by the cluster's latency factor. */
+    int execLatency(int cluster, int latency) const
+    {
+        return latency * latencyFactor(cluster);
+    }
+
+    /** True when any cluster of the machine is dead. */
+    bool degraded() const { return numAliveClusters() != numClusters(); }
+
+    /** Alive cluster ids, ascending (setup paths only; not cached). */
+    std::vector<int> aliveClusters() const;
+
+    /** Smallest alive cluster id. */
+    int firstAliveCluster() const;
+
+    /**
+     * Cluster owning memory bank @p bank (banks interleave); on a
+     * degraded machine, banks homed on dead clusters move to that
+     * cluster's remap target so analysed references stay local.
+     */
+    int homeOfBank(int bank) const
+    {
+        return remapToAlive(bank % numClusters());
+    }
 
     /**
      * Additional access latency for a memory operation touching

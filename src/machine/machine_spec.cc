@@ -3,11 +3,20 @@
 #include <cctype>
 
 #include "machine/clustered_vliw.hh"
+#include "machine/fault_map.hh"
 #include "machine/raw_machine.hh"
+#include "support/str.hh"
 
 namespace csched {
 
 namespace {
+
+/**
+ * Largest machine a spec may name (64x64 tiles).  The cap keeps a
+ * hostile spec from allocating unbounded routing tables in a worker;
+ * the paper's evaluation tops out at 32x32.
+ */
+constexpr int kMaxClusters = 4096;
 
 /** Parse a strictly positive decimal integer; -1 on anything else. */
 int
@@ -24,62 +33,141 @@ parsePositiveInt(const std::string &text)
     return value >= 1 ? static_cast<int>(value) : -1;
 }
 
-std::unique_ptr<MachineModel>
-fail(const std::string &why, std::string *error)
+Status
+malformed(const std::string &spec, const std::string &why)
 {
-    if (error != nullptr)
-        *error = why;
-    return nullptr;
+    return Status::invalidSpec("malformed machine spec '" + spec +
+                               "': " + why);
 }
 
 } // namespace
 
-std::unique_ptr<MachineModel>
-parseMachineSpec(const std::string &spec, std::string *error)
+StatusOr<std::unique_ptr<MachineModel>>
+tryParseMachineSpec(const std::string &spec,
+                    const std::vector<int> &extra_dead_clusters)
 {
-    if (spec == "single")
-        return std::make_unique<ClusteredVliwMachine>(1);
-
-    if (spec.rfind("vliw", 0) == 0) {
-        const int clusters = parsePositiveInt(spec.substr(4));
-        if (clusters < 1)
-            return fail("malformed machine spec '" + spec +
-                            "': expected vliwN with N >= 1",
-                        error);
-        return std::make_unique<ClusteredVliwMachine>(clusters);
+    // Split off the optional "/faults=..." suffix.
+    std::string base = spec;
+    FaultSpec faults;
+    const auto slash = spec.find('/');
+    if (slash != std::string::npos) {
+        const std::string suffix = spec.substr(slash + 1);
+        if (suffix.rfind("faults=", 0) != 0)
+            return malformed(spec,
+                             "expected /faults=... after the base spec");
+        base = spec.substr(0, slash);
+        auto parsed = FaultSpec::parse(suffix.substr(7));
+        if (!parsed.ok())
+            return malformed(spec, parsed.status().message());
+        faults = std::move(*parsed);
+    }
+    for (int cluster : extra_dead_clusters) {
+        if (cluster < 0)
+            return malformed(spec, "negative degraded cluster id");
+        faults.tiles.push_back(cluster);
     }
 
-    if (spec.rfind("raw", 0) == 0) {
-        const std::string dims = spec.substr(3);
+    int vliw_clusters = 0;
+    int rows = 0;
+    int cols = 0;
+    if (base == "single") {
+        vliw_clusters = 1;
+    } else if (base.rfind("vliw", 0) == 0) {
+        vliw_clusters = parsePositiveInt(base.substr(4));
+        if (vliw_clusters < 1)
+            return malformed(spec, "expected vliwN with N >= 1");
+    } else if (base.rfind("raw", 0) == 0) {
+        const std::string dims = base.substr(3);
         const auto x = dims.find('x');
         if (x == std::string::npos) {
             const int tiles = parsePositiveInt(dims);
             if (tiles < 1)
-                return fail("malformed machine spec '" + spec +
-                                "': expected rawN or rawRxC with "
-                                "positive dimensions",
-                            error);
-            return std::make_unique<RawMachine>(
-                RawMachine::withTiles(tiles));
+                return malformed(
+                    spec, "expected rawN or rawRxC with positive "
+                          "dimensions");
+            if (tiles > kMaxClusters)
+                return malformed(spec,
+                                 "mesh exceeds " +
+                                     std::to_string(kMaxClusters) +
+                                     " tiles");
+            const RawMachine shape = RawMachine::withTiles(tiles);
+            rows = shape.rows();
+            cols = shape.cols();
+        } else {
+            rows = parsePositiveInt(dims.substr(0, x));
+            cols = parsePositiveInt(dims.substr(x + 1));
+            if (rows < 1 || cols < 1)
+                return malformed(spec,
+                                 "expected rawRxC with positive R and C");
         }
-        const int rows = parsePositiveInt(dims.substr(0, x));
-        const int cols = parsePositiveInt(dims.substr(x + 1));
-        if (rows < 1 || cols < 1)
-            return fail("malformed machine spec '" + spec +
-                            "': expected rawRxC with positive R and C",
-                        error);
-        return std::make_unique<RawMachine>(rows, cols);
+        if (static_cast<long>(rows) * cols > kMaxClusters)
+            return malformed(spec, "mesh exceeds " +
+                                       std::to_string(kMaxClusters) +
+                                       " tiles");
+    } else {
+        return Status::invalidSpec(
+            "unknown machine spec '" + spec +
+            "' (expected vliwN, rawN, rawRxC, or single)");
     }
 
-    return fail("unknown machine spec '" + spec +
-                    "' (expected vliwN, rawN, rawRxC, or single)",
-                error);
+    if (vliw_clusters > 0) {
+        if (vliw_clusters > kMaxClusters)
+            return malformed(spec, "machine exceeds " +
+                                       std::to_string(kMaxClusters) +
+                                       " clusters");
+        if (faults.wantsLinkFaults())
+            return malformed(spec, "links faults require a mesh machine");
+        auto map = faults.materialize(vliw_clusters, {}, 0);
+        if (!map.ok())
+            return malformed(spec, map.status().message());
+        return StatusOr<std::unique_ptr<MachineModel>>(
+            std::make_unique<ClusteredVliwMachine>(vliw_clusters,
+                                                   std::move(*map)));
+    }
+
+    auto map = faults.materialize(rows * cols,
+                                  RawMachine::interiorLinks(rows, cols),
+                                  rows * cols * 4);
+    if (!map.ok())
+        return malformed(spec, map.status().message());
+    auto machine = RawMachine::tryCreate(rows, cols, std::move(*map));
+    if (!machine.ok())
+        return malformed(spec, machine.status().message());
+    return StatusOr<std::unique_ptr<MachineModel>>(std::move(*machine));
+}
+
+std::unique_ptr<MachineModel>
+parseMachineSpec(const std::string &spec, std::string *error)
+{
+    auto machine = tryParseMachineSpec(spec);
+    if (!machine.ok()) {
+        if (error != nullptr)
+            *error = machine.status().message();
+        return nullptr;
+    }
+    return std::move(*machine);
 }
 
 bool
 isValidMachineSpec(const std::string &spec)
 {
     return parseMachineSpec(spec) != nullptr;
+}
+
+std::vector<std::string>
+splitMachineList(const std::string &csv)
+{
+    std::vector<std::string> specs;
+    for (const auto &part : split(csv, ',')) {
+        const std::string piece = trim(part);
+        if (!specs.empty() && !isValidMachineSpec(piece) &&
+            isValidMachineSpec(specs.back() + "," + piece)) {
+            specs.back() += "," + piece;
+            continue;
+        }
+        specs.push_back(piece);
+    }
+    return specs;
 }
 
 } // namespace csched

@@ -5,11 +5,24 @@
  *
  *   vliwN    -- an N-cluster clustered VLIW (N >= 1), e.g. "vliw4"
  *   rawN     -- a square-ish Raw mesh with N tiles, e.g. "raw16"
- *   rawRxC   -- an explicit R x C Raw mesh, e.g. "raw4x4"
+ *   rawRxC   -- an explicit R x C Raw mesh, e.g. "raw4x4" or "raw32x32"
  *   single   -- shorthand for vliw1
  *
+ * Any spec may carry a deterministic fault map as a suffix
+ * (machine/fault_map.hh):
+ *
+ *   raw8x8/faults=seed:7,tiles:5%,links:3%
+ *   vliw8/faults=seed:1,clusters:25%,slow:25%,factor:2
+ *
+ * with categories `tiles` (alias `clusters`), `links` (mesh only),
+ * and `slow`, each either a seeded percentage or an explicit
+ * `+`-separated id list; `factor:K` sets the FU-latency multiplier of
+ * slowed clusters.  Fault maps that kill every cluster or disconnect
+ * the alive mesh tiles are rejected as InvalidSpec.
+ *
  * Malformed specs ("vliw0", "raw4x", "vliwabc") are rejected with a
- * diagnostic instead of silently defaulting.
+ * diagnostic instead of silently defaulting; no spec text, however
+ * hostile, can abort the process.
  */
 
 #ifndef CSCHED_MACHINE_MACHINE_SPEC_HH
@@ -17,10 +30,23 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "machine/machine.hh"
+#include "support/status.hh"
 
 namespace csched {
+
+/**
+ * Parse @p spec into a machine model; InvalidSpec with a diagnostic
+ * on malformed input.  With @p extra_dead_clusters, those cluster ids
+ * are marked dead on top of whatever the spec's own fault map says --
+ * the hook the online mid-run degradation event uses to build "the
+ * same machine, minus the tiles that just died".
+ */
+StatusOr<std::unique_ptr<MachineModel>>
+tryParseMachineSpec(const std::string &spec,
+                    const std::vector<int> &extra_dead_clusters = {});
 
 /**
  * Parse @p spec into a machine model.  Returns nullptr on malformed
@@ -31,6 +57,16 @@ parseMachineSpec(const std::string &spec, std::string *error = nullptr);
 
 /** True when @p spec parses cleanly. */
 bool isValidMachineSpec(const std::string &spec);
+
+/**
+ * Split a comma-separated machine list into specs, re-stitching the
+ * commas inside a faults= suffix: a part that does not parse on its
+ * own but completes the previous spec ("raw8x8/faults=seed:7" +
+ * "tiles:5%") continues it.  Invalid parts pass through unstitched so
+ * the caller's validation reports them.  This is how the CLIs accept
+ * "--machines raw8x8,raw8x8/faults=seed:7,tiles:5%".
+ */
+std::vector<std::string> splitMachineList(const std::string &csv);
 
 } // namespace csched
 

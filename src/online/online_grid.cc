@@ -50,8 +50,23 @@ runOnlineJobAttempt(const JobSpec &spec, JobResult &out)
     if (!arrivals.ok())
         return arrivals.status();
 
+    // An armed degradation event needs the post-event machine: the
+    // same spec with the degrade-tiles also dead.  Building it here
+    // (from the job's own spec text) keeps the event byte-identical
+    // across workers and hosts.
+    std::unique_ptr<MachineModel> degraded;
+    if (policy->degradeAt >= 0) {
+        auto built =
+            tryParseMachineSpec(spec.machine, policy->degradeTiles);
+        if (!built.ok())
+            return built.status().withContext(
+                "building the post-degrade machine for '" +
+                spec.machine + "'");
+        degraded = std::move(*built);
+    }
+
     const auto begin = std::chrono::steady_clock::now();
-    auto run = runOnline(*machine, *policy, *arrivals);
+    auto run = runOnline(*machine, *policy, *arrivals, degraded.get());
     const auto end = std::chrono::steady_clock::now();
     if (!run.ok())
         return run.status();

@@ -116,14 +116,21 @@ class OnlineDriver
   public:
     OnlineDriver(const MachineModel &machine,
                  const OnlinePolicySpec &policy,
-                 const std::vector<RegionArrival> &arrivals)
-        : machine_(machine), policy_(policy), arrivals_(arrivals)
+                 const std::vector<RegionArrival> &arrivals,
+                 const MachineModel *degraded)
+        : machine_(machine), policy_(policy), arrivals_(arrivals),
+          degraded_(degraded), active_(&machine)
     {
     }
 
     StatusOr<OnlineRunResult>
     run()
     {
+        if (policy_.degradeAt >= 0 && degraded_ == nullptr)
+            return Status::invalidSpec(
+                "policy '" + policy_.text +
+                "' arms degrade-at but no degraded machine was "
+                "provided");
         Status valid = validateArrivals();
         if (!valid.ok())
             return valid;
@@ -134,6 +141,8 @@ class OnlineDriver
         result.commits = timeline_.takeCommits();
         result.preemptions = preemptions_;
         result.fallbackDecisions = fallbacks_;
+        result.degradeFired = degradeFired_;
+        result.degradeReplans = degradeReplans_;
         return result;
     }
 
@@ -162,16 +171,16 @@ class OnlineDriver
     {
         AlgorithmSpec spec;
         spec.name = name;
-        auto algorithm = tryMakeAlgorithm(spec, machine_);
+        auto algorithm = tryMakeAlgorithm(spec, *active_);
         if (!algorithm.ok())
             return algorithm.status();
         if (policy_.decisionBudgetMs <= 0)
-            return tryRunAndCheck(**algorithm, graph, machine_);
+            return tryRunAndCheck(**algorithm, graph, *active_);
         CancelToken budget;
         budget.armDeadline(policy_.decisionBudgetMs);
         ScopedCancelToken scope(&budget);
         try {
-            return tryRunAndCheck(**algorithm, graph, machine_);
+            return tryRunAndCheck(**algorithm, graph, *active_);
         } catch (const StatusError &e) {
             // A drain request must keep unwinding to the job
             // boundary; only this decision's own deadline is ours.
@@ -181,18 +190,23 @@ class OnlineDriver
         }
     }
 
-    StatusOr<PendingRegion>
-    admit(const RegionArrival &arrival)
+    /**
+     * (Re)plan @p region's placement on the active machine: rebuild
+     * its workload graph, re-home preplacements onto the alive
+     * clusters, and run the policy's underlying algorithm (with the
+     * budgeted UAS fallback).
+     */
+    Status
+    planRegion(PendingRegion &region)
     {
-        const WorkloadSpec *workload = tryFindWorkload(arrival.workload);
+        const WorkloadSpec *workload =
+            tryFindWorkload(region.arrival.workload);
         if (workload == nullptr)
             return Status::invalidSpec("stream names unknown workload '" +
-                                       arrival.workload + "'");
-        checkpoint("online.admit");
-        const DependenceGraph graph = workload->build(
-            machine_.numClusters(), machine_.numClusters());
-        PendingRegion region;
-        region.arrival = arrival;
+                                       region.arrival.workload + "'");
+        DependenceGraph graph = workload->build(
+            active_->numClusters(), active_->numClusters());
+        remapPreplacedForMachine(graph, *active_);
         region.criticalPathLength = graph.criticalPathLength();
         auto planned = planWith(policy_.underlying, graph);
         if (!planned.ok() &&
@@ -204,13 +218,70 @@ class OnlineDriver
         }
         if (!planned.ok())
             return planned.status().withContext(
-                "online admit of region " +
-                std::to_string(arrival.id) + " (" + arrival.workload +
-                ")");
+                "online planning of region " +
+                std::to_string(region.arrival.id) + " (" +
+                region.arrival.workload + ")");
         region.instructions = planned->instructions;
         region.makespan = planned->makespan;
         region.schedule = std::move(planned->result.schedule);
+        return Status();
+    }
+
+    StatusOr<PendingRegion>
+    admit(const RegionArrival &arrival)
+    {
+        checkpoint("online.admit");
+        PendingRegion region;
+        region.arrival = arrival;
+        Status planned = planRegion(region);
+        if (!planned.ok())
+            return planned;
         return region;
+    }
+
+    /** True when the degradation event is armed and has not fired. */
+    bool
+    degradeArmed() const
+    {
+        return degraded_ != nullptr && policy_.degradeAt >= 0 &&
+               !degradeFired_;
+    }
+
+    /**
+     * Fire the mid-run degradation: the configured tiles die at
+     * degradeAt, every commit that has not started by then is rolled
+     * back off the timeline, and every rolled or still-pending
+     * region is re-planned on the surviving machine (their old plans
+     * were made for the pre-degrade machine and may occupy dead
+     * resources).  Started commits are never aborted.  The caller
+     * recommits the refilled pending window.
+     */
+    Status
+    degrade()
+    {
+        degradeFired_ = true;
+        checkpoint("machine.degrade");
+        std::vector<OnlineCommit> rolled =
+            timeline_.rollbackAfter(policy_.degradeAt);
+        active_ = degraded_;
+        // Rolled commits re-enter the window ahead of regions that
+        // were never committed, keeping each group's order stable.
+        std::vector<PendingRegion> window;
+        window.reserve(rolled.size() + pending_.size());
+        for (OnlineCommit &commit : rolled)
+            window.push_back(reopenCommit(std::move(commit)));
+        for (PendingRegion &region : pending_)
+            window.push_back(std::move(region));
+        pending_ = std::move(window);
+        for (PendingRegion &region : pending_) {
+            Status planned = planRegion(region);
+            if (!planned.ok())
+                return planned.withContext(
+                    "re-planning after the degradation event at t=" +
+                    std::to_string(policy_.degradeAt));
+            ++degradeReplans_;
+        }
+        return Status();
     }
 
     /** Admit every arrival with release <= @p time into pending_. */
@@ -228,6 +299,35 @@ class OnlineDriver
         return Status();
     }
 
+    /** Smallest release among the pending regions (must be some). */
+    int
+    earliestRelease() const
+    {
+        int earliest = pending_.front().arrival.release;
+        for (const PendingRegion &region : pending_)
+            earliest = std::min(earliest, region.arrival.release);
+        return earliest;
+    }
+
+    /** Commit the policy-order pick among the pending regions
+     *  released by @p now (the caller guarantees at least one). */
+    void
+    commitPickAt(int now)
+    {
+        auto pick = pending_.end();
+        for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+            if (it->arrival.release > now)
+                continue;
+            if (pick == pending_.end() ||
+                orderedBefore(*it, *pick, policy_.order))
+                pick = it;
+        }
+        CSCHED_ASSERT(pick != pending_.end(),
+                      "lazy decision at ", now, " with nothing released");
+        timeline_.commit(makeCommit(std::move(*pick), now));
+        pending_.erase(pick);
+    }
+
     /**
      * Lazy policies: one irrevocable commit per machine-idle point,
      * chosen by the policy order among everything released by then.
@@ -242,22 +342,52 @@ class OnlineDriver
                 if (!admitted.ok())
                     return admitted;
             }
-            int earliest = pending_.front().arrival.release;
-            for (const PendingRegion &region : pending_)
-                earliest = std::min(earliest, region.arrival.release);
-            const int now = std::max(timeline_.freeAt(), earliest);
+            int now = std::max(timeline_.freeAt(), earliestRelease());
+            if (degradeArmed() && now >= policy_.degradeAt) {
+                Status event = degrade();
+                if (!event.ok())
+                    return event;
+                // The rollback may have freed the machine earlier;
+                // the event itself pins the decision at degradeAt.
+                now = std::max({timeline_.freeAt(), earliestRelease(),
+                                policy_.degradeAt});
+            }
             // Arrivals during the busy window compete at this decision.
             Status admitted = admitUpTo(now);
             if (!admitted.ok())
                 return admitted;
-            auto pick = pending_.begin();
-            for (auto it = pending_.begin(); it != pending_.end(); ++it)
-                if (orderedBefore(*it, *pick, policy_.order))
-                    pick = it;
-            timeline_.commit(makeCommit(std::move(*pick), now));
-            pending_.erase(pick);
+            commitPickAt(now);
+        }
+        // The event can land inside the committed tail, after the
+        // last decision point: fire it and recommit what it rolled.
+        if (degradeArmed() && timeline_.freeAt() > policy_.degradeAt) {
+            Status event = degrade();
+            if (!event.ok())
+                return event;
+            while (!pending_.empty())
+                commitPickAt(std::max({timeline_.freeAt(),
+                                       earliestRelease(),
+                                       policy_.degradeAt}));
         }
         return Status();
+    }
+
+    /** Reorder the pending window by the policy rule and commit it
+     *  back-to-back, no commit before @p now or its own release. */
+    void
+    commitWindow(int now)
+    {
+        std::stable_sort(pending_.begin(), pending_.end(),
+                         [&](const PendingRegion &a,
+                             const PendingRegion &b) {
+                             return orderedBefore(a, b, policy_.order);
+                         });
+        for (PendingRegion &region : pending_) {
+            const int start = std::max(
+                {timeline_.freeAt(), now, region.arrival.release});
+            timeline_.commit(makeCommit(std::move(region), start));
+        }
+        pending_.clear();
     }
 
     /**
@@ -270,21 +400,25 @@ class OnlineDriver
     {
         while (next_ < arrivals_.size()) {
             const int now = arrivals_[next_].release;
+            if (degradeArmed() && now >= policy_.degradeAt) {
+                Status event = degrade();
+                if (!event.ok())
+                    return event;
+            }
             const size_t firstNew = pending_.size();
             Status admitted = admitUpTo(now);
             if (!admitted.ok())
                 return admitted;
             maybePreempt(firstNew, now);
-            std::stable_sort(pending_.begin(), pending_.end(),
-                             [&](const PendingRegion &a,
-                                 const PendingRegion &b) {
-                                 return orderedBefore(a, b, policy_.order);
-                             });
-            for (PendingRegion &region : pending_) {
-                const int start = std::max(timeline_.freeAt(), now);
-                timeline_.commit(makeCommit(std::move(region), start));
-            }
-            pending_.clear();
+            commitWindow(now);
+        }
+        // The event can land inside the committed tail, after the
+        // last batch: fire it and recommit what it rolled back.
+        if (degradeArmed() && timeline_.freeAt() > policy_.degradeAt) {
+            Status event = degrade();
+            if (!event.ok())
+                return event;
+            commitWindow(policy_.degradeAt);
         }
         return Status();
     }
@@ -319,20 +453,28 @@ class OnlineDriver
     const MachineModel &machine_;
     const OnlinePolicySpec &policy_;
     const std::vector<RegionArrival> &arrivals_;
+    /** Post-degrade machine; null when no event is armed. */
+    const MachineModel *degraded_;
+    /** The machine regions are planned on; flips to degraded_ when
+     *  the degradation event fires. */
+    const MachineModel *active_;
     Timeline timeline_;
     std::vector<PendingRegion> pending_;
     size_t next_ = 0;
     int preemptions_ = 0;
     int fallbacks_ = 0;
+    bool degradeFired_ = false;
+    int degradeReplans_ = 0;
 };
 
 } // namespace
 
 StatusOr<OnlineRunResult>
 runOnline(const MachineModel &machine, const OnlinePolicySpec &policy,
-          const std::vector<RegionArrival> &arrivals)
+          const std::vector<RegionArrival> &arrivals,
+          const MachineModel *degraded)
 {
-    OnlineDriver driver(machine, policy, arrivals);
+    OnlineDriver driver(machine, policy, arrivals, degraded);
     return driver.run();
 }
 

@@ -25,6 +25,18 @@
  *    recommitted together with the newcomers (started regions are
  *    never aborted).  Rollback counts are reported as `preemptions`.
  *
+ * Mid-run degradation.  A policy may arm a degradation event
+ * (degrade-at=T:degrade-tiles=a+b): at virtual time T the listed
+ * tiles die.  The driver then switches its planning machine to the
+ * degraded model, rolls every unstarted commit back off the timeline
+ * (rollbackAfter(T); started commits are never aborted), and
+ * re-plans every rolled or still-pending region on the surviving
+ * machine before recommitting -- the online analogue of graceful
+ * degradation.  The event fires at the first decision point at or
+ * after T (or once the committed tail crosses T), hits the
+ * "machine.degrade" fault point, and is pure virtual time, so
+ * byte-identity is preserved.
+ *
  * Determinism.  Planning happens once per admitted region (offline
  * algorithms are deterministic, so replanning a pinned prefix cannot
  * change it); ordering rules break ties by (release, id).  Given the
@@ -122,6 +134,10 @@ struct OnlineRunResult
     int preemptions = 0;
     /** Decisions that fell back to UAS on a budget expiry. */
     int fallbackDecisions = 0;
+    /** True when the armed degradation event fired. */
+    bool degradeFired = false;
+    /** Regions re-planned on the surviving machine at the event. */
+    int degradeReplans = 0;
 };
 
 /**
@@ -130,10 +146,16 @@ struct OnlineRunResult
  * Errors (invalid streams, planning failures, cancellation) surface
  * as the Status; cancellation honors the grid's per-job CancelToken
  * through the usual pollCancellation checkpoints.
+ *
+ * When the policy arms a degradation event, @p degraded must be the
+ * post-event machine (the same spec with the degrade-tiles also
+ * dead; see tryParseMachineSpec's extra_dead_clusters hook) and must
+ * outlive the call; InvalidSpec otherwise.
  */
 StatusOr<OnlineRunResult>
 runOnline(const MachineModel &machine, const OnlinePolicySpec &policy,
-          const std::vector<RegionArrival> &arrivals);
+          const std::vector<RegionArrival> &arrivals,
+          const MachineModel *degraded = nullptr);
 
 } // namespace csched
 

@@ -43,6 +43,28 @@ parsePolicyOptions(const std::vector<std::string> &fields,
                             "preempt-factor must be >= 1, got '" + value +
                                 "'");
             spec.preemptFactor = factor;
+        } else if (key == "degrade-at") {
+            char *end = nullptr;
+            const long at = std::strtol(value.c_str(), &end, 10);
+            if (value.empty() || end == nullptr || *end != '\0' ||
+                at < 0 || at > 1000000000)
+                return fail(error, "bad degrade-at '" + value + "'");
+            spec.degradeAt = static_cast<int>(at);
+        } else if (key == "degrade-tiles") {
+            spec.degradeTiles.clear();
+            for (const std::string &part : split(value, '+')) {
+                const std::string tile = trim(part);
+                char *end = nullptr;
+                const long id = std::strtol(tile.c_str(), &end, 10);
+                if (tile.empty() || end == nullptr || *end != '\0' ||
+                    id < 0 || id > 100000)
+                    return fail(error, "bad degrade-tiles entry '" +
+                                           part + "'");
+                spec.degradeTiles.push_back(static_cast<int>(id));
+            }
+            if (spec.degradeTiles.empty())
+                return fail(error,
+                            "degrade-tiles needs at least one tile");
         } else {
             return fail(error, "unknown online policy option '" + key + "'");
         }
@@ -99,6 +121,11 @@ parseOnlinePolicy(const std::string &text, std::string *error)
     }
     if (!parsePolicyOptions(fields, spec, error))
         return std::nullopt;
+    if ((spec.degradeAt >= 0) != !spec.degradeTiles.empty()) {
+        fail(error, "degrade-at and degrade-tiles must be given "
+                    "together");
+        return std::nullopt;
+    }
     return spec;
 }
 

@@ -29,6 +29,13 @@
  * back to the cheap UAS planner instead of failing the job
  * (fallbacks are counted in the result).  `preempt-factor=F` tunes
  * the preemption threshold of plan-ahead policies (default 2).
+ *
+ * `degrade-at=T:degrade-tiles=a+b` arms a mid-run degradation event:
+ * at virtual time T the listed tiles/clusters die (on top of any
+ * faults= map in the machine spec).  Unstarted commits are rolled
+ * back and re-planned on the surviving machine; started commits are
+ * never aborted.  Both options must be given together.  The event is
+ * pure virtual time, so byte-identity is preserved.
  */
 
 #ifndef CSCHED_ONLINE_POLICY_HH
@@ -64,6 +71,11 @@ struct OnlinePolicySpec
     /** Preempt unstarted commits when a new region's weight is >=
      *  preemptFactor x the lightest unstarted committed weight. */
     double preemptFactor = 2.0;
+    /** Virtual time of the mid-run degradation event; -1 = none. */
+    int degradeAt = -1;
+    /** Tiles/clusters that die at degradeAt, on top of any faults=
+     *  map in the machine spec. */
+    std::vector<int> degradeTiles;
 };
 
 /** Policy names accepted by parseOnlinePolicy, in display order. */

@@ -97,8 +97,10 @@ runJobAttempt(const JobSpec &spec, const JobPolicy &policy,
             return Status::invalidSpec("unknown workload '" +
                                        spec.workload + "'");
 
-        const DependenceGraph graph = workload->build(
-            machine->numClusters(), machine->numClusters());
+        DependenceGraph graph = workload->build(machine->numClusters(),
+                                                machine->numClusters());
+        // Degraded machines: move preplaced homes off dead clusters.
+        remapPreplacedForMachine(graph, *machine);
 
         auto algorithm = tryMakeAlgorithm(spec.algorithm, *machine);
         if (!algorithm.ok())

@@ -163,7 +163,7 @@ ListScheduler::run(const DependenceGraph &graph,
             placement.cycle = cycle;
             placement.fu = fu;
             placement.finish =
-                cycle + graph.latency(id) +
+                cycle + machine_.execLatency(cluster, graph.latency(id)) +
                 (isMemory(instr.op)
                      ? machine_.memoryPenalty(instr.memBank, cluster)
                      : 0);

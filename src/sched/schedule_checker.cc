@@ -65,6 +65,11 @@ checkSchedule(const DependenceGraph &graph, const MachineModel &machine,
                         p.cluster);
             continue;
         }
+        if (!machine.clusterAlive(p.cluster)) {
+            report.fail("instruction ", id, " placed on dead cluster ",
+                        p.cluster);
+            continue;
+        }
         const auto &fus = machine.clusterFus(p.cluster);
         if (p.fu < 0 || p.fu >= static_cast<int>(fus.size())) {
             report.fail("instruction ", id, " on invalid FU ", p.fu);
@@ -78,7 +83,8 @@ checkSchedule(const DependenceGraph &graph, const MachineModel &machine,
             report.fail("preplaced instruction ", id, " on cluster ",
                         p.cluster, ", home is ", instr.homeCluster);
         }
-        int expected_finish = p.cycle + graph.latency(id);
+        int expected_finish =
+            p.cycle + machine.execLatency(p.cluster, graph.latency(id));
         if (isMemory(instr.op))
             expected_finish +=
                 machine.memoryPenalty(instr.memBank, p.cluster);
@@ -123,6 +129,18 @@ checkSchedule(const DependenceGraph &graph, const MachineModel &machine,
             report.fail(who, " starts at ", event.start,
                         " before producer finish ", p.finish);
         }
+        if (event.toCluster < 0 ||
+            event.toCluster >= machine.numClusters()) {
+            report.fail(who, " targets invalid cluster ",
+                        event.toCluster);
+            continue;
+        }
+        if (!machine.clusterAlive(event.fromCluster) ||
+            !machine.clusterAlive(event.toCluster)) {
+            report.fail(who, " touches a dead cluster (",
+                        event.fromCluster, " -> ", event.toCluster, ")");
+            continue;
+        }
         const int latency =
             machine.commLatency(event.fromCluster, event.toCluster);
         if (event.arrive != event.start + latency) {
@@ -163,6 +181,11 @@ checkSchedule(const DependenceGraph &graph, const MachineModel &machine,
                 if (link != route[hop]) {
                     report.fail(who, " hop ", hop, " on link ", link,
                                 " instead of ", route[hop]);
+                }
+                if (link >= 0 && link < raw->numLinks() &&
+                    !raw->linkAlive(link)) {
+                    report.fail(who, " hop ", hop,
+                                " routes across dead link ", link);
                 }
                 if (cycle != event.start + static_cast<int>(hop)) {
                     report.fail(who, " hop ", hop, " at cycle ", cycle,

@@ -7,7 +7,9 @@
  * The library is instrumented with *named fault points* --
  * checkpoint() calls at interesting boundaries such as
  * "runner.job.start", "checker.verify", "pass.apply", "pcc.descent",
- * "uas.cycle", and "rawcc.merge".  A FaultPlan (parsed from a test or
+ * "uas.cycle", "rawcc.merge", and "machine.degrade" (hit exactly
+ * once when an online mid-run degradation event fires, so tile loss
+ * is deterministically injectable).  A FaultPlan (parsed from a test or
  * from the hidden --inject driver option) arms rules against those
  * points; a FaultScope binds the plan to one job's execution with a
  * scope key (e.g. "fir/vliw4/uas") and per-point hit counters.

@@ -22,6 +22,7 @@
 #include "runner/grid_runner.hh"
 #include "runner/json_report.hh"
 #include "runner/shutdown.hh"
+#include "support/fault_injection.hh"
 #include "workloads/workloads.hh"
 
 namespace csched {
@@ -436,6 +437,189 @@ TEST(OnlineGrid, RejectsMalformedAxes)
     auto offline_policy = smallOnlineGrid(1);
     offline_policy.policies = {"convergent"};
     EXPECT_FALSE(makeOnlineGrid(offline_policy).ok());
+}
+
+// ---- Mid-run degradation -------------------------------------------
+
+TEST(OnlinePolicy, ParsesDegradeOptions)
+{
+    const auto policy = mustParsePolicy(
+        "online-uas:degrade-at=500:degrade-tiles=3+7");
+    EXPECT_EQ(policy.degradeAt, 500);
+    EXPECT_EQ(policy.degradeTiles, (std::vector<int>{3, 7}));
+
+    std::string error;
+    EXPECT_FALSE(
+        parseOnlinePolicy("online-uas:degrade-at=500", &error));
+    EXPECT_NE(error.find("must be given together"), std::string::npos);
+    EXPECT_FALSE(
+        parseOnlinePolicy("online-uas:degrade-tiles=3", &error));
+    EXPECT_FALSE(
+        parseOnlinePolicy("online-uas:degrade-at=-2:degrade-tiles=3",
+                          &error));
+    EXPECT_FALSE(parseOnlinePolicy(
+        "online-uas:degrade-at=5:degrade-tiles=", &error));
+}
+
+TEST(OnlineScheduler, ArmedDegradePolicyNeedsTheDegradedMachine)
+{
+    const auto machine = parseMachineSpec("raw4x4");
+    ASSERT_NE(machine, nullptr);
+    std::vector<RegionArrival> arrivals;
+    arrivals.push_back(RegionArrival{0, "fir", 0, 1, -1});
+    const auto policy =
+        mustParsePolicy("online-uas:degrade-at=10:degrade-tiles=5");
+    const auto run = runOnline(*machine, policy, arrivals);
+    ASSERT_FALSE(run.ok());
+    EXPECT_EQ(run.status().code(), ErrorCode::InvalidSpec);
+}
+
+/**
+ * Shared scenario for the degradation tests: a fir/vvmul stream on a
+ * 4x4 mesh; when the policy arms a degrade event, the post-event
+ * machine is built through the extra_dead_clusters hook, exactly as
+ * the online grid does.
+ */
+StatusOr<OnlineRunResult>
+degradeRun(const std::string &policy_text)
+{
+    const auto machine = parseMachineSpec("raw4x4");
+    EXPECT_NE(machine, nullptr);
+    const auto arrivals = mustGenerate(
+        "stream:poisson:n=10:seed=3:mean-gap=40:max-weight=4:"
+        "workloads=fir+vvmul");
+    const auto policy = mustParsePolicy(policy_text);
+    std::unique_ptr<MachineModel> degraded;
+    if (policy.degradeAt >= 0) {
+        auto built = tryParseMachineSpec("raw4x4", policy.degradeTiles);
+        EXPECT_TRUE(built.ok()) << built.status().toString();
+        degraded = std::move(*built);
+    }
+    return runOnline(*machine, policy, arrivals, degraded.get());
+}
+
+TEST(OnlineScheduler, MidRunTileLossReplansLazyCommits)
+{
+    const int degrade_at = 120;
+    const auto baseline = degradeRun("online-uas");
+    ASSERT_TRUE(baseline.ok()) << baseline.status().toString();
+    const auto run = degradeRun(
+        "online-uas:degrade-at=120:degrade-tiles=5+6");
+    ASSERT_TRUE(run.ok()) << run.status().toString();
+
+    EXPECT_TRUE(run->degradeFired);
+    EXPECT_FALSE(baseline->degradeFired);
+    EXPECT_EQ(run->commits.size(), baseline->commits.size());
+
+    // Commits that started strictly before the event are identical
+    // to the undegraded run: started regions are never aborted.
+    size_t started = 0;
+    while (started < run->commits.size() &&
+           run->commits[started].start < degrade_at) {
+        EXPECT_EQ(run->commits[started].regionId,
+                  baseline->commits[started].regionId);
+        EXPECT_EQ(run->commits[started].start,
+                  baseline->commits[started].start);
+        EXPECT_EQ(run->commits[started].makespan,
+                  baseline->commits[started].makespan);
+        ++started;
+    }
+    ASSERT_GT(started, 0u);
+    ASSERT_LT(started, run->commits.size());
+
+    // Every post-event commit was planned on the surviving machine:
+    // no instruction may sit on a dead tile, and the re-planning is
+    // visible in the metrics.
+    EXPECT_GT(run->degradeReplans, 0);
+    EXPECT_EQ(baseline->degradeReplans, 0);
+    for (size_t i = started; i < run->commits.size(); ++i) {
+        const Schedule &schedule = run->commits[i].schedule;
+        EXPECT_GE(run->commits[i].start, run->commits[i].release);
+        for (int id = 0; id < schedule.numInstructions(); ++id) {
+            EXPECT_NE(schedule.clusterOf(id), 5)
+                << "commit " << run->commits[i].regionId;
+            EXPECT_NE(schedule.clusterOf(id), 6)
+                << "commit " << run->commits[i].regionId;
+        }
+    }
+}
+
+TEST(OnlineScheduler, MidRunTileLossReplansPlanAheadCommits)
+{
+    const int degrade_at = 120;
+    const auto run = degradeRun(
+        "online-convergent:degrade-at=120:degrade-tiles=5+6");
+    ASSERT_TRUE(run.ok()) << run.status().toString();
+    EXPECT_TRUE(run->degradeFired);
+    EXPECT_GT(run->degradeReplans, 0);
+    EXPECT_EQ(run->commits.size(), 10u);
+    for (const OnlineCommit &commit : run->commits) {
+        EXPECT_GE(commit.start, commit.release);
+        if (commit.start <= degrade_at)
+            continue;
+        for (int id = 0; id < commit.schedule.numInstructions(); ++id) {
+            EXPECT_NE(commit.schedule.clusterOf(id), 5);
+            EXPECT_NE(commit.schedule.clusterOf(id), 6);
+        }
+    }
+}
+
+TEST(OnlineScheduler, DegradeRunsAreDeterministic)
+{
+    const auto first = degradeRun(
+        "online-sp:degrade-at=200:degrade-tiles=0");
+    const auto second = degradeRun(
+        "online-sp:degrade-at=200:degrade-tiles=0");
+    ASSERT_TRUE(first.ok()) << first.status().toString();
+    ASSERT_TRUE(second.ok()) << second.status().toString();
+    ASSERT_EQ(first->commits.size(), second->commits.size());
+    for (size_t i = 0; i < first->commits.size(); ++i) {
+        EXPECT_EQ(first->commits[i].regionId,
+                  second->commits[i].regionId);
+        EXPECT_EQ(first->commits[i].start, second->commits[i].start);
+        EXPECT_EQ(first->commits[i].makespan,
+                  second->commits[i].makespan);
+    }
+}
+
+TEST(OnlineScheduler, DegradeEventHitsItsFaultPoint)
+{
+    std::string error;
+    const auto plan = FaultPlan::parse("machine.degrade=fail", &error);
+    ASSERT_TRUE(plan.has_value()) << error;
+    FaultScope scope(&*plan, "degrade-test");
+    ScopedFaultScope bound(&scope);
+
+    // Outside a job boundary the injected fault surfaces as the
+    // StatusError the runner layer would classify.
+    try {
+        const auto run = degradeRun(
+            "online-uas:degrade-at=120:degrade-tiles=5");
+        FAIL() << "expected the machine.degrade injection to fire, got "
+               << (run.ok() ? "ok" : run.status().toString());
+    } catch (const StatusError &error) {
+        EXPECT_EQ(error.status.code(), ErrorCode::Injected);
+        EXPECT_NE(error.status.message().find("machine.degrade"),
+                  std::string::npos);
+    }
+}
+
+TEST(OnlineGrid, DegradeSweepIsByteIdenticalAcrossThreadCounts)
+{
+    auto degradeGrid = [](int jobs) {
+        OnlineGridSpec spec;
+        spec.streams = {"stream:poisson:n=8:seed=3:mean-gap=40:"
+                        "max-weight=4:workloads=fir+vvmul"};
+        spec.machines = {"raw4x4", "raw4x4/faults=tiles:2+9"};
+        spec.policies = {"online-uas:degrade-at=120:degrade-tiles=5",
+                         "online-convergent"};
+        spec.jobs = jobs;
+        return spec;
+    };
+    const auto serial = runOnlineGrid(degradeGrid(1));
+    const auto parallel = runOnlineGrid(degradeGrid(4));
+    ASSERT_TRUE(serial.allOk());
+    EXPECT_EQ(deterministicJson(serial), deterministicJson(parallel));
 }
 
 } // namespace

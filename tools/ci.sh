@@ -19,7 +19,9 @@
 # (plain and ASan) runs a grid over two localhost csched_workerd
 # daemons, injects a network partition and SIGKILLs one daemon
 # mid-grid, and demands the grid heal by lease reassignment with a
-# report byte-identical to the in-process run.
+# report byte-identical to the in-process run.  The degraded-grid
+# smoke (plain and ASan) sweeps seeded fault-mapped meshes and demands
+# byte-identical reports across --jobs and under --isolate.
 #
 #   tools/ci.sh [BUILD_DIR_PREFIX]
 #
@@ -217,6 +219,45 @@ online_replay_smoke() {
          "trace replay reproduces metrics)"
 }
 
+# Degraded-machine smoke: a grid over seeded fault-mapped meshes (dead
+# tiles, dead links, slowed tiles) with all four algorithms must
+# produce byte-identical reports across --jobs values and under
+# --isolate -- the dead sets are rebuilt deterministically from the
+# spec text on whichever worker runs the job, so no fault state ever
+# crosses a process boundary.  Exit 0 also asserts every algorithm
+# produced a checker-valid schedule on the degraded machines.
+degraded_grid_smoke() {
+    local build_dir="$1"
+    local tag="$2"
+    local bench="${build_dir}/tools/csched_bench"
+    echo "=== degraded grid smoke (${tag})"
+    local tmp
+    tmp="$(mktemp -d)"
+    local args=(--workloads jacobi,sha
+                --machines 'raw4x4,raw4x4/faults=seed:7,tiles:12%,links:5%,slow:12%'
+                --algorithms uas,convergent,pcc,rawcc
+                --quiet --no-timings)
+    "${bench}" "${args[@]}" --jobs 1 --json "${tmp}/serial.json"
+    "${bench}" "${args[@]}" --jobs 4 --json "${tmp}/parallel.json"
+    "${bench}" "${args[@]}" --jobs 4 --isolate \
+        --json "${tmp}/isolated.json"
+    diff "${tmp}/serial.json" "${tmp}/parallel.json" || {
+        echo "degraded smoke: report depends on --jobs" >&2
+        exit 1
+    }
+    diff "${tmp}/serial.json" "${tmp}/isolated.json" || {
+        echo "degraded smoke: report differs under --isolate" >&2
+        exit 1
+    }
+    grep -q 'faults=seed' "${tmp}/serial.json" || {
+        echo "degraded smoke: degraded machine missing from report" >&2
+        exit 1
+    }
+    rm -rf "${tmp}"
+    echo "=== degraded grid smoke ok (${tag}: byte-identical across" \
+         "--jobs and --isolate)"
+}
+
 # End-to-end serve drain smoke: the daemon under fault-injected load
 # (admission refusals, rewritten replies, workers that crash on first
 # dispatch and heal on retry), SIGTERM mid-load.  The daemon must
@@ -392,10 +433,12 @@ run_tier2_ubsan "${prefix}-ubsan"
 kill_resume_smoke "${prefix}-plain"
 containment_smoke "${prefix}-plain"
 online_replay_smoke "${prefix}-tsan"
+degraded_grid_smoke "${prefix}-plain" plain
+degraded_grid_smoke "${prefix}-asan" asan
 serve_smoke "${prefix}-plain" plain
 serve_smoke "${prefix}-asan" asan
 dist_smoke "${prefix}-plain" plain
 dist_smoke "${prefix}-asan" asan
 perf_gate "${prefix}-plain"
 
-echo "=== all suites passed (plain + tsan + asan/ubsan tier2 + smokes + online replay + serve drain + dist fleet + perf gate)"
+echo "=== all suites passed (plain + tsan + asan/ubsan tier2 + smokes + online replay + degraded grid + serve drain + dist fleet + perf gate)"

@@ -69,8 +69,8 @@
  *   csched_bench perf [options]
  *     --out-dir DIR         where BENCH_pass_kernels.json,
  *                           BENCH_end_to_end.json, BENCH_online.json,
- *                           and BENCH_dist.json are written
- *                           (default ".")
+ *                           BENCH_mesh.json, and BENCH_dist.json are
+ *                           written (default ".")
  *     --repeats N           samples per cell, median-of-N (default 5)
  *     --quick               repeats 3 and the small cell set; the
  *                           ci.sh perf gate uses this
@@ -79,15 +79,19 @@
  *     --online-cells S/M/P,..
  *                           override the online cell list (stream
  *                           spec / machine / online policy)
- *     --check               compare the end-to-end, online, and dist
- *                           medians against the baseline and exit 1
- *                           on >threshold slowdown; prints the
+ *     --check               compare the end-to-end, online, mesh,
+ *                           and dist medians against the baseline and
+ *                           exit 1 on >threshold slowdown; prints the
  *                           per-kernel delta table as the diagnostic
  *                           on failure
  *
- * The dist cells fork two localhost csched_workerd daemons and time a
- * small fixed grid through them against the same grid under --isolate,
- * so the remote-dispatch overhead is a gated number, not a guess.
+ * The mesh cells time the degraded-machine hot paths on a 32x32 Raw
+ * mesh, fault-free and 10% degraded: machine construction (fault-map
+ * materialisation plus detour-table BFS) and a full schedule+check
+ * run with the fault-aware router and checker.  The dist cells fork
+ * two localhost csched_workerd daemons and time a small fixed grid
+ * through them against the same grid under --isolate, so the
+ * remote-dispatch overhead is a gated number, not a guess.
  *     --baseline-dir DIR    where --check finds the baseline
  *                           (default: the repository checkout, ".")
  *     --threshold PCT       --check slowdown gate (default 15)
@@ -229,7 +233,9 @@ runSuite(const char *argv0, const std::vector<std::string> &args)
         } else if (arg == "--suite") {
             suite = next();
         } else if (arg == "--machines" || arg == "--machine") {
-            grid.machines = split(next(), ',');
+            // splitMachineList, not a bare split: faults= suffixes
+            // carry commas of their own.
+            grid.machines = splitMachineList(next());
         } else if (arg == "--algorithms" || arg == "--algorithm") {
             algorithms_arg = next();
         } else if (arg == "--jobs") {
@@ -627,6 +633,9 @@ runPerf(const char *argv0, const std::vector<std::string> &args)
     BenchReport online_report;
     online_report.kind = "online";
     online_report.meta = collectMeta(repeats);
+    BenchReport mesh_report;
+    mesh_report.kind = "mesh";
+    mesh_report.meta = collectMeta(repeats);
     BenchReport dist_report;
     dist_report.kind = "dist";
     dist_report.meta = collectMeta(repeats);
@@ -773,6 +782,107 @@ runPerf(const char *argv0, const std::vector<std::string> &args)
                   << metrics.regions << " regions)\n";
     }
 
+    // Mesh cells: the degraded-machine hot paths on a 32x32 mesh.
+    // Per machine (fault-free and 10% degraded), two kernels:
+    // "construct" is one tryParseMachineSpec call (fault-map
+    // materialisation plus the per-destination detour-table BFS on
+    // 1024 tiles), "schedule" is one tryRunAndCheck call (the
+    // fault-aware router inside scheduling and the dead-resource
+    // checker rules).  The cell set is fixed so quick and full runs
+    // join against the same baseline keys.
+    {
+        const std::string mesh_workload = "mxm";
+        const std::vector<std::string> mesh_machines = {
+            "raw32x32", "raw32x32/faults=seed:1,tiles:10%,links:3%"};
+        for (const auto &machine_spec : mesh_machines) {
+            std::vector<double> construct_seconds;
+            std::unique_ptr<MachineModel> machine;
+            for (int rep = 0; rep <= repeats; ++rep) {
+                const auto begin = std::chrono::steady_clock::now();
+                auto built = tryParseMachineSpec(machine_spec);
+                const auto end = std::chrono::steady_clock::now();
+                if (!built.ok()) {
+                    std::cerr << argv0 << ": mesh cell " << machine_spec
+                              << ": " << built.status().toString()
+                              << "\n";
+                    return 1;
+                }
+                machine = std::move(*built);
+                if (rep == 0)
+                    continue;  // warm-up, untimed
+                construct_seconds.push_back(
+                    std::chrono::duration<double>(end - begin)
+                        .count());
+            }
+            BenchCell construct;
+            construct.workload = "-";
+            construct.machine = machine_spec;
+            construct.kernel = "construct";
+            construct.medianSeconds = median(construct_seconds);
+            construct.minSeconds =
+                *std::min_element(construct_seconds.begin(),
+                                  construct_seconds.end());
+            construct.reps = repeats;
+            mesh_report.cells.push_back(construct);
+
+            std::string error;
+            const auto spec = parseAlgorithmSpec("uas", &error);
+            if (!spec.has_value())
+                usage(argv0, error);
+            const auto algorithm = makeAlgorithm(*spec, *machine);
+            const WorkloadSpec *workload =
+                tryFindWorkload(mesh_workload);
+            if (workload == nullptr)
+                usage(argv0,
+                      "unknown workload '" + mesh_workload + "'");
+            // Fixed bank count: mxm's size scales with banks, and the
+            // cell measures routing on 1024 tiles, not a 65k-instr
+            // graph.  Preplacement still spreads over the whole mesh.
+            DependenceGraph graph =
+                workload->build(16, machine->numClusters());
+            remapPreplacedForMachine(graph, *machine);
+            std::vector<double> schedule_seconds;
+            int makespan = 0;
+            for (int rep = 0; rep <= repeats; ++rep) {
+                const auto begin = std::chrono::steady_clock::now();
+                const auto run =
+                    tryRunAndCheck(*algorithm, graph, *machine);
+                const auto end = std::chrono::steady_clock::now();
+                if (!run.ok()) {
+                    std::cerr << argv0 << ": mesh cell "
+                              << mesh_workload << "/" << machine_spec
+                              << ": " << run.status().toString()
+                              << "\n";
+                    return 1;
+                }
+                makespan = run->makespan;
+                if (rep == 0)
+                    continue;  // warm-up, untimed
+                schedule_seconds.push_back(
+                    std::chrono::duration<double>(end - begin)
+                        .count());
+            }
+            BenchCell schedule;
+            schedule.workload = mesh_workload;
+            schedule.machine = machine_spec;
+            schedule.kernel = "schedule";
+            schedule.algorithm = "uas";
+            schedule.medianSeconds = median(schedule_seconds);
+            schedule.minSeconds =
+                *std::min_element(schedule_seconds.begin(),
+                                  schedule_seconds.end());
+            schedule.reps = repeats;
+            schedule.instructions = graph.numInstructions();
+            schedule.makespan = makespan;
+            mesh_report.cells.push_back(schedule);
+            std::cerr << "perf: mesh " << machine_spec << " construct "
+                      << formatDouble(construct.medianSeconds * 1e3, 2)
+                      << " ms, schedule "
+                      << formatDouble(schedule.medianSeconds * 1e3, 2)
+                      << " ms over " << repeats << " reps\n";
+        }
+    }
+
     // Dist cells: the distributed execution path end to end.  One
     // fixed small grid is timed through runGrid() twice -- under
     // --isolate (the in-process containment baseline) and over a
@@ -903,6 +1013,7 @@ runPerf(const char *argv0, const std::vector<std::string> &args)
                      kernels_report) ||
         !writeReport(out_dir + "/BENCH_end_to_end.json", e2e_report) ||
         !writeReport(out_dir + "/BENCH_online.json", online_report) ||
+        !writeReport(out_dir + "/BENCH_mesh.json", mesh_report) ||
         !writeReport(out_dir + "/BENCH_dist.json", dist_report))
         return 1;
 
@@ -936,9 +1047,10 @@ runPerf(const char *argv0, const std::vector<std::string> &args)
     };
     const auto e2e_baseline = load("BENCH_end_to_end.json");
     const auto online_baseline = load("BENCH_online.json");
+    const auto mesh_baseline = load("BENCH_mesh.json");
     const auto dist_baseline = load("BENCH_dist.json");
     if (!e2e_baseline.has_value() || !online_baseline.has_value() ||
-        !dist_baseline.has_value()) {
+        !mesh_baseline.has_value() || !dist_baseline.has_value()) {
         std::cerr << argv0 << ": perf gate FAILED\n";
         return 1;
     }
@@ -952,6 +1064,13 @@ runPerf(const char *argv0, const std::vector<std::string> &args)
               << "/BENCH_online.json (threshold "
               << formatDouble(threshold, 0) << "%)\n";
     ok = compareBenchReports(*online_baseline, online_report, compare,
+                             std::cout) &&
+         ok;
+    std::cout << "\n";
+    std::cout << "perf gate: mesh vs " << baseline_dir
+              << "/BENCH_mesh.json (threshold "
+              << formatDouble(threshold, 0) << "%)\n";
+    ok = compareBenchReports(*mesh_baseline, mesh_report, compare,
                              std::cout) &&
          ok;
     std::cout << "\n";

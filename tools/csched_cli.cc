@@ -259,7 +259,9 @@ main(int argc, char **argv)
     if (online) {
         OnlineGridSpec sweep;
         sweep.streams = split(streams_csv, ',');
-        sweep.machines = split(machines_csv, ',');
+        // splitMachineList, not a bare split: faults= suffixes carry
+        // commas of their own.
+        sweep.machines = splitMachineList(machines_csv);
         sweep.policies = split(policies_csv, ',');
         sweep.jobs = jobs;
         sweep.deadlineMs = deadline_ms;
@@ -365,8 +367,9 @@ main(int argc, char **argv)
         usage(argv[0], "unknown workload '" + workload +
                            "' (try --workload list)");
     const auto &spec = *found;
-    const auto graph = spec.build(machine->numClusters(),
-                                  machine->numClusters());
+    auto graph = spec.build(machine->numClusters(),
+                            machine->numClusters());
+    remapPreplacedForMachine(graph, *machine);
 
     // The interactive run is one "job": same fault scope key, deadline,
     // and bounded-retry loop as a grid cell (see runner/job.hh), but
